@@ -1,0 +1,44 @@
+"""Benchmarks the downstream-analysis claim: automated large-scale
+analysis tasks over the federation (GO enrichment at paper scale)."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis import EnrichmentAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer(annoda):
+    return EnrichmentAnalyzer(annoda)
+
+
+@pytest.fixture(scope="module")
+def disease_result(annoda):
+    return annoda.ask(
+        "find genes associated with some OMIM disease",
+        enrich_links=False,
+    )
+
+
+def test_annotation_gathering(benchmark, analyzer):
+    per_gene = benchmark(analyzer.annotations)
+    assert per_gene
+
+
+def test_enrichment_of_disease_genes(benchmark, analyzer, disease_result,
+                                     results_dir):
+    results = benchmark.pedantic(
+        analyzer.enrich_result, args=(disease_result,), rounds=3,
+        iterations=1,
+    )
+    assert results
+    lines = [
+        "GO enrichment of the OMIM-associated gene set "
+        f"({len(disease_result)} genes, 500-loci corpus):",
+        "",
+    ]
+    lines.extend(f"  {hit.render()}" for hit in results[:10])
+    artifact = "\n".join(lines)
+    write_artifact(results_dir, "enrichment.txt", artifact)
+    print()
+    print(artifact)

@@ -1,0 +1,82 @@
+"""Regenerates Figures 1-5 of the paper as text artifacts."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.evaluation import FigureGenerator
+
+
+@pytest.fixture(scope="module")
+def generator(annoda):
+    return FigureGenerator(annoda)
+
+
+def test_figure1_architecture(benchmark, generator, results_dir):
+    text = benchmark(generator.figure1)
+    assert "Mediator" in text and "Wrapper[LocusLink]" in text
+    write_artifact(results_dir, "figure1.txt", text)
+    print()
+    print(text)
+
+
+def test_figure2_oml_graph(benchmark, generator, results_dir):
+    text = benchmark(generator.figure2)
+    assert "objects (vertices):" in text
+    assert "--LocusID-->" in text
+    write_artifact(results_dir, "figure2.txt", text)
+    print()
+    print(text)
+
+
+def test_figure3_oml_serialization(benchmark, generator, results_dir):
+    text = benchmark(generator.figure3)
+    # The paper's layout: label &oid type 'value', root = &1.
+    assert text.startswith("LocusLink &1 Complex")
+    assert "LocusID &2 Integer" in text
+    write_artifact(results_dir, "figure3.txt", text)
+    print()
+    print(text)
+
+
+def test_figure4_gml_model(benchmark, generator, results_dir):
+    text = benchmark(generator.figure4)
+    assert text.startswith("ANNODA-GML &1 Complex")
+    for source in ("LocusLink", "GO", "OMIM"):
+        assert f"'{source}'" in text
+    write_artifact(results_dir, "figure4.txt", text)
+    print()
+    print("\n".join(text.splitlines()[:40]))
+
+
+def test_figure5a_query_interface(benchmark, generator, results_dir):
+    text = benchmark(generator.figure5a)
+    assert "[anchor] LocusLink" in text
+    assert "[include] GO" in text
+    assert "[exclude] OMIM" in text
+    write_artifact(results_dir, "figure5a.txt", text)
+    print()
+    print(text)
+
+
+def test_figure5b_integrated_view(benchmark, generator, annoda,
+                                  results_dir):
+    text = benchmark.pedantic(
+        generator.figure5b, rounds=1, iterations=1
+    )
+    assert "Annotation integrated view" in text
+    # Every shown gene must have GO annotations and no diseases.
+    result = annoda.ask(annoda.catalog.figure5b(), enrich_links=False)
+    assert set(result.gene_ids()) == (
+        annoda.corpus.ground_truth.figure5b_expected()
+    )
+    write_artifact(results_dir, "figure5b.txt", text)
+    print()
+    print(text)
+
+
+def test_figure5c_object_view(benchmark, generator, results_dir):
+    text = benchmark.pedantic(generator.figure5c, rounds=1, iterations=1)
+    assert "Web links" in text
+    write_artifact(results_dir, "figure5c.txt", text)
+    print()
+    print(text)

@@ -1,0 +1,39 @@
+"""Benchmarks the section-4.1 Lorel example and core Lorel machinery."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+
+PAPER_QUERY = (
+    'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+)
+
+
+@pytest.fixture(scope="module")
+def engine(annoda):
+    return annoda.mediator.lorel_engine()
+
+
+def test_section41_query(benchmark, engine, results_dir):
+    result = benchmark(engine.query, PAPER_QUERY)
+    assert len(result) >= 1
+    selected = result.objects("Source")[0]
+    assert engine.workspace.child_value(selected, "Name") == "LocusLink"
+    rendered = engine.render_answer(result)
+    write_artifact(results_dir, "section41_answer.txt", rendered)
+    print()
+    print(rendered.splitlines()[0])
+
+
+def test_lorel_parse_throughput(benchmark):
+    from repro.lorel import parse
+
+    query = benchmark(parse, PAPER_QUERY)
+    assert query.from_clauses[0].variable == "X"
+
+
+def test_lorel_wildcard_query(benchmark, engine):
+    result = benchmark(
+        engine.query, "select N from ANNODA-GML.#.Name N"
+    )
+    assert len(result) > 3  # source names + structure element names

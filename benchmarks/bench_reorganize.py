@@ -1,0 +1,72 @@
+"""Benchmarks result re-organization (future-work item 4) — the
+machinery behind "supporting automated large-scale analysis tasks"."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.mediator import GlobalQuery, LinkConstraint
+from repro.reorganize import Reorganizer, to_csv
+from repro.util.text import table
+
+
+@pytest.fixture(scope="module")
+def result(annoda):
+    return annoda.ask(
+        GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint("GO", "include", via="AnnotationID"),
+                LinkConstraint(
+                    "OMIM", "include", via="DiseaseID", symbol_join=True
+                ),
+            ),
+        )
+    )
+
+
+def test_pivot_by_annotation(benchmark, result):
+    groups = benchmark(Reorganizer(result).by_annotation)
+    assert groups
+    assert all(group["genes"] for group in groups.values())
+
+
+def test_incidence_matrix(benchmark, result):
+    gene_ids, go_ids, rows = benchmark(
+        Reorganizer(result).incidence_matrix, "GO"
+    )
+    assert len(rows) == len(gene_ids)
+    assert all(len(row) == len(go_ids) for row in rows)
+
+
+def test_csv_export(benchmark, result):
+    text = benchmark(to_csv, result)
+    assert text.startswith("GeneID,")
+
+
+def test_reorganization_artifact(benchmark, result, results_dir):
+    def run():
+        reorganizer = Reorganizer(result)
+        summary = reorganizer.summary()
+        top_terms = sorted(
+            reorganizer.by_annotation().items(),
+            key=lambda item: -len(item[1]["genes"]),
+        )[:8]
+        return summary, top_terms
+
+    summary, top_terms = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [go_id, group["title"] or "-", len(group["genes"])]
+        for go_id, group in top_terms
+    ]
+    artifact = (
+        "Result re-organization: disease genes grouped by GO term\n"
+        f"(genes={summary['genes']}, "
+        f"annotation groups={summary['annotation_groups']}, "
+        f"disease groups={summary['disease_groups']})\n\n"
+        + table(["GO term", "title", "genes"], rows)
+    )
+    write_artifact(results_dir, "reorganization.txt", artifact)
+    print()
+    print(artifact)
+    assert summary["genes"] > 0
+    assert summary["annotation_groups"] > 0

@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures and result-artifact plumbing.
+
+Every benchmark regenerates a table or figure of the paper (or an
+ablation DESIGN.md calls out) and writes the regenerated artifact to
+``benchmarks/results/`` so the evidence persists after the run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core import Annoda
+from repro.sources import AnnotationCorpus, CorpusParameters
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper-scale corpus used by the figure/table regenerations.
+DEFAULT_PARAMETERS = CorpusParameters(
+    loci=500, go_terms=300, omim_entries=150
+)
+
+CONFLICTED_PARAMETERS = CorpusParameters(
+    loci=500, go_terms=300, omim_entries=150, conflict_rate=0.4
+)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return AnnotationCorpus.generate(seed=7, parameters=DEFAULT_PARAMETERS)
+
+
+@pytest.fixture(scope="session")
+def conflicted_corpus():
+    return AnnotationCorpus.generate(
+        seed=7, parameters=CONFLICTED_PARAMETERS
+    )
+
+
+@pytest.fixture(scope="session")
+def annoda(corpus):
+    instance = Annoda()
+    instance.corpus = corpus
+    from repro.wrappers import default_wrappers
+
+    for wrapper in default_wrappers(corpus):
+        instance.add_source(wrapper)
+    return instance
+
+
+def write_artifact(results_dir, name, text):
+    """Persist one regenerated artifact and return its path."""
+    path = results_dir / name
+    path.write_text(text, encoding="utf-8")
+    return path

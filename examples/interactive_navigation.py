@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Interactive navigation: browse the federation through web-links
+(Figure 5(c)), with a history-keeping session.
+
+Starts from an integrated query answer, opens a gene's report, hops to
+one of its GO annotations, then to an OMIM entry, and walks back.
+
+Run with::
+
+    python examples/interactive_navigation.py
+"""
+
+from repro import Annoda
+from repro.sources.corpus import CorpusParameters
+
+
+def main():
+    annoda = Annoda.with_default_sources(
+        seed=9,
+        parameters=CorpusParameters(loci=200, go_terms=120,
+                                    omim_entries=80),
+    )
+    result = annoda.ask("find genes associated with some OMIM disease")
+    print(annoda.render_integrated_view(result, limit=5))
+    print()
+
+    session = annoda.navigation_session()
+
+    # Open the first gene's own report page.
+    gene = result.graph.children(result.root, "Gene")[0]
+    links = {
+        link.label: link
+        for link in annoda.navigator.links_of(result.graph, gene)
+    }
+    locus_view = session.visit(links["Self"])
+    print(annoda.render_object_view(locus_view))
+    print()
+
+    # Hop along the first onward link (a GO annotation or OMIM entry).
+    onward = locus_view.links[1] if len(locus_view.links) > 1 else (
+        locus_view.links[0]
+    )
+    next_view = session.visit(onward)
+    print(annoda.render_object_view(next_view))
+    print()
+
+    print(f"breadcrumb so far: {session.trail()}")
+    session.back()
+    print(f"after back():      {session.trail()}")
+    session.forward()
+    print(f"after forward():   {session.trail()}")
+
+
+if __name__ == "__main__":
+    main()

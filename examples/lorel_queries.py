@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Raw Lorel against ANNODA-GML: the section-4.1 power-user path.
+
+Reproduces the paper's example query and demonstrates Lorel's defining
+behaviours: new answer objects, renaming, answer reuse, wildcards and
+set operators.
+
+Run with::
+
+    python examples/lorel_queries.py
+"""
+
+from repro import Annoda
+from repro.sources.corpus import CorpusParameters
+
+
+def main():
+    annoda = Annoda.with_default_sources(
+        seed=3,
+        parameters=CorpusParameters(loci=80, go_terms=50, omim_entries=30),
+    )
+    engine = annoda.mediator.lorel_engine()
+
+    # The paper's example (section 4.1).
+    print(">>> select X from ANNODA-GML.Source X "
+          'where X.Name = "LocusLink"')
+    result = engine.query(
+        'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+    )
+    print(engine.render_answer(result))
+
+    # The answer object is new and reusable; a second query gets a
+    # renamed root so 'answer' is not overwritten.
+    print(">>> select Y.SourceID from answer.Source Y")
+    reuse = engine.query("select Y.SourceID from answer.Source Y")
+    print(f"{reuse.answer_name}: {reuse.values()}")
+    print()
+
+    # Wildcards tolerate unknown structure.
+    print(">>> select X.Name from ANNODA-GML.% X  (any label)")
+    wildcard = engine.query("select X.Name from ANNODA-GML.% X")
+    print(sorted(wildcard.values()))
+
+    print(">>> select N from ANNODA-GML.#.Name N  (any depth)")
+    deep = engine.query("select N from ANNODA-GML.#.Name N")
+    print(f"{len(deep)} Name objects found at any depth")
+    print()
+
+    # Aggregates, ordering and subqueries (the query-language half of
+    # the paper's future work).
+    print(">>> select count(X) from ANNODA-GML.Source X")
+    counted = engine.query("select count(X) from ANNODA-GML.Source X")
+    print(f"source count = {counted.values('count')[0]}")
+
+    print(">>> sources ordered by name, descending")
+    ordered = engine.query(
+        "select X.Name from ANNODA-GML.Source X order by Name desc"
+    )
+    print(ordered.values())
+
+    print(">>> sources whose name is among the OML-modelled ones")
+    membership = engine.query(
+        "select X.Name from ANNODA-GML.Source X where X.Name in "
+        "(select Y.Name from ANNODA-GML.Source Y "
+        "where Y.Structure.Model = 'ANNODA-OML')"
+    )
+    print(sorted(membership.values()))
+    print()
+
+    # Set operators.
+    print(">>> sources except OMIM")
+    difference = engine.query(
+        "select X from ANNODA-GML.Source X "
+        "except "
+        "select Y from ANNODA-GML.Source Y where Y.Name = 'OMIM'"
+    )
+    names = [
+        engine.workspace.child_value(obj, "Name")
+        for obj in difference.objects()
+    ]
+    print(sorted(names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: federate the three annotation sources and ask the
+paper's flagship question.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Annoda
+
+QUESTION = (
+    "Find a set of LocusLink genes, which are annotated with some GO "
+    "functions, but not associated with some OMIM disease"
+)
+
+
+def main():
+    # One call builds a seeded synthetic corpus (LocusLink + GO + OMIM),
+    # wraps each source, runs MDSM schema matching, and assembles the
+    # federated mediator.
+    annoda = Annoda.with_default_sources(seed=7)
+    print(annoda.describe_sources())
+    print()
+
+    # Step 1-3 of the paper's interface, captured from plain English.
+    print(annoda.render_query_form(QUESTION))
+    print()
+
+    # The mediator decomposes, optimizes, executes and reconciles.
+    print(annoda.explain(QUESTION))
+    print()
+
+    result = annoda.ask(QUESTION)
+    print(annoda.render_integrated_view(result, limit=10))
+    print()
+    print(result.report.render())
+    print()
+
+    # Interactive navigation: follow a web-link out of the answer.
+    gene = result.graph.children(result.root, "Gene")[0]
+    links = annoda.navigator.links_of(result.graph, gene)
+    view = annoda.navigator.follow(links[0])
+    print(annoda.render_object_view(view))
+
+
+if __name__ == "__main__":
+    main()

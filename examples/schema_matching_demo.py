@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""MDSM walkthrough: how ANNODA maps a new source's schema onto the
+global schema with the Hungarian method (section 3.1).
+
+Shows the similarity matrix, the optimal assignment, and why the
+*optimal* assignment beats the greedy one on an adversarial case.
+
+Run with::
+
+    python examples/schema_matching_demo.py
+"""
+
+from repro.matching import MdsmMatcher
+from repro.mediator.global_schema import GlobalSchema
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.util.text import table
+from repro.wrappers import OmimWrapper
+
+
+def main():
+    corpus = AnnotationCorpus.generate(
+        seed=5,
+        parameters=CorpusParameters(loci=100, go_terms=60, omim_entries=40),
+    )
+    wrapper = OmimWrapper(corpus.omim)
+    local_elements = wrapper.schema_elements()
+    global_elements = GlobalSchema().elements()
+    matcher = MdsmMatcher()
+
+    # 1. The similarity matrix MDSM scores.
+    matrix = matcher.similarity_matrix(local_elements, global_elements)
+    headers = ["local \\ global"] + [e.name for e in global_elements]
+    rows = [
+        [local.name] + [f"{score:.2f}" for score in matrix[i]]
+        for i, local in enumerate(local_elements)
+    ]
+    print("similarity matrix (OMIM local model vs ANNODA global schema):")
+    print(table(headers, rows))
+    print()
+
+    # 2. The Hungarian assignment, thresholded into correspondences.
+    result = matcher.match("OMIM", local_elements, global_elements)
+    print(result.render())
+    print()
+
+    # 3. Why optimal beats greedy: an adversarial mini-matrix.
+    from repro.matching.hungarian import solve_max_assignment
+
+    adversarial = [
+        [0.9, 0.8],
+        [0.8, 0.0],
+    ]
+    assignment, total = solve_max_assignment(adversarial)
+    greedy_total = 0.9 + 0.0  # greedy grabs (0,0) first, then is stuck
+    print("adversarial 2x2 similarity matrix: [[0.9, 0.8], [0.8, 0.0]]")
+    print(f"  greedy total    = {greedy_total:.1f}")
+    print(f"  hungarian total = {total:.1f}  via {assignment}")
+    print("  -> the Hungarian method avoids the greedy trap;")
+    print("     benchmarks/bench_matching.py quantifies this at scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""ANNODA reproduction: federated integration of molecular-biological
+annotation data.
+
+This package reproduces the system described in *"ANNODA: Tool for
+integrating Molecular-biological Annotation Data"* (Prompramote & Chen,
+ICDE 2005 Workshops): an extended Object Exchange Model, the Lorel
+query language, wrapped heterogeneous annotation sources (LocusLink,
+GO, OMIM), MDSM schema matching via the Hungarian method, a federated
+mediator with ANNODA-GML global model, interactive web-link navigation,
+and a biological-question interface.
+
+Quickstart::
+
+    from repro import Annoda
+    annoda = Annoda.with_default_sources(seed=7)
+    answer = annoda.ask(
+        "Find LocusLink genes annotated with some GO function "
+        "but not associated with some OMIM disease"
+    )
+"""
+
+__version__ = "1.0.0"
+
+# The facade import is at the bottom of the dependency graph; guard it so
+# that partially built checkouts can still import subpackages directly.
+try:
+    from repro.core import Annoda, AnnodaConfig
+except ImportError:  # pragma: no cover - only during partial builds
+    Annoda = None
+    AnnodaConfig = None
+
+__all__ = ["Annoda", "AnnodaConfig", "__version__"]

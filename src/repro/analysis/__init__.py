@@ -1,0 +1,14 @@
+"""Downstream analysis over the federation.
+
+Section 1 of the paper argues that an integrated annotation source
+*"will enable bioinformatics groups ... to participate in the data
+analysis and to develop new methods and tools for such analysis"*.
+This package is one such tool, built purely on the public API: GO
+term-enrichment analysis (hypergeometric test with ancestor
+propagation and Benjamini-Hochberg correction) over any gene set an
+ANNODA query returned.
+"""
+
+from repro.analysis.enrichment import EnrichmentAnalyzer, EnrichmentResult
+
+__all__ = ["EnrichmentAnalyzer", "EnrichmentResult"]

@@ -1,0 +1,184 @@
+"""GO term-enrichment analysis over federated annotation data.
+
+The classic workflow: given a *study set* of genes (e.g. the answer of
+an ANNODA query) and a *population* (default: every locus in the gene
+source), ask which GO terms annotate the study set more often than
+chance.  Annotations propagate to ancestor terms (the true-path rule),
+significance is the hypergeometric tail, and multiple testing is
+corrected with Benjamini-Hochberg.
+"""
+
+from dataclasses import dataclass
+
+from scipy.stats import hypergeom
+
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class EnrichmentResult:
+    """One tested term."""
+
+    go_id: str
+    name: str
+    namespace: str
+    study_count: int
+    study_size: int
+    population_count: int
+    population_size: int
+    p_value: float
+    adjusted_p: float
+
+    @property
+    def fold_enrichment(self):
+        study_rate = self.study_count / self.study_size
+        population_rate = self.population_count / self.population_size
+        return study_rate / population_rate
+
+    def render(self):
+        return (
+            f"{self.go_id}  {self.name:<40.40}  "
+            f"{self.study_count}/{self.study_size} vs "
+            f"{self.population_count}/{self.population_size}  "
+            f"p={self.p_value:.3g}  q={self.adjusted_p:.3g}  "
+            f"fold={self.fold_enrichment:.2f}"
+        )
+
+
+class EnrichmentAnalyzer:
+    """Hypergeometric GO enrichment against a live federation."""
+
+    def __init__(self, annoda):
+        self.annoda = annoda
+        if "GO" not in annoda.sources() or (
+            "LocusLink" not in annoda.sources()
+        ):
+            raise QueryError(
+                "enrichment needs both LocusLink and GO federated"
+            )
+        self._go = annoda.mediator.wrapper("GO")
+        self._locuslink = annoda.mediator.wrapper("LocusLink")
+
+    # -- annotation gathering --------------------------------------------------
+
+    def annotations(self, propagate=True):
+        """gene id -> set of annotating GO ids (ancestors included when
+        ``propagate``), obsolete and dangling annotations dropped."""
+        per_gene = {}
+        for record in self._locuslink.fetch(()):
+            terms = set()
+            for go_id in record.get("GoIDs", ()):
+                if not self._go.exists(go_id) or self._go.is_obsolete(
+                    go_id
+                ):
+                    continue
+                terms.add(go_id)
+                if propagate:
+                    terms.update(self._go.ancestors(go_id))
+            per_gene[record["LocusID"]] = terms
+        return per_gene
+
+    # -- the test ------------------------------------------------------------------
+
+    def go_enrichment(self, study_genes, population_genes=None,
+                      propagate=True, min_study_count=2):
+        """Enrichment results for every qualifying term, most
+        significant first.
+
+        Parameters
+        ----------
+        study_genes:
+            The gene set under study (iterable of LocusIDs; unknown ids
+            are rejected).
+        population_genes:
+            The background (default: every locus).
+        propagate:
+            Apply the true-path rule (annotations count for ancestors).
+        min_study_count:
+            Terms annotating fewer study genes are not tested.
+        """
+        per_gene = self.annotations(propagate=propagate)
+        study = set(study_genes)
+        unknown = study - set(per_gene)
+        if unknown:
+            raise QueryError(
+                f"study genes not in the federation: {sorted(unknown)[:5]}"
+            )
+        population = (
+            set(population_genes)
+            if population_genes is not None
+            else set(per_gene)
+        )
+        if not study:
+            raise QueryError("empty study set")
+        if not study <= population:
+            raise QueryError("study set must be within the population")
+
+        study_counts = {}
+        population_counts = {}
+        for gene, terms in per_gene.items():
+            in_study = gene in study
+            if gene not in population:
+                continue
+            for term in terms:
+                population_counts[term] = (
+                    population_counts.get(term, 0) + 1
+                )
+                if in_study:
+                    study_counts[term] = study_counts.get(term, 0) + 1
+
+        tested = []
+        for term, count in sorted(study_counts.items()):
+            if count < min_study_count:
+                continue
+            p_value = float(
+                hypergeom.sf(
+                    count - 1,
+                    len(population),
+                    population_counts[term],
+                    len(study),
+                )
+            )
+            tested.append((term, count, population_counts[term], p_value))
+
+        adjusted = _benjamini_hochberg([p for *_rest, p in tested])
+        results = []
+        for (term, count, population_count, p_value), q_value in zip(
+            tested, adjusted
+        ):
+            term_record = self._go.source.get(term)
+            results.append(
+                EnrichmentResult(
+                    go_id=term,
+                    name=term_record.name,
+                    namespace=term_record.namespace,
+                    study_count=count,
+                    study_size=len(study),
+                    population_count=population_count,
+                    population_size=len(population),
+                    p_value=p_value,
+                    adjusted_p=q_value,
+                )
+            )
+        results.sort(key=lambda result: (result.p_value, result.go_id))
+        return results
+
+    def enrich_result(self, integrated_result, **kwargs):
+        """Convenience: enrichment of an ANNODA answer's gene set."""
+        return self.go_enrichment(integrated_result.gene_ids(), **kwargs)
+
+
+def _benjamini_hochberg(p_values):
+    """BH-adjusted q-values, preserving input order."""
+    count = len(p_values)
+    if count == 0:
+        return []
+    order = sorted(range(count), key=lambda index: p_values[index])
+    adjusted = [0.0] * count
+    smallest_so_far = 1.0
+    for rank_from_end, index in enumerate(reversed(order)):
+        rank = count - rank_from_end
+        candidate = p_values[index] * count / rank
+        smallest_so_far = min(smallest_so_far, candidate)
+        adjusted[index] = min(1.0, smallest_so_far)
+    return adjusted

@@ -1,0 +1,34 @@
+"""Baseline integration systems: the four approaches of section 2.
+
+To regenerate Table 1 and quantify the comparative discussion of
+section 5, the comparator architectures are implemented as runnable
+miniature systems over the same wrappers ANNODA federates:
+
+- :class:`HypertextNavigationSystem` — Entrez/SRS-style indexed
+  sources with manual link navigation;
+- :class:`WarehouseSystem` — GUS/DataFoundry-style ETL into one
+  materialized store, with translators and load-time cleansing;
+- :class:`K2KleisliSystem` / :class:`DiscoveryLinkSystem` —
+  query-driven middleware without a reconciling mediator (unmediated
+  multidatabase queries, object-oriented vs SQL-flavoured);
+- ANNODA itself (:class:`repro.core.Annoda`) — the federated system.
+"""
+
+from repro.baselines.hypertext import HypertextNavigationSystem
+from repro.baselines.interfaces import IntegrationSystem, SystemTraits
+from repro.baselines.multidatabase import (
+    DiscoveryLinkSystem,
+    K2KleisliSystem,
+    MultidatabaseSystem,
+)
+from repro.baselines.warehouse import WarehouseSystem
+
+__all__ = [
+    "DiscoveryLinkSystem",
+    "HypertextNavigationSystem",
+    "IntegrationSystem",
+    "K2KleisliSystem",
+    "MultidatabaseSystem",
+    "SystemTraits",
+    "WarehouseSystem",
+]

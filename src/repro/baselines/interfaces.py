@@ -1,0 +1,74 @@
+"""The common contract of all integration-system implementations."""
+
+import abc
+from dataclasses import dataclass
+
+from repro.util.errors import AnnodaError
+
+
+class UnsupportedOperation(AnnodaError):
+    """The architecture genuinely cannot perform the requested task —
+    the inability itself is a Table-1 data point."""
+
+
+@dataclass(frozen=True)
+class SystemTraits:
+    """Architecture traits behind the Table-1 rows.
+
+    Most traits are structural facts about the implementation; the
+    behavioural ones (reconciliation, freshness) are additionally
+    verified by probes in :mod:`repro.evaluation.table1`.
+    """
+
+    shields_source_details: bool
+    global_schema_model: str  # "object-oriented" | "relational" | "semistructured" | "none"
+    single_access_point: bool
+    requires_query_language_knowledge: bool
+    comprehensive_query_capability: bool
+    operations_on: str  # "integrated view" | "warehouse" | "per-source"
+    reorganizes_results: bool
+    reconciles_results: bool
+    handles_uncertainty: bool
+    integrates_via_global_schema: bool
+    supports_annotations: bool
+    self_describing_model: bool
+    integrates_self_generated_data: bool
+    new_evaluation_functions: bool
+    archival_functionality: bool
+
+
+class IntegrationSystem(abc.ABC):
+    """One runnable integration architecture over the three sources."""
+
+    #: Display name in the Table-1 column header.
+    name = "abstract"
+    #: One of the four section-2 approaches.
+    approach = "abstract"
+
+    @abc.abstractmethod
+    def traits(self):
+        """The system's :class:`SystemTraits`."""
+
+    @abc.abstractmethod
+    def integrated_gene_disease_query(self):
+        """Answer "genes annotated with some GO function but not
+        associated with some OMIM disease" (the Figure-5(b) workload)
+        as well as this architecture can.
+
+        Returns
+        -------
+        (gene_ids, effort):
+            ``gene_ids`` — the answer set of LocusIDs; ``effort`` — a
+            dict of work counters (rows fetched, user actions, ...).
+
+        Raises
+        ------
+        UnsupportedOperation
+            When the architecture cannot answer it as one task.
+        """
+
+    @abc.abstractmethod
+    def disease_association_query(self):
+        """Answer "genes associated with some OMIM disease (by id or
+        symbol)" — the reconciliation-sensitive workload.  Returns
+        ``(gene_ids, effort)``."""

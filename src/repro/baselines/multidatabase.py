@@ -1,0 +1,143 @@
+"""The unmediated-multidatabase baselines (K2/Kleisli, DiscoveryLink).
+
+Section 2: users *"construct complex queries that are evaluated
+against multiple heterogeneous databases"* with *"format and access
+transparency, while it lacks the schema transparency and
+reconciliation"*.  Section 5 calls these query-driven middleware
+systems.
+
+The implementation exposes per-source querying plus programmatic
+combination — exactly what a Kleisli/CPL or DiscoveryLink SQL user
+writes by hand.  Joins are *exact*: no case folding, no alias
+resolution, no dangling/obsolete checks.  On a conflicted corpus the
+answers are measurably wrong, which is the Table-1 row
+*"Incorrectness due to inconsistent and incompatible data: no
+reconciliation of results"* made quantitative.
+"""
+
+from repro.baselines.interfaces import IntegrationSystem, SystemTraits
+
+
+class MultidatabaseSystem(IntegrationSystem):
+    """Shared machinery of the two query-driven middleware flavours."""
+
+    name = "Multidatabase"
+    approach = "unmediated multidatabase queries"
+
+    def __init__(self, wrappers):
+        self.wrappers = {wrapper.name: wrapper for wrapper in wrappers}
+
+    def query_source(self, source_name, conditions=()):
+        """One source-specific query (the user supplies local labels —
+        no schema transparency)."""
+        return self.wrappers[source_name].fetch(list(conditions))
+
+    # -- the benchmark workloads --------------------------------------------------
+
+    def integrated_gene_disease_query(self):
+        """The hand-written middleware program: fetch loci, fetch the
+        GO and OMIM extents, join exactly."""
+        loci = self.query_source("LocusLink")
+        go_records = self.query_source("GO")
+        omim_records = self.query_source("OMIM")
+        rows_shipped = len(loci) + len(go_records) + len(omim_records)
+
+        known_go = {record["GoID"] for record in go_records}
+        known_mims = {record["MimNumber"] for record in omim_records}
+        symbols_with_disease = {
+            symbol
+            for record in omim_records
+            for symbol in record["GeneSymbols"]
+        }
+
+        answer = set()
+        for record in loci:
+            # Exact-id membership only: obsolete terms still count,
+            # dangling ids silently count as annotations.
+            has_go = bool(record.get("GoIDs"))
+            if not has_go:
+                continue
+            has_omim = bool(
+                set(record.get("OmimIDs", [])) & known_mims
+            ) or record["Symbol"] in symbols_with_disease
+            if not has_omim:
+                answer.add(record["LocusID"])
+        return answer, {"rows_shipped": rows_shipped, "reconciled": False}
+
+    def disease_association_query(self):
+        loci = self.query_source("LocusLink")
+        omim_records = self.query_source("OMIM")
+        known_mims = {record["MimNumber"] for record in omim_records}
+        symbols_with_disease = {
+            symbol
+            for record in omim_records
+            for symbol in record["GeneSymbols"]
+        }
+        answer = set()
+        for record in loci:
+            if set(record.get("OmimIDs", [])) & known_mims:
+                answer.add(record["LocusID"])
+            elif record["Symbol"] in symbols_with_disease:
+                answer.add(record["LocusID"])
+        return answer, {
+            "rows_shipped": len(loci) + len(omim_records),
+            "reconciled": False,
+        }
+
+
+_K2_TRAITS = SystemTraits(
+    shields_source_details=True,
+    global_schema_model="object-oriented",
+    single_access_point=True,
+    requires_query_language_knowledge=True,
+    comprehensive_query_capability=True,
+    operations_on="integrated view",
+    reorganizes_results=True,
+    reconciles_results=False,
+    handles_uncertainty=False,
+    integrates_via_global_schema=True,
+    supports_annotations=False,
+    self_describing_model=False,
+    integrates_self_generated_data=False,
+    new_evaluation_functions=False,
+    archival_functionality=False,
+)
+
+
+class K2KleisliSystem(MultidatabaseSystem):
+    """K2/Kleisli flavour: CPL/OQL over an object-oriented view."""
+
+    name = "K2/Kleisli"
+    query_language = "OQL"
+
+    def traits(self):
+        return _K2_TRAITS
+
+
+_DISCOVERYLINK_TRAITS = SystemTraits(
+    shields_source_details=True,
+    global_schema_model="object-oriented",
+    single_access_point=True,
+    requires_query_language_knowledge=True,
+    comprehensive_query_capability=True,
+    operations_on="integrated view",
+    reorganizes_results=True,
+    reconciles_results=False,
+    handles_uncertainty=False,
+    integrates_via_global_schema=True,
+    supports_annotations=False,
+    self_describing_model=False,
+    integrates_self_generated_data=False,
+    new_evaluation_functions=False,
+    archival_functionality=False,
+)
+
+
+class DiscoveryLinkSystem(MultidatabaseSystem):
+    """DiscoveryLink flavour: SQL over wrapped sources."""
+
+    name = "DiscoveryLink"
+    query_language = "SQL"
+
+    def traits(self):
+        return _DISCOVERYLINK_TRAITS

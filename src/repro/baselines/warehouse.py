@@ -1,0 +1,206 @@
+"""The data-warehouse baseline (GUS / DataFoundry style).
+
+Section 2: *"the data from a set of heterogeneous databases are
+exported into a single database ... Translators are needed to
+transform this exported data"*; the drawback is that *"the extraction,
+cleaning, transformation, and loading process can take considerable
+time"* — and the warehouse answers from its copy, so it goes stale the
+moment a member source changes.
+
+This implementation runs a real ETL: extract through the wrappers,
+transform through the mapping module's translators (the cleansing
+step uppercases symbols and drops dangling references — GUS's
+*"data in warehouse is reconciled and cleansed"*), and load into
+in-memory tables.  Queries never touch the sources.
+"""
+
+import time
+
+from repro.baselines.interfaces import IntegrationSystem, SystemTraits
+from repro.matching.mdsm import MdsmMatcher
+from repro.mediator.mapping import MappingModule
+from repro.util.errors import QueryError
+
+_TRAITS = SystemTraits(
+    shields_source_details=True,
+    global_schema_model="relational",
+    single_access_point=True,
+    requires_query_language_knowledge=True,
+    comprehensive_query_capability=True,
+    operations_on="warehouse",
+    reorganizes_results=True,
+    reconciles_results=True,
+    handles_uncertainty=False,
+    integrates_via_global_schema=False,
+    supports_annotations=True,
+    self_describing_model=False,
+    integrates_self_generated_data=True,
+    new_evaluation_functions=False,
+    archival_functionality=True,
+)
+
+
+class WarehouseSystem(IntegrationSystem):
+    """Materialized integration with explicit ETL."""
+
+    name = "Warehouse (GUS)"
+    approach = "data warehousing"
+
+    def __init__(self, wrappers):
+        self.wrappers = {wrapper.name: wrapper for wrapper in wrappers}
+        self.mapping_module = MappingModule(matcher=MdsmMatcher())
+        for wrapper in wrappers:
+            self.mapping_module.register_wrapper(wrapper)
+        self.tables = {}
+        self.loaded_versions = {}
+        self.etl_seconds = 0.0
+        self.etl_runs = 0
+        self._archive = []
+
+    def traits(self):
+        return _TRAITS
+
+    # -- ETL -----------------------------------------------------------------------
+
+    def etl(self):
+        """Extract, transform (cleanse), load.  Returns row counts."""
+        started = time.perf_counter()
+        staging = {}
+        for name, wrapper in self.wrappers.items():
+            rows = []
+            for record in wrapper.fetch(()):
+                rows.append(
+                    self.mapping_module.translate_record(
+                        name, record, wrapper
+                    )
+                )
+            staging[name] = rows
+            self.loaded_versions[name] = wrapper.version
+        self.tables = self._cleanse(staging)
+        self.etl_seconds = time.perf_counter() - started
+        self.etl_runs += 1
+        return {name: len(rows) for name, rows in self.tables.items()}
+
+    def _cleanse(self, staging):
+        """Load-time cleansing: uppercase symbols everywhere, drop
+        dangling cross-references, drop links to obsolete terms."""
+        go_rows = staging.get("GO", [])
+        known_go = {row.get("AnnotationID") for row in go_rows}
+        obsolete_go = {
+            row.get("AnnotationID")
+            for row in go_rows
+            if row.get("Obsolete")
+        }
+        known_mims = {
+            row.get("DiseaseID") for row in staging.get("OMIM", [])
+        }
+        cleansed = {}
+        for name, rows in staging.items():
+            cleaned_rows = []
+            for row in rows:
+                row = dict(row)
+                if isinstance(row.get("GeneSymbol"), str):
+                    row["GeneSymbol"] = row["GeneSymbol"].upper()
+                elif isinstance(row.get("GeneSymbol"), list):
+                    row["GeneSymbol"] = [
+                        symbol.upper() for symbol in row["GeneSymbol"]
+                    ]
+                if "AnnotationID" in row and isinstance(
+                    row["AnnotationID"], list
+                ):
+                    row["AnnotationID"] = [
+                        go_id
+                        for go_id in row["AnnotationID"]
+                        if go_id in known_go and go_id not in obsolete_go
+                    ]
+                if "DiseaseID" in row and isinstance(
+                    row["DiseaseID"], list
+                ):
+                    row["DiseaseID"] = [
+                        mim for mim in row["DiseaseID"] if mim in known_mims
+                    ]
+                cleaned_rows.append(row)
+            cleansed[name] = cleaned_rows
+        return cleansed
+
+    # -- freshness --------------------------------------------------------------------
+
+    def is_stale(self):
+        """Any member source changed since the last load?"""
+        if not self.loaded_versions:
+            return True
+        return any(
+            wrapper.version != self.loaded_versions.get(name)
+            for name, wrapper in self.wrappers.items()
+        )
+
+    def archive_snapshot(self, label):
+        """GUS-style archival: keep a named frozen copy of the tables."""
+        self._archive.append((label, {
+            name: [dict(row) for row in rows]
+            for name, rows in self.tables.items()
+        }))
+
+    def archived_labels(self):
+        return [label for label, _tables in self._archive]
+
+    # -- querying ----------------------------------------------------------------------
+
+    def table(self, name):
+        if name not in self.tables:
+            raise QueryError(
+                f"warehouse has no table {name!r}; run etl() first"
+            )
+        return self.tables[name]
+
+    def integrated_gene_disease_query(self):
+        """Runs entirely against the warehouse copy — fast, possibly
+        stale.  Returns (gene_ids, effort)."""
+        genes = self.table("LocusLink")
+        rows_scanned = len(genes)
+        # Symbol-associated diseases: the warehouse cleansed symbols to
+        # upper case on both sides, so the join is a plain equi-join.
+        symbol_to_mims = {}
+        for entry in self.table("OMIM"):
+            for symbol in entry.get("GeneSymbol", []):
+                symbol_to_mims.setdefault(symbol, set()).add(
+                    entry["DiseaseID"]
+                )
+        rows_scanned += len(self.table("OMIM"))
+        answer = set()
+        for row in genes:
+            if not row.get("AnnotationID"):
+                continue
+            has_disease = bool(row.get("DiseaseID"))
+            if not has_disease:
+                symbol = str(row.get("GeneSymbol", "")).upper()
+                has_disease = bool(symbol_to_mims.get(symbol))
+            if not has_disease:
+                answer.add(row["GeneID"])
+        return answer, {
+            "rows_scanned": rows_scanned,
+            "stale": self.is_stale(),
+            "etl_seconds": self.etl_seconds,
+        }
+
+    def disease_association_query(self):
+        genes = self.table("LocusLink")
+        symbol_to_mims = {}
+        for entry in self.table("OMIM"):
+            for symbol in entry.get("GeneSymbol", []):
+                symbol_to_mims.setdefault(symbol, set()).add(
+                    entry["DiseaseID"]
+                )
+        answer = set()
+        for row in genes:
+            if row.get("DiseaseID"):
+                answer.add(row["GeneID"])
+                continue
+            symbol = str(row.get("GeneSymbol", "")).upper()
+            if symbol_to_mims.get(symbol):
+                answer.add(row["GeneID"])
+        return answer, {
+            "rows_scanned": len(genes) + len(self.table("OMIM")),
+            "stale": self.is_stale(),
+            "etl_seconds": self.etl_seconds,
+        }

@@ -1,0 +1,243 @@
+"""The ANNODA command-line interface.
+
+Exposes the tool's surface without writing Python::
+
+    python -m repro describe
+    python -m repro ask "find genes associated with some OMIM disease"
+    python -m repro ask "human genes annotated with some GO function" \\
+        --format csv --limit 20
+    python -m repro lorel 'select X from ANNODA-GML.Source X'
+    python -m repro figures figure5b
+    python -m repro table1
+
+Corpus knobs (``--seed``, ``--loci``, ``--go-terms``,
+``--omim-entries``, ``--conflict-rate``) apply to every command.
+"""
+
+import argparse
+import sys
+
+from repro.core.annoda import Annoda
+from repro.sources.corpus import CorpusParameters
+
+FIGURE_NAMES = (
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5a",
+    "figure5b",
+    "figure5c",
+)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ANNODA: tool for integrating molecular-biological "
+            "annotation data (ICDE 2005 reproduction)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7,
+                        help="corpus seed (default 7)")
+    parser.add_argument("--loci", type=int, default=500)
+    parser.add_argument("--go-terms", type=int, default=300)
+    parser.add_argument("--omim-entries", type=int, default=150)
+    parser.add_argument("--conflict-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--data-dir",
+        help=(
+            "load the federation from a directory of flat-file dumps "
+            "(see 'snapshot') instead of generating a corpus"
+        ),
+    )
+
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "describe", help="list the federated sources and their schemas"
+    )
+
+    ask = commands.add_parser(
+        "ask", help="answer a biological question in plain English"
+    )
+    ask.add_argument("question")
+    ask.add_argument("--limit", type=int, default=15,
+                     help="max rows shown in table format")
+    ask.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+    )
+    ask.add_argument("--explain", action="store_true",
+                     help="also print the optimizer's plan")
+    ask.add_argument("--audit", action="store_true",
+                     help="also print the reconciliation report")
+
+    lorel = commands.add_parser(
+        "lorel", help="evaluate raw Lorel against ANNODA-GML"
+    )
+    lorel.add_argument("query")
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's figures"
+    )
+    figures.add_argument(
+        "name",
+        nargs="?",
+        default="all",
+        choices=FIGURE_NAMES + ("all",),
+    )
+
+    commands.add_parser(
+        "table1", help="regenerate the paper's Table 1 with probes"
+    )
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="write the federation's data to flat files on disk",
+    )
+    snapshot.add_argument("directory")
+
+    validate = commands.add_parser(
+        "validate",
+        help="cross-validate every reference between the sources",
+    )
+    validate.add_argument(
+        "--limit", type=int, default=20,
+        help="max individual findings printed",
+    )
+
+    return parser
+
+
+def _build_annoda(args):
+    if args.data_dir:
+        return Annoda.from_directory(args.data_dir)
+    parameters = CorpusParameters(
+        loci=args.loci,
+        go_terms=args.go_terms,
+        omim_entries=args.omim_entries,
+        conflict_rate=args.conflict_rate,
+    )
+    return Annoda.with_default_sources(
+        seed=args.seed, parameters=parameters
+    )
+
+
+def _command_describe(annoda, _args, out):
+    print(annoda.describe_sources(), file=out)
+    print(file=out)
+    for source_name in annoda.sources():
+        print(
+            annoda.mediator.correspondences(source_name).render(), file=out
+        )
+
+
+def _command_ask(annoda, args, out):
+    result = annoda.ask(args.question)
+    if args.explain:
+        print(annoda.explain(args.question), file=out)
+        print(file=out)
+    if args.format == "csv":
+        from repro.reorganize import to_csv
+
+        print(to_csv(result), end="", file=out)
+    elif args.format == "json":
+        from repro.reorganize import to_json_records
+
+        print(to_json_records(result), file=out)
+    else:
+        print(
+            annoda.render_integrated_view(result, limit=args.limit),
+            file=out,
+        )
+    if args.audit:
+        print(file=out)
+        print(result.report.render(), file=out)
+
+
+def _command_lorel(annoda, args, out):
+    engine = annoda.mediator.lorel_engine()
+    result = engine.query(args.query)
+    print(engine.render_answer(result), end="", file=out)
+
+
+def _command_figures(annoda, args, out):
+    from repro.evaluation.figures import FigureGenerator
+
+    generator = FigureGenerator(annoda)
+    names = FIGURE_NAMES if args.name == "all" else (args.name,)
+    for name in names:
+        print(f"=== {name} ===", file=out)
+        print(getattr(generator, name)(), file=out)
+        print(file=out)
+
+
+def _command_table1(args, out):
+    from repro.evaluation import build_table1
+    from repro.sources.corpus import AnnotationCorpus
+
+    corpus = AnnotationCorpus.generate(
+        seed=args.seed,
+        parameters=CorpusParameters(
+            loci=args.loci,
+            go_terms=args.go_terms,
+            omim_entries=args.omim_entries,
+        ),
+    )
+    conflicted = AnnotationCorpus.generate(
+        seed=args.seed,
+        parameters=CorpusParameters(
+            loci=args.loci,
+            go_terms=args.go_terms,
+            omim_entries=args.omim_entries,
+            conflict_rate=max(args.conflict_rate, 0.4),
+        ),
+    )
+    print(build_table1(corpus, conflicted).render(), file=out)
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "table1":
+            _command_table1(args, out)
+            return 0
+        annoda = _build_annoda(args)
+        if args.command == "describe":
+            _command_describe(annoda, args, out)
+        elif args.command == "ask":
+            _command_ask(annoda, args, out)
+        elif args.command == "lorel":
+            _command_lorel(annoda, args, out)
+        elif args.command == "figures":
+            _command_figures(annoda, args, out)
+        elif args.command == "snapshot":
+            manifest = annoda.save(args.directory)
+            for name, entry in sorted(manifest["sources"].items()):
+                print(
+                    f"wrote {entry['file']} ({entry['records']} "
+                    f"{name} records)",
+                    file=out,
+                )
+        elif args.command == "validate":
+            from repro.sources.integrity import IntegrityAuditor
+
+            stores = {
+                name: annoda.mediator.wrapper(name).source
+                for name in annoda.sources()
+            }
+            report = IntegrityAuditor(stores).audit()
+            print(report.render(limit=args.limit), file=out)
+        return 0
+    except Exception as exc:  # the CLI boundary reports, not crashes
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""The ANNODA tool: the public facade over the whole federation.
+
+:class:`Annoda` wires wrappers, the MDSM mapping module, the mediator,
+the navigator and the question interface into the single access point
+the paper describes: *"ANNODA provided a single access point for users
+to pose queries and retrieve annotations"* (section 4.2).
+"""
+
+from repro.core.annoda import Annoda, AnnodaConfig
+
+__all__ = ["Annoda", "AnnodaConfig"]

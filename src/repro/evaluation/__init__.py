@@ -1,0 +1,22 @@
+"""Evaluation harness: Table 1, the figures, and answer-quality metrics.
+
+Everything the paper's evaluation section shows is regenerated here:
+:mod:`~repro.evaluation.table1` rebuilds the comparison matrix from the
+*implemented* systems (declared traits cross-checked by behavioural
+probes), :mod:`~repro.evaluation.figures` re-renders Figures 1-5, and
+:mod:`~repro.evaluation.metrics` scores answers against corpus ground
+truth.
+"""
+
+from repro.evaluation.annoda_system import AnnodaSystem
+from repro.evaluation.figures import FigureGenerator
+from repro.evaluation.metrics import answer_quality
+from repro.evaluation.table1 import Table1, build_table1
+
+__all__ = [
+    "AnnodaSystem",
+    "FigureGenerator",
+    "Table1",
+    "answer_quality",
+    "build_table1",
+]

@@ -1,0 +1,125 @@
+"""Regeneration of the paper's Figures 1-5 as runnable artifacts."""
+
+from repro.mediator.gml import ROOT_NAME
+from repro.oem.serialize import write_figure3
+from repro.util.text import box
+
+
+class FigureGenerator:
+    """Render each figure from a live :class:`~repro.core.Annoda`."""
+
+    def __init__(self, annoda):
+        self.annoda = annoda
+
+    # -- Figure 1: architecture -------------------------------------------------
+
+    def figure1(self):
+        """The component wiring of Figure 1, read off the live system."""
+        mediator = self.annoda.mediator
+        lines = ["Application / user interface",
+                 "  |",
+                 "Mediator"]
+        lines.append("  |- Query manager (decompose -> optimize -> execute)")
+        lines.append("  |- ANNODA-GML global model")
+        lines.append("  |- Mapping module")
+        lines.append("  |    |- Schema matching approach: MDSM "
+                     "(Hungarian method)")
+        transforms = mediator.mapping_module.transforms.names()
+        lines.append(
+            f"  |    |- Transformation calls: {', '.join(transforms)}"
+        )
+        lines.append("  |    |- Annotation database descriptions:")
+        for source_name in mediator.sources():
+            lines.append(
+                f"  |    |    {mediator.mapping_module.description(source_name)}"
+            )
+        lines.append("  |- ANNODA-OML local models")
+        lines.append("  |")
+        for source_name in mediator.sources():
+            wrapper = mediator.wrapper(source_name)
+            lines.append(
+                f"  Wrapper[{source_name}] -> {wrapper.entry_label} "
+                f"entries ({wrapper.count()})"
+            )
+        return box("Figure 1: Architecture of ANNODA", lines, width=76)
+
+    # -- Figure 2/3: the LocusLink OML fragment ------------------------------------
+
+    def figure2(self):
+        """The OML graph of one LocusLink fragment: vertices + edges."""
+        graph, entry = self._sample_locus_entry()
+        lines = ["objects (vertices):"]
+        for _path, obj in graph.walk(entry):
+            if obj.is_atomic:
+                lines.append(
+                    f"  &{obj.oid} [{obj.type}] = {obj.value!r}"
+                )
+            else:
+                lines.append(f"  &{obj.oid} [Complex]")
+        lines.append("")
+        lines.append("attributes (edges):")
+        seen = set()
+        for _path, obj in graph.walk(entry):
+            if obj.is_complex:
+                for ref in obj.references:
+                    edge = (obj.oid, ref.label, ref.oid)
+                    if edge not in seen:
+                        seen.add(edge)
+                        lines.append(
+                            f"  &{obj.oid} --{ref.label}--> &{ref.oid}"
+                        )
+        return box(
+            "Figure 2: ANNODA-OML fragment of the LocusLink data model",
+            lines,
+            width=76,
+        )
+
+    def figure3(self):
+        """The indented text serialization of the same fragment."""
+        graph, entry = self._sample_locus_entry()
+        return write_figure3(graph, "LocusLink", entry)
+
+    def _sample_locus_entry(self):
+        from repro.oem.graph import OEMGraph
+
+        wrapper = self.annoda.mediator.wrapper("LocusLink")
+        record = wrapper.fetch(())[0]
+        graph = OEMGraph("figure2")
+        entry = wrapper.build_entry(graph, record)
+        graph.set_root("LocusLink", entry)
+        return graph, entry
+
+    # -- Figure 4: the GML model ------------------------------------------------------
+
+    def figure4(self):
+        graph, root = self.annoda.gml()
+        return write_figure3(graph, ROOT_NAME, root)
+
+    # -- Figure 5: the three interface views -------------------------------------------
+
+    def figure5a(self, question=None):
+        question = question or self.annoda.catalog.figure5b()
+        return self.annoda.render_query_form(question)
+
+    def figure5b(self, limit=15):
+        result = self.annoda.ask(self.annoda.catalog.figure5b())
+        return self.annoda.render_integrated_view(result, limit=limit)
+
+    def figure5c(self):
+        result = self.annoda.ask(self.annoda.catalog.figure5b())
+        gene = result.graph.children(result.root, "Gene")[0]
+        links = self.annoda.navigator.links_of(result.graph, gene)
+        view = self.annoda.navigator.follow(links[0])
+        return self.annoda.render_object_view(view)
+
+    def all_figures(self):
+        """Every figure, keyed by its paper number."""
+        return {
+            "figure1": self.figure1(),
+            "figure2": self.figure2(),
+            "figure3": self.figure3(),
+            "figure4": self.figure4(),
+            "figure5a": self.figure5a(),
+            "figure5b": self.figure5b(),
+            "figure5c": self.figure5c(),
+        }

@@ -1,0 +1,31 @@
+"""Answer-quality metrics against corpus ground truth."""
+
+
+def answer_quality(answer_ids, expected_ids):
+    """Precision / recall / F1 / error counts of an id-set answer.
+
+    ``errors`` counts both false positives and false negatives — the
+    quantity behind the Table-1 row *"incorrectness due to
+    inconsistent and incompatible data"*.
+    """
+    answer = set(answer_ids)
+    expected = set(expected_ids)
+    true_positive = len(answer & expected)
+    false_positive = len(answer - expected)
+    false_negative = len(expected - answer)
+    precision = true_positive / len(answer) if answer else (
+        1.0 if not expected else 0.0
+    )
+    recall = true_positive / len(expected) if expected else 1.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "false_positives": false_positive,
+        "false_negatives": false_negative,
+        "errors": false_positive + false_negative,
+    }

@@ -1,0 +1,313 @@
+"""Regeneration of Table 1: the four-system comparison matrix.
+
+Each row of the paper's Table 1 is a criterion; each cell a phrase
+describing how one system addresses it.  This module renders the cell
+phrases *from the implemented systems' traits* — and, for the claims
+that are behavioural rather than structural (reconciliation,
+freshness/staleness, extensibility), verifies the trait with a live
+probe before printing, so the regenerated table is evidence, not
+assertion.
+"""
+
+from dataclasses import dataclass
+
+from repro.baselines.multidatabase import (
+    DiscoveryLinkSystem,
+    K2KleisliSystem,
+)
+from repro.baselines.warehouse import WarehouseSystem
+from repro.core.annoda import Annoda
+from repro.evaluation.annoda_system import AnnodaSystem
+from repro.evaluation.metrics import answer_quality
+from repro.util.errors import IntegrationError
+from repro.util.text import table
+from repro.wrappers import PubmedLikeWrapper, default_wrappers
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One Table-1 row: the paper's row label plus a cell renderer."""
+
+    label: str
+    render_cell: object  # SystemTraits -> str
+
+
+def _schema_cell(traits):
+    return {
+        "object-oriented": "Global schema using object-oriented model",
+        "relational": "Warehouse schema based on relational model",
+        "semistructured": "Global schema using semistructured model",
+        "none": "No global schema",
+    }[traits.global_schema_model]
+
+
+def _interface_cell(traits):
+    if traits.requires_query_language_knowledge:
+        return "Require knowledge of SQL/OQL"
+    return "Biological terms; no knowledge of SQL required"
+
+
+def _operations_cell(traits):
+    return f"New operations on {traits.operations_on} data"
+
+
+def _reconciliation_cell(traits):
+    if traits.reconciles_results:
+        if traits.operations_on == "warehouse":
+            return "Data in warehouse is reconciled and cleansed"
+        return "Reconciliation of results"
+    return "No reconciliation of results"
+
+
+def _combination_cell(traits):
+    if traits.operations_on == "warehouse":
+        return "Query results are integrated"
+    return "Results integrated using global schema; source wrapper needed"
+
+
+CRITERIA = (
+    Criterion(
+        "The heterogeneity of available data repositories",
+        lambda traits: (
+            "User shielded from source details"
+            if traits.shields_source_details
+            else "User exposed to source details"
+        ),
+    ),
+    Criterion("Missing standards for data representation", _schema_cell),
+    Criterion(
+        "Multitude of user interfaces",
+        lambda traits: (
+            "Single-access point"
+            if traits.single_access_point
+            else "Per-source interfaces"
+        ),
+    ),
+    Criterion("Quality of user interfaces", _interface_cell),
+    Criterion(
+        "Quality of query languages",
+        lambda traits: (
+            "Comprehensive query capability"
+            if traits.comprehensive_query_capability
+            else "Limited query capability"
+        ),
+    ),
+    Criterion(
+        "Limited functionality of repositories", _operations_cell
+    ),
+    Criterion(
+        "Format of query results",
+        lambda traits: (
+            "Re-organization of result possible"
+            if traits.reorganizes_results
+            else "Fixed result format"
+        ),
+    ),
+    Criterion(
+        "Incorrectness due to inconsistent and incompatible data",
+        _reconciliation_cell,
+    ),
+    Criterion(
+        "Uncertainty of data",
+        lambda traits: (
+            "Provision for uncertainty"
+            if traits.handles_uncertainty
+            else "No provision for dealing with uncertainty in data"
+        ),
+    ),
+    Criterion(
+        "Combination of data from different repositories",
+        _combination_cell,
+    ),
+    Criterion(
+        "Extraction of hidden and creation of new knowledge",
+        lambda traits: (
+            "Annotations supported"
+            if traits.supports_annotations
+            else "Not supported"
+        ),
+    ),
+    Criterion(
+        "Low-level treatment of data",
+        lambda traits: (
+            "Supported (self-describing model)"
+            if traits.self_describing_model
+            else "Not supported"
+        ),
+    ),
+    Criterion(
+        "Integration of self-generated data and extensibility",
+        lambda traits: (
+            "Supported"
+            if traits.integrates_self_generated_data
+            else "Not supported"
+        ),
+    ),
+    Criterion(
+        "Integration of new specialty evaluation functions",
+        lambda traits: (
+            "Supported"
+            if traits.new_evaluation_functions
+            else "Not supported"
+        ),
+    ),
+    Criterion(
+        "Loss of existing repositories",
+        lambda traits: (
+            "Archiving of data supported"
+            if traits.archival_functionality
+            else "No archival functionality"
+        ),
+    ),
+)
+
+
+class Table1:
+    """The regenerated matrix plus the probe evidence behind it."""
+
+    def __init__(self, systems, probe_results):
+        self.systems = systems
+        self.probe_results = probe_results
+
+    def headers(self):
+        return ["Criterion"] + [system.name for system in self.systems]
+
+    def rows(self):
+        rendered = []
+        for criterion in CRITERIA:
+            rendered.append(
+                [criterion.label]
+                + [
+                    criterion.render_cell(system.traits())
+                    for system in self.systems
+                ]
+            )
+        return rendered
+
+    def render(self):
+        lines = [
+            "Table 1: comparison of ANNODA with other integration systems",
+            "(regenerated from implemented systems; behavioural traits "
+            "verified by probes)",
+            "",
+            table(self.headers(), self.rows()),
+            "",
+            "probe evidence:",
+        ]
+        for name, outcome in sorted(self.probe_results.items()):
+            lines.append(f"  {name}: {outcome}")
+        return "\n".join(lines)
+
+
+def build_table1(corpus, conflicted_corpus):
+    """Instantiate all four systems over live corpora, run the
+    behavioural probes, and return the regenerated :class:`Table1`.
+
+    Raises
+    ------
+    IntegrationError
+        If any probe contradicts the trait the table would print — the
+        regenerated table must be backed by behaviour.
+    """
+    k2 = K2KleisliSystem(default_wrappers(conflicted_corpus))
+    discoverylink = DiscoveryLinkSystem(default_wrappers(conflicted_corpus))
+    warehouse = WarehouseSystem(default_wrappers(conflicted_corpus))
+    warehouse.etl()
+    annoda = Annoda()
+    annoda.corpus = conflicted_corpus
+    for wrapper in default_wrappers(conflicted_corpus):
+        annoda.add_source(wrapper)
+    annoda_system = AnnodaSystem(annoda)
+
+    systems = [k2, discoverylink, warehouse, annoda_system]
+    probes = {}
+    probes.update(_probe_reconciliation(systems, conflicted_corpus))
+    probes.update(_probe_freshness(warehouse, conflicted_corpus))
+    probes.update(_probe_extensibility(annoda, conflicted_corpus))
+    probes.update(_probe_new_functions(annoda))
+    return Table1(systems, probes)
+
+
+def _probe_reconciliation(systems, conflicted_corpus):
+    """Reconciling systems must recover strictly more true disease
+    associations than non-reconciling ones on a conflicted corpus."""
+    truth = conflicted_corpus.ground_truth.loci_with_omim()
+    recalls = {}
+    for system in systems:
+        answer, _effort = system.disease_association_query()
+        recalls[system.name] = answer_quality(answer, truth)["recall"]
+    probes = {}
+    for system in systems:
+        recall = recalls[system.name]
+        reconciles = system.traits().reconciles_results
+        baseline = min(
+            value
+            for name, value in recalls.items()
+            if not _system_reconciles(systems, name)
+        )
+        if reconciles and recall < baseline:
+            raise IntegrationError(
+                f"{system.name} claims reconciliation but recall "
+                f"{recall:.2f} does not beat the naive baseline "
+                f"{baseline:.2f}"
+            )
+        probes[f"reconciliation recall ({system.name})"] = f"{recall:.3f}"
+    return probes
+
+
+def _system_reconciles(systems, name):
+    for system in systems:
+        if system.name == name:
+            return system.traits().reconciles_results
+    return False
+
+
+def _probe_freshness(warehouse, conflicted_corpus):
+    """The warehouse must go stale on a source update; re-ETL fixes it."""
+    from repro.sources.locuslink import LocusRecord
+
+    assert not warehouse.is_stale()
+    probe_record = LocusRecord(
+        locus_id=888888, organism="Homo sapiens", symbol="PROBE1"
+    )
+    conflicted_corpus.locuslink.add(probe_record)
+    try:
+        stale_after_update = warehouse.is_stale()
+    finally:
+        conflicted_corpus.locuslink.remove(888888)
+    warehouse.etl()
+    if not stale_after_update:
+        raise IntegrationError(
+            "warehouse failed to detect a member-source update"
+        )
+    return {
+        "warehouse staleness after source update": str(stale_after_update),
+        "warehouse ETL seconds": f"{warehouse.etl_seconds:.4f}",
+    }
+
+
+def _probe_extensibility(annoda, conflicted_corpus):
+    """ANNODA must accept a new source at run time and route to it."""
+    citations = conflicted_corpus.make_citation_store(count=20)
+    annoda.add_source(PubmedLikeWrapper(citations))
+    try:
+        result = annoda.ask("genes cited in some PubMed article",
+                            enrich_links=False)
+        routed = len(result) > 0
+    finally:
+        annoda.remove_source("PubMed")
+    if not routed:
+        raise IntegrationError(
+            "plugged-in source did not answer any queries"
+        )
+    return {"new source plugged in and queried": str(routed)}
+
+
+def _probe_new_functions(annoda):
+    """ANNODA must accept a new specialty evaluation function."""
+    registry = annoda.mediator.mapping_module.transforms
+    registry.register("probe_reverse", lambda value: str(value)[::-1])
+    applied = registry.apply("probe_reverse", "FOSB")
+    if applied != "BSOF":
+        raise IntegrationError("specialty function registration failed")
+    return {"new specialty evaluation function registered": "True"}

@@ -1,0 +1,61 @@
+"""Lorel — the query language of ANNODA (section 4.1 of the paper).
+
+Lorel (Abiteboul, Quass, McHugh, Widom, Wiener 1997) is an SQL/OQL
+style select-from-where language for semi-structured OEM data.  This
+package implements the subset ANNODA uses, with Lorel's defining
+semantics:
+
+- results are always collections of OEM objects wrapped in a *new*
+  ``answer`` object that later queries can reuse;
+- duplicate elimination is by oid;
+- comparisons are existential over path matches, with type coercion;
+- path expressions tolerate irregular structure (wildcards).
+
+Public surface: :func:`parse`, :class:`LorelEngine`,
+:class:`QueryResult` and the AST node classes.
+"""
+
+from repro.lorel.ast_nodes import (
+    And,
+    Comparison,
+    Exists,
+    FromClause,
+    Literal,
+    Not,
+    Or,
+    OrderBy,
+    Path,
+    Query,
+    SelectItem,
+    Subquery,
+    ValueList,
+)
+from repro.lorel.engine import LorelEngine
+from repro.lorel.errors import LorelEvaluationError, LorelSyntaxError
+from repro.lorel.evaluator import Evaluator, QueryResult
+from repro.lorel.lexer import Token, tokenize
+from repro.lorel.parser import parse
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Evaluator",
+    "Exists",
+    "FromClause",
+    "Literal",
+    "LorelEngine",
+    "LorelEvaluationError",
+    "LorelSyntaxError",
+    "Not",
+    "Or",
+    "OrderBy",
+    "Path",
+    "Subquery",
+    "Query",
+    "QueryResult",
+    "SelectItem",
+    "Token",
+    "ValueList",
+    "parse",
+    "tokenize",
+]

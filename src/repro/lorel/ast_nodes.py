@@ -1,0 +1,209 @@
+"""Abstract syntax tree of Lorel select-from-where queries.
+
+Nodes carry no evaluation logic (that lives in
+:mod:`repro.lorel.evaluator`); each node renders back to canonical
+query text via ``unparse`` so tests can assert parse → unparse
+round-trips.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Path:
+    """A dotted path, optionally anchored at a range variable.
+
+    ``X.Name`` has ``base="X"``, ``segments=("Name",)``; a bare variable
+    ``X`` has empty segments.  In from-clauses the base is a database
+    (root) name such as ``ANNODA-GML``.
+    """
+
+    base: str
+    segments: tuple = ()
+
+    def unparse(self):
+        return ".".join((self.base,) + self.segments)
+
+    @property
+    def last_label(self):
+        """The label a selected object is presented under (section 4.1:
+        select results keep the final path label, e.g. ``Name``)."""
+        return self.segments[-1] if self.segments else self.base
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, integer, real, boolean or oid."""
+
+    value: object
+    is_oid: bool = False
+
+    def unparse(self):
+        if self.is_oid:
+            return f"&{self.value}"
+        if isinstance(self.value, str):
+            return "\"" + self.value.replace("\"", "\"\"") + "\""
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ValueList:
+    """A parenthesized literal list, the right side of ``in``."""
+
+    items: tuple
+
+    def unparse(self):
+        return "(" + ", ".join(item.unparse() for item in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """A parenthesized select query, the right side of ``in``.
+
+    Uncorrelated: the inner query's paths resolve against database
+    roots, not the outer query's variables.
+    """
+
+    query: "Query"
+
+    def unparse(self):
+        return f"({self.query.unparse()})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op in =, !=, <, <=, >, >=, like, in."""
+
+    op: str
+    left: object
+    right: object
+
+    def unparse(self):
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``exists path`` — true when the path matches at least one object."""
+
+    path: Path
+
+    def unparse(self):
+        return f"exists {self.path.unparse()}"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: object
+
+    def unparse(self):
+        return f"not ({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class And:
+    left: object
+    right: object
+
+    def unparse(self):
+        return f"({self.left.unparse()} and {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: object
+    right: object
+
+    def unparse(self):
+        return f"({self.left.unparse()} or {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: a path with an optional ``as`` alias.
+
+    ``aggregate`` is ``"count"`` for ``count(path)`` items, which
+    produce one new Integer object per query instead of one object per
+    binding.
+    """
+
+    path: Path
+    alias: Optional[str] = None
+    aggregate: Optional[str] = None
+
+    @property
+    def label(self):
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            return self.aggregate
+        return self.path.last_label
+
+    def unparse(self):
+        text = self.path.unparse()
+        if self.aggregate:
+            text = f"{self.aggregate}({text})"
+        if self.alias:
+            text = f"{text} as {self.alias}"
+        return text
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """Result ordering: sort the answer's edges by a path's value."""
+
+    path: Path
+    descending: bool = False
+
+    def unparse(self):
+        direction = "desc" if self.descending else "asc"
+        return f"order by {self.path.unparse()} {direction}"
+
+
+@dataclass(frozen=True)
+class FromClause:
+    """One range declaration: ``path variable`` (the variable ranges
+    over every object the path reaches)."""
+
+    path: Path
+    variable: str
+
+    def unparse(self):
+        return f"{self.path.unparse()} {self.variable}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full select-from-where query."""
+
+    select_items: tuple
+    from_clauses: tuple
+    where: object = None
+    distinct: bool = False
+    order_by: Optional[OrderBy] = None
+    set_op: Optional[str] = None
+    set_operand: Optional["Query"] = None
+
+    def unparse(self):
+        parts = ["select"]
+        if self.distinct:
+            parts.append("distinct")
+        parts.append(", ".join(item.unparse() for item in self.select_items))
+        parts.append("from")
+        parts.append(", ".join(fc.unparse() for fc in self.from_clauses))
+        if self.where is not None:
+            parts.append("where")
+            parts.append(self.where.unparse())
+        if self.order_by is not None:
+            parts.append(self.order_by.unparse())
+        text = " ".join(parts)
+        if self.set_op is not None:
+            text = f"{text} {self.set_op} {self.set_operand.unparse()}"
+        return text
+
+    def variables(self):
+        """All range variables declared by the from-clauses, in order."""
+        return [fc.variable for fc in self.from_clauses]

@@ -1,0 +1,106 @@
+"""Value coercion for Lorel comparisons.
+
+Semi-structured data is irregular: *"similar concepts are represented
+using different types"* (paper section 4.1).  Lorel therefore compares
+across atomic types with coercion — the LocusID stored as the string
+``"2354"`` compares equal to the integer ``2354``.  Comparisons that
+cannot be coerced are simply *false* (never an error), matching
+Lorel's forgiving semantics over partially known structure.
+"""
+
+import re
+
+
+def comparable_pair(left, right):
+    """Coerce two atomic Python values to a comparable pair.
+
+    Returns ``None`` when no sensible coercion exists (e.g. bytes vs
+    int), in which case any comparison is false.
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        left_bool = _as_bool(left)
+        right_bool = _as_bool(right)
+        if left_bool is None or right_bool is None:
+            return None
+        return left_bool, right_bool
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    if isinstance(left, (bytes, bytearray)) and isinstance(
+        right, (bytes, bytearray)
+    ):
+        return bytes(left), bytes(right)
+    # Mixed string/number: try to read the string as a number.
+    if isinstance(left, str) and isinstance(right, (int, float)):
+        number = _as_number(left)
+        return None if number is None else (number, right)
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        number = _as_number(right)
+        return None if number is None else (left, number)
+    return None
+
+
+def _as_number(text):
+    try:
+        stripped = text.strip()
+        if re.fullmatch(r"[+-]?\d+", stripped):
+            return int(stripped)
+        return float(stripped)
+    except (ValueError, AttributeError):
+        return None
+
+
+def _as_bool(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+    return None
+
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compare(op, left, right):
+    """Apply a comparison operator with coercion; uncoercible is false."""
+    if op == "like":
+        return like(left, right)
+    pair = comparable_pair(left, right)
+    if pair is None:
+        # '!=' across incomparable types is vacuously true only when
+        # both sides exist but differ in kind; Lorel treats it as true.
+        return op == "!="
+    try:
+        return _OPERATORS[op](*pair)
+    except TypeError:
+        return op == "!="
+
+
+def like(value, pattern):
+    """SQL-LIKE match with ``%`` (any run) and ``_`` (one character)."""
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        return False
+    regex = "^"
+    for char in pattern:
+        if char == "%":
+            regex += ".*"
+        elif char == "_":
+            regex += "."
+        else:
+            regex += re.escape(char)
+    regex += "$"
+    return re.match(regex, value) is not None

@@ -1,0 +1,64 @@
+"""The Lorel engine: a workspace of registered databases plus query entry.
+
+The engine owns one OEM workspace graph.  Registering a database
+imports its model into the workspace under a root name (``ANNODA-GML``,
+``LocusLink``, ...).  Queries run against the workspace; every answer
+becomes a new uniquely named root (``answer``, ``answer2``, ...) whose
+edges point at *original* workspace objects, so answers can be queried
+again — the reuse property section 4.1 highlights for object ``&442``.
+"""
+
+from repro.lorel.evaluator import Evaluator
+from repro.lorel.parser import parse
+from repro.oem.graph import OEMGraph
+from repro.oem.serialize import write_figure3
+
+
+class LorelEngine:
+    """Register OEM databases and evaluate Lorel query text against them."""
+
+    def __init__(self, workspace_name="lorel-workspace"):
+        self.workspace = OEMGraph(workspace_name)
+        self._evaluator = Evaluator(self.workspace)
+
+    # -- database registry -----------------------------------------------------
+
+    def register(self, name, graph, root):
+        """Import the subtree of ``graph`` at ``root`` as database ``name``.
+
+        Returns the workspace copy of the root object.  Registering an
+        existing name raises, mirroring the no-overwrite rule for
+        answers.
+        """
+        local_root = self.workspace.import_subgraph(graph, root)
+        self.workspace.set_root(name, local_root)
+        return local_root
+
+    def register_object(self, name, obj):
+        """Bind an existing workspace object as a database root."""
+        self.workspace.set_root(name, obj)
+        return obj
+
+    def databases(self):
+        """Root names currently queryable."""
+        return self.workspace.root_names()
+
+    def root(self, name):
+        return self.workspace.root(name)
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(self, text):
+        """Parse and evaluate Lorel text; returns a
+        :class:`~repro.lorel.evaluator.QueryResult`."""
+        return self._evaluator.evaluate(parse(text))
+
+    def explain(self, text):
+        """Parse only; returns the canonical unparsed form (used by the
+        mediator's decomposer and by tests)."""
+        return parse(text).unparse()
+
+    def render_answer(self, result):
+        """Figure-3 style rendering of an answer object, as in the
+        paper's section 4.1 listing."""
+        return write_figure3(self.workspace, result.answer_name, result.answer)

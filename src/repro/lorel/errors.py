@@ -1,0 +1,17 @@
+"""Lorel-specific errors."""
+
+from repro.util.errors import QueryError
+
+
+class LorelSyntaxError(QueryError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = f"at character {position}: {message}"
+        super().__init__(message)
+
+
+class LorelEvaluationError(QueryError):
+    """The query parsed but could not be evaluated against the data."""

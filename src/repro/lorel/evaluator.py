@@ -1,0 +1,331 @@
+"""Evaluation of Lorel queries over an OEM workspace.
+
+Semantics follow section 4.1 of the paper (and Abiteboul et al.'s Lorel):
+
+- Each assignment of the from-clause variables that passes the where
+  condition generates a value per select expression; each value is
+  coerced into an OEM object.
+- The result is always a collection of OEM objects wrapped in a *new*
+  complex ``answer`` object (the ``&442`` of the paper), whose edges may
+  point at original database objects — results are reusable in later
+  queries.
+- Duplicate elimination is by oid.
+- Comparisons are existential over the set of objects a path reaches,
+  with type coercion (:mod:`repro.lorel.coerce`).
+"""
+
+from repro.lorel.ast_nodes import (
+    And,
+    Comparison,
+    Exists,
+    Literal,
+    Not,
+    Or,
+    Path,
+    Query,
+    Subquery,
+    ValueList,
+)
+from repro.lorel.coerce import compare
+from repro.lorel.errors import LorelEvaluationError
+from repro.oem.graph import graph_signature
+from repro.oem.paths import PathExpression
+
+
+class QueryResult:
+    """The outcome of one Lorel query.
+
+    Attributes
+    ----------
+    answer_name:
+        The workspace root name the answer object was bound to
+        (``answer``, or a renamed variant when ``answer`` was taken).
+    answer:
+        The new complex OEM object wrapping the results.
+    graph:
+        The workspace graph the answer lives in.
+    bindings_evaluated / bindings_passed:
+        Evaluation statistics used by the optimizer benchmarks.
+    """
+
+    def __init__(self, graph, answer_name, answer, bindings_evaluated,
+                 bindings_passed):
+        self.graph = graph
+        self.answer_name = answer_name
+        self.answer = answer
+        self.bindings_evaluated = bindings_evaluated
+        self.bindings_passed = bindings_passed
+
+    def __len__(self):
+        return len(self.answer.references)
+
+    def objects(self, label=None):
+        """The result objects, optionally restricted to one select label."""
+        refs = (
+            self.answer.references
+            if label is None
+            else self.answer.refs_with_label(label)
+        )
+        return [self.graph.get(ref.oid) for ref in refs]
+
+    def values(self, label=None):
+        """Atomic values among the results (complex results are skipped)."""
+        return [obj.value for obj in self.objects(label) if obj.is_atomic]
+
+    def labels(self):
+        return self.answer.labels()
+
+    def __repr__(self):
+        return (
+            f"QueryResult({self.answer_name!r}, &{self.answer.oid}, "
+            f"{len(self)} objects)"
+        )
+
+
+class Evaluator:
+    """Evaluates parsed queries against a workspace graph with named roots."""
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    # -- public entry ---------------------------------------------------------
+
+    def evaluate(self, query):
+        """Evaluate ``query``; returns a :class:`QueryResult`."""
+        # Subquery memoization is scoped to one evaluation: node ids
+        # may be recycled between queries.
+        self._subquery_cache = {}
+        collected, stats = self._collect(query)
+        answer = self.graph.new_complex()
+        seen_pairs = set()
+        seen_signatures = set()
+        for label, obj in collected:
+            if (label, obj.oid) in seen_pairs:
+                continue  # duplicate elimination is by oid
+            seen_pairs.add((label, obj.oid))
+            if query.distinct:
+                signature = (label,) + graph_signature(self.graph, obj)
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+            self.graph.add_edge(answer, label, obj)
+        if query.order_by is not None:
+            self._order_answer(answer, query.order_by)
+        name = self.graph.unique_root_name("answer")
+        self.graph.set_root(name, answer)
+        return QueryResult(self.graph, name, answer, *stats)
+
+    def _order_answer(self, answer, order_by):
+        """Sort the answer's edges by the order-by path's value.
+
+        Objects the path does not reach sort last; numbers sort before
+        other values (numerically), everything else by string form.
+        """
+        expression = (
+            PathExpression.parse(".".join(order_by.path.segments))
+            if order_by.path.segments
+            else None
+        )
+
+        def sort_key(ref):
+            start = self.graph.get(ref.oid)
+            if expression is None:
+                candidates = [start] if start.is_atomic else []
+            else:
+                candidates = [
+                    obj
+                    for obj in expression.terminals(self.graph, start)
+                    if obj.is_atomic
+                ]
+            if not candidates:
+                return (1, 1, 0.0, "")
+            value = candidates[0].value
+            if isinstance(value, bool):
+                return (0, 1, 0.0, str(value))
+            if isinstance(value, (int, float)):
+                return (0, 0, float(value), "")
+            return (0, 1, 0.0, str(value))
+
+        answer.sort_references(sort_key)
+        if order_by.descending:
+            answer.reverse_references()
+
+    # -- collection (select-from-where, then set ops) -------------------------
+
+    def _collect(self, query):
+        collected, evaluated, passed = self._collect_simple(query)
+        node = query
+        while node.set_op is not None:
+            right_query = node.set_operand
+            right, right_evaluated, right_passed = self._collect_simple(
+                right_query
+            )
+            evaluated += right_evaluated
+            passed += right_passed
+            collected = _apply_set_op(node.set_op, collected, right)
+            node = right_query
+        return collected, (evaluated, passed)
+
+    def _collect_simple(self, query):
+        collected = []
+        evaluated = 0
+        passed = 0
+        aggregate_oids = {
+            index: set() for index, item in enumerate(query.select_items)
+            if item.aggregate is not None
+        }
+        for env in self._bindings(query.from_clauses):
+            evaluated += 1
+            if query.where is not None and not self._truth(query.where, env):
+                continue
+            passed += 1
+            for index, item in enumerate(query.select_items):
+                if item.aggregate is not None:
+                    aggregate_oids[index].update(
+                        obj.oid
+                        for obj in self._resolve_path(item.path, env)
+                    )
+                    continue
+                label = item.alias or self._derived_label(item, query)
+                for obj in self._resolve_path(item.path, env):
+                    collected.append((label, obj))
+        # Aggregates coerce into *new* atomic objects (section 4.1:
+        # "the coercion may result in the creation of new objects").
+        for index, oids in aggregate_oids.items():
+            item = query.select_items[index]
+            label = item.alias or "count"
+            collected.append((label, self.graph.new_atomic(len(oids))))
+        return collected, evaluated, passed
+
+    def _derived_label(self, item, query):
+        """Label under which a selected object appears in the answer.
+
+        A dotted path keeps its last label (``X.Name`` → ``Name``); a
+        bare variable inherits the last label of its from-clause path
+        (``from ANNODA-GML.Source X`` → ``Source``), matching the Lore
+        convention the paper's &442 example follows.
+        """
+        if item.path.segments:
+            return item.path.last_label
+        variable = item.path.base
+        for clause in query.from_clauses:
+            if clause.variable == variable:
+                return clause.path.last_label
+        return variable
+
+    # -- from-clause binding enumeration --------------------------------------
+
+    def _bindings(self, from_clauses, index=0, env=None):
+        env = env or {}
+        if index == len(from_clauses):
+            yield dict(env)
+            return
+        clause = from_clauses[index]
+        for obj in self._resolve_path(clause.path, env):
+            env[clause.variable] = obj
+            yield from self._bindings(from_clauses, index + 1, env)
+            del env[clause.variable]
+
+    # -- path resolution --------------------------------------------------------
+
+    def _resolve_path(self, path, env):
+        """Objects a path reaches from its base (variable or root name)."""
+        if path.base in env:
+            start = env[path.base]
+        elif self.graph.has_root(path.base):
+            start = self.graph.root(path.base)
+        else:
+            raise LorelEvaluationError(
+                f"unknown name {path.base!r}: not a range variable and not "
+                f"a database root (known roots: {self.graph.root_names()})"
+            )
+        if not path.segments:
+            return [start]
+        expression = PathExpression.parse(".".join(path.segments))
+        return expression.terminals(self.graph, start)
+
+    # -- where-clause truth -------------------------------------------------------
+
+    def _truth(self, node, env):
+        if isinstance(node, And):
+            return self._truth(node.left, env) and self._truth(node.right, env)
+        if isinstance(node, Or):
+            return self._truth(node.left, env) or self._truth(node.right, env)
+        if isinstance(node, Not):
+            return not self._truth(node.operand, env)
+        if isinstance(node, Exists):
+            return bool(self._resolve_path(node.path, env))
+        if isinstance(node, Comparison):
+            return self._comparison(node, env)
+        raise LorelEvaluationError(
+            f"unsupported where-clause node: {node!r}"
+        )
+
+    def _comparison(self, node, env):
+        if node.op == "in":
+            left_values = self._operand_values(node.left, env)
+            if isinstance(node.right, Subquery):
+                allowed = self._subquery_values(node.right)
+            else:
+                allowed = [literal.value for literal in node.right.items]
+            return any(
+                compare("=", value, candidate)
+                for value in left_values
+                for candidate in allowed
+            )
+        left_values = self._operand_values(node.left, env)
+        right_values = self._operand_values(node.right, env)
+        return any(
+            compare(node.op, left, right)
+            for left in left_values
+            for right in right_values
+        )
+
+    def _subquery_values(self, subquery):
+        """Atomic values an uncorrelated subquery yields (memoized per
+        evaluation via the subquery node's identity)."""
+        cache = getattr(self, "_subquery_cache", None)
+        if cache is None:
+            cache = self._subquery_cache = {}
+        key = id(subquery)
+        if key not in cache:
+            collected, _stats = self._collect(subquery.query)
+            cache[key] = [
+                obj.value for _label, obj in collected if obj.is_atomic
+            ]
+        return cache[key]
+
+    def _operand_values(self, operand, env):
+        """Atomic values an operand denotes (existential semantics).
+
+        Oid literals denote the referenced object's oid so that queries
+        can reuse earlier answers by identity (section 4.1).
+        """
+        if isinstance(operand, Literal):
+            return [operand.value]
+        if isinstance(operand, ValueList):
+            return [literal.value for literal in operand.items]
+        if isinstance(operand, Path):
+            values = []
+            for obj in self._resolve_path(operand, env):
+                if obj.is_atomic:
+                    values.append(obj.value)
+            return values
+        raise LorelEvaluationError(f"unsupported operand: {operand!r}")
+
+
+def _apply_set_op(op, left, right):
+    """Combine two (label, object) collections by object identity."""
+    right_oids = {obj.oid for _, obj in right}
+    if op == "union":
+        combined = list(left)
+        left_oids = {obj.oid for _, obj in left}
+        combined.extend(
+            (label, obj) for label, obj in right if obj.oid not in left_oids
+        )
+        return combined
+    if op == "except":
+        return [(label, obj) for label, obj in left if obj.oid not in right_oids]
+    if op == "intersect":
+        return [(label, obj) for label, obj in left if obj.oid in right_oids]
+    raise LorelEvaluationError(f"unknown set operator {op!r}")

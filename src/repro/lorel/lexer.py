@@ -1,0 +1,188 @@
+"""Tokenizer for the Lorel query language.
+
+Lorel is *"a user-friendly language in the SQL and OQL style"* (paper
+section 4.1).  The lexer produces a flat token stream: case-insensitive
+keywords, identifiers (which may contain ``-`` so that ``ANNODA-GML``
+lexes as one name, and ``%``/``#`` so path wildcards survive), string
+literals in single or double quotes, numbers, oid literals ``&N``, and
+punctuation/comparison operators.
+"""
+
+from dataclasses import dataclass
+
+from repro.lorel.errors import LorelSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "in",
+        "like",
+        "exists",
+        "distinct",
+        "as",
+        "true",
+        "false",
+        "union",
+        "except",
+        "intersect",
+        "order",
+        "by",
+        "asc",
+        "desc",
+        "count",
+    }
+)
+
+#: Multi-character operators first so maximal munch applies.
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+
+PUNCTUATION = {
+    ".": "DOT",
+    ",": "COMMA",
+    "(": "LPAREN",
+    ")": "RPAREN",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind, surface text, source position."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def _is_name_start(char):
+    return char.isalpha() or char in "_%#"
+
+
+def _is_name_char(char):
+    return char.isalnum() or char in "_-%#:"
+
+
+def tokenize(text):
+    """Tokenize Lorel query text into a list of :class:`Token`.
+
+    Raises
+    ------
+    LorelSyntaxError
+        On any unrecognized character or unterminated string.
+    """
+    tokens = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in "'\"":
+            literal, index = _read_string(text, index)
+            tokens.append(literal)
+            continue
+        if char == "&":
+            start = index
+            index += 1
+            digits = ""
+            while index < length and text[index].isdigit():
+                digits += text[index]
+                index += 1
+            if not digits:
+                raise LorelSyntaxError("'&' must be followed by digits", start)
+            tokens.append(Token("OID", digits, start))
+            continue
+        if char.isdigit() or (
+            char == "-"
+            and index + 1 < length
+            and text[index + 1].isdigit()
+            and _expects_value(tokens)
+        ):
+            number, index = _read_number(text, index)
+            tokens.append(number)
+            continue
+        operator = _match_operator(text, index)
+        if operator is not None:
+            tokens.append(Token("OP", operator, index))
+            index += len(operator)
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(PUNCTUATION[char], char, index))
+            index += 1
+            continue
+        if _is_name_start(char):
+            name, index = _read_name(text, index)
+            tokens.append(name)
+            continue
+        raise LorelSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _expects_value(tokens):
+    """True when a '-' here starts a negative number, not an identifier
+    hyphen: i.e. the previous token cannot end an expression."""
+    if not tokens:
+        return True
+    return tokens[-1].kind in ("OP", "COMMA", "LPAREN", "KEYWORD")
+
+
+def _read_string(text, start):
+    quote = text[start]
+    index = start + 1
+    chars = []
+    while index < len(text):
+        char = text[index]
+        if char == quote:
+            # Doubled quote is an escaped quote.
+            if index + 1 < len(text) and text[index + 1] == quote:
+                chars.append(quote)
+                index += 2
+                continue
+            return Token("STRING", "".join(chars), start), index + 1
+        chars.append(char)
+        index += 1
+    raise LorelSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text, start):
+    index = start
+    if text[index] == "-":
+        index += 1
+    while index < len(text) and text[index].isdigit():
+        index += 1
+    kind = "INTEGER"
+    if index < len(text) and text[index] == "." and (
+        index + 1 < len(text) and text[index + 1].isdigit()
+    ):
+        kind = "REAL"
+        index += 1
+        while index < len(text) and text[index].isdigit():
+            index += 1
+    return Token(kind, text[start:index], start), index
+
+
+def _match_operator(text, start):
+    for operator in OPERATORS:
+        if text.startswith(operator, start):
+            return operator
+    return None
+
+
+def _read_name(text, start):
+    index = start
+    while index < len(text) and _is_name_char(text[index]):
+        index += 1
+    word = text[start:index]
+    lowered = word.lower()
+    if lowered in KEYWORDS:
+        return Token("KEYWORD", lowered, start), index
+    return Token("NAME", word, start), index

@@ -1,0 +1,40 @@
+"""MDSM: schema matching via the Hungarian method (the Mapping module).
+
+Section 3.1 of the paper: *"To address semantic conflicts and
+contradictions, we modified our proposed matching method called MDSM:
+Microarray Database Schema Matching by using Hungarian Method to map
+the object correspondences."*
+
+The pipeline: each pair of schema elements (local model attribute vs
+global model attribute) is scored by a weighted combination of name,
+type, arity and instance similarity; the resulting similarity matrix
+is solved as an optimal assignment problem with a from-scratch
+Hungarian method; assignments under a score threshold are discarded.
+Greedy and random assignment strategies are provided as ablation
+baselines.
+"""
+
+from repro.matching.correspondence import Correspondence, CorrespondenceSet
+from repro.matching.hungarian import solve_assignment, solve_max_assignment
+from repro.matching.mdsm import MdsmMatcher, SimilarityWeights
+from repro.matching.similarity import (
+    combined_similarity,
+    levenshtein,
+    name_similarity,
+    sample_similarity,
+    type_similarity,
+)
+
+__all__ = [
+    "Correspondence",
+    "CorrespondenceSet",
+    "MdsmMatcher",
+    "SimilarityWeights",
+    "combined_similarity",
+    "levenshtein",
+    "name_similarity",
+    "sample_similarity",
+    "solve_assignment",
+    "solve_max_assignment",
+    "type_similarity",
+]

@@ -1,0 +1,79 @@
+"""Object correspondences produced by schema matching."""
+
+from dataclasses import dataclass
+
+from repro.util.errors import IntegrationError
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """One matched pair: a local element maps onto a global element."""
+
+    local_name: str
+    global_name: str
+    score: float
+
+    def render(self):
+        return f"{self.local_name} -> {self.global_name} ({self.score:.2f})"
+
+
+class CorrespondenceSet:
+    """All correspondences between one local model and the global model.
+
+    Provides the two lookups the mediator needs: local -> global label
+    renaming (applied when importing wrapper answers) and global ->
+    local translation (applied when decomposing global queries).
+    """
+
+    def __init__(self, source_name, correspondences):
+        self.source_name = source_name
+        self._by_local = {}
+        self._by_global = {}
+        for correspondence in correspondences:
+            if correspondence.local_name in self._by_local:
+                raise IntegrationError(
+                    f"{source_name}: local element "
+                    f"{correspondence.local_name!r} matched twice"
+                )
+            if correspondence.global_name in self._by_global:
+                raise IntegrationError(
+                    f"{source_name}: global element "
+                    f"{correspondence.global_name!r} matched twice"
+                )
+            self._by_local[correspondence.local_name] = correspondence
+            self._by_global[correspondence.global_name] = correspondence
+
+    def __len__(self):
+        return len(self._by_local)
+
+    def __iter__(self):
+        return iter(
+            sorted(self._by_local.values(), key=lambda c: c.local_name)
+        )
+
+    def to_global(self, local_name):
+        """The global name a local element maps to, or ``None``."""
+        correspondence = self._by_local.get(local_name)
+        return correspondence.global_name if correspondence else None
+
+    def to_local(self, global_name):
+        """The local name behind a global element, or ``None``."""
+        correspondence = self._by_global.get(global_name)
+        return correspondence.local_name if correspondence else None
+
+    def label_map(self):
+        """Local -> global renaming dict (only names that change), in
+        the form :meth:`repro.oem.OEMGraph.import_subgraph` accepts."""
+        return {
+            local: correspondence.global_name
+            for local, correspondence in self._by_local.items()
+            if local != correspondence.global_name
+        }
+
+    def covered_global_names(self):
+        return set(self._by_global)
+
+    def render(self):
+        lines = [f"correspondences for {self.source_name}:"]
+        lines.extend(f"  {correspondence.render()}" for correspondence in self)
+        return "\n".join(lines)

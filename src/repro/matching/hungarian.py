@@ -1,0 +1,136 @@
+"""The Hungarian method (Kuhn-Munkres) for the assignment problem.
+
+A from-scratch O(n^3) implementation using dual potentials and
+augmenting paths.  Handles rectangular matrices by padding with
+zero-cost dummy rows/columns whose assignments are dropped from the
+result.  Property tests cross-check optimality against
+``scipy.optimize.linear_sum_assignment``.
+"""
+
+from repro.util.errors import ConfigurationError
+
+_INF = float("inf")
+
+
+def solve_assignment(cost_rows):
+    """Minimum-cost assignment.
+
+    Parameters
+    ----------
+    cost_rows:
+        Rectangular matrix as a list of equal-length rows of finite
+        numbers; ``cost_rows[i][j]`` is the cost of assigning row ``i``
+        to column ``j``.
+
+    Returns
+    -------
+    (assignment, total_cost):
+        ``assignment`` is a list of (row, column) pairs covering
+        ``min(n_rows, n_cols)`` rows, each row and column used at most
+        once, minimizing the summed cost; ``total_cost`` is that sum.
+    """
+    n_rows, n_cols, matrix = _validated(cost_rows)
+    size = max(n_rows, n_cols)
+    # Pad to square with zero-cost dummies.
+    padded = [row + [0.0] * (size - n_cols) for row in matrix]
+    padded.extend([[0.0] * size for _ in range(size - n_rows)])
+
+    row_of_col = _kuhn_munkres(padded, size)
+
+    assignment = []
+    total = 0.0
+    for column in range(size):
+        row = row_of_col[column]
+        if row < n_rows and column < n_cols:
+            assignment.append((row, column))
+            total += matrix[row][column]
+    assignment.sort()
+    return assignment, total
+
+
+def solve_max_assignment(score_rows):
+    """Maximum-score assignment (used with similarity matrices).
+
+    Scores are converted to costs by subtracting from the matrix
+    maximum, then :func:`solve_assignment` runs.  Returns
+    ``(assignment, total_score)``.
+    """
+    n_rows, n_cols, matrix = _validated(score_rows)
+    peak = max((value for row in matrix for value in row), default=0.0)
+    cost = [[peak - value for value in row] for row in matrix]
+    assignment, _ = solve_assignment(cost)
+    total = sum(matrix[row][column] for row, column in assignment)
+    return assignment, total
+
+
+def _validated(rows):
+    if not rows or not rows[0]:
+        return 0, 0, []
+    n_cols = len(rows[0])
+    matrix = []
+    for index, row in enumerate(rows):
+        if len(row) != n_cols:
+            raise ConfigurationError(
+                f"cost matrix is ragged: row {index} has {len(row)} "
+                f"columns, expected {n_cols}"
+            )
+        converted = []
+        for value in row:
+            number = float(value)
+            if number != number or number in (_INF, -_INF):
+                raise ConfigurationError(
+                    "cost matrix entries must be finite numbers"
+                )
+            converted.append(number)
+        matrix.append(converted)
+    return len(matrix), n_cols, matrix
+
+
+def _kuhn_munkres(a, n):
+    """Square minimum-cost assignment via potentials + augmenting paths.
+
+    ``a`` is an n x n matrix.  Returns ``row_of_col``: for each column,
+    the row assigned to it.
+    """
+    # 1-indexed internals; index 0 is the virtual unmatched slot.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    p = [0] * (n + 1)  # p[j] = row matched to column j (0 = none)
+    way = [0] * (n + 1)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [_INF] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = _INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = a[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment along the alternating path.
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    return [p[j] - 1 for j in range(1, n + 1)]

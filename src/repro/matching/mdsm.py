@@ -1,0 +1,148 @@
+"""The MDSM matcher: similarity matrix + assignment strategy + threshold.
+
+The Hungarian strategy reproduces the paper's method; greedy and random
+strategies exist purely as ablation baselines for
+``benchmarks/bench_matching.py``.
+"""
+
+from dataclasses import dataclass
+
+from repro.matching.correspondence import Correspondence, CorrespondenceSet
+from repro.matching.hungarian import solve_max_assignment
+from repro.matching.similarity import combined_similarity
+from repro.util.errors import ConfigurationError
+from repro.util.rng import DeterministicRng
+
+STRATEGIES = ("hungarian", "greedy", "random")
+
+
+@dataclass(frozen=True)
+class SimilarityWeights:
+    """Relative weights of the four similarity metrics (sum to 1)."""
+
+    name: float = 0.45
+    type: float = 0.2
+    arity: float = 0.1
+    samples: float = 0.25
+
+    def __post_init__(self):
+        total = self.name + self.type + self.arity + self.samples
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"similarity weights must sum to 1, got {total}"
+            )
+        if min(self.name, self.type, self.arity, self.samples) < 0:
+            raise ConfigurationError("similarity weights must be >= 0")
+
+
+class MdsmMatcher:
+    """Match local schema elements onto global schema elements."""
+
+    def __init__(self, weights=None, threshold=0.45, strategy="hungarian",
+                 seed=0):
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown matching strategy {strategy!r}; "
+                f"choose from {STRATEGIES}"
+            )
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {threshold}"
+            )
+        self.weights = weights or SimilarityWeights()
+        self.threshold = threshold
+        self.strategy = strategy
+        self._rng = DeterministicRng(seed)
+
+    # -- public API --------------------------------------------------------------
+
+    def similarity_matrix(self, local_elements, global_elements):
+        """Pairwise similarity scores, local rows x global columns."""
+        return [
+            [
+                combined_similarity(local, global_element, self.weights)
+                for global_element in global_elements
+            ]
+            for local in local_elements
+        ]
+
+    def match(self, source_name, local_elements, global_elements):
+        """Compute the correspondence set for one local model."""
+        if not local_elements or not global_elements:
+            return CorrespondenceSet(source_name, [])
+        matrix = self.similarity_matrix(local_elements, global_elements)
+        if self.strategy == "hungarian":
+            pairs = self._assign_hungarian(matrix)
+        elif self.strategy == "greedy":
+            pairs = self._assign_greedy(matrix)
+        else:
+            pairs = self._assign_random(matrix)
+        correspondences = [
+            Correspondence(
+                local_name=local_elements[row].name,
+                global_name=global_elements[column].name,
+                score=matrix[row][column],
+            )
+            for row, column in pairs
+            if matrix[row][column] >= self.threshold
+        ]
+        return CorrespondenceSet(source_name, correspondences)
+
+    # -- strategies ---------------------------------------------------------------
+
+    @staticmethod
+    def _assign_hungarian(matrix):
+        assignment, _ = solve_max_assignment(matrix)
+        return assignment
+
+    @staticmethod
+    def _assign_greedy(matrix):
+        """Repeatedly take the best remaining pair (locally optimal,
+        globally suboptimal — the ablation shows by how much)."""
+        candidates = [
+            (matrix[row][column], row, column)
+            for row in range(len(matrix))
+            for column in range(len(matrix[0]))
+        ]
+        candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+        used_rows = set()
+        used_columns = set()
+        pairs = []
+        for _score, row, column in candidates:
+            if row in used_rows or column in used_columns:
+                continue
+            used_rows.add(row)
+            used_columns.add(column)
+            pairs.append((row, column))
+        pairs.sort()
+        return pairs
+
+    def _assign_random(self, matrix):
+        """Uniform random one-to-one assignment (sanity floor)."""
+        rows = list(range(len(matrix)))
+        columns = list(range(len(matrix[0])))
+        self._rng.shuffle(columns)
+        return sorted(zip(rows, columns))
+
+    # -- quality scoring -------------------------------------------------------------
+
+    @staticmethod
+    def score_against(correspondences, expected):
+        """Precision/recall/F1 of a correspondence set against an
+        expected ``{local_name: global_name}`` mapping."""
+        predicted = {
+            correspondence.local_name: correspondence.global_name
+            for correspondence in correspondences
+        }
+        true_positive = sum(
+            1
+            for local, global_name in predicted.items()
+            if expected.get(local) == global_name
+        )
+        precision = true_positive / len(predicted) if predicted else 0.0
+        recall = true_positive / len(expected) if expected else 0.0
+        if precision + recall == 0:
+            f1 = 0.0
+        else:
+            f1 = 2 * precision * recall / (precision + recall)
+        return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,162 @@
+"""Similarity metrics between schema elements.
+
+MDSM scores each (local element, global element) pair by combining:
+
+- **name similarity** — normalized edit distance over the raw names
+  plus Jaccard overlap of camelCase/underscore tokens, with a
+  domain synonym table (``symbol`` ~ ``gene``, ``id`` ~ ``accession``
+  ...);
+- **type similarity** — identical OEM types score 1, compatible
+  families (numeric, textual) score partially;
+- **arity similarity** — single- vs multi-valued agreement;
+- **sample similarity** — instance-level evidence: Jaccard overlap of
+  live sample values (stringified).
+"""
+
+import re
+
+#: Domain synonym groups; tokens in one group count as equal.
+_SYNONYM_GROUPS = (
+    {"id", "identifier", "accession", "number", "no", "key"},
+    {"symbol", "gene", "genesymbol", "locus"},
+    {"name", "title", "label"},
+    {"description", "definition", "summary", "text", "def"},
+    {"organism", "species", "taxon"},
+    {"position", "map", "location"},
+    {"link", "url", "links"},
+    {"disease", "phenotype", "disorder", "omim", "mim"},
+    {"citation", "reference", "pubmed", "pmid"},
+    {"annotation", "go", "function", "term"},
+    {"namespace", "aspect", "branch"},
+    {"alias", "synonym"},
+    {"parent", "is", "isa"},
+)
+
+_SYNONYM_OF = {}
+for _group in _SYNONYM_GROUPS:
+    _canonical = min(_group)
+    for _token in _group:
+        _SYNONYM_OF[_token] = _canonical
+
+
+def levenshtein(a, b):
+    """Edit distance between two strings (two-row dynamic program)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,       # deletion
+                    current[j - 1] + 1,    # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def tokenize_name(name):
+    """Split a schema name into canonical lower-case tokens.
+
+    Handles camelCase, underscores, hyphens and digit boundaries;
+    applies the synonym table so ``GeneSymbol`` and ``Symbol`` share a
+    token.
+    """
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", name)
+    spaced = re.sub(r"[_\-./]", " ", spaced)
+    # Single-character fragments ("A" from camel-splitting "IsA") are
+    # noise, not evidence.
+    tokens = [
+        token.lower() for token in spaced.split() if len(token) > 1
+    ]
+    return [_SYNONYM_OF.get(token, token) for token in tokens]
+
+
+def name_similarity(a, b):
+    """Similarity of two schema names in [0, 1]."""
+    if not a or not b:
+        return 0.0
+    lowered_a, lowered_b = a.lower(), b.lower()
+    if lowered_a == lowered_b:
+        return 1.0
+    edit = levenshtein(lowered_a, lowered_b)
+    edit_score = 1.0 - edit / max(len(lowered_a), len(lowered_b))
+    tokens_a = set(tokenize_name(a))
+    tokens_b = set(tokenize_name(b))
+    if tokens_a and tokens_b:
+        token_score = len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+        # One name's tokens contained in the other's (Pmid within
+        # CitationID) is strong evidence even when extra qualifier
+        # tokens dilute the Jaccard ratio — but weaker than an exact
+        # token match, so GeneSymbol still prefers GeneSymbol over
+        # AliasSymbol.
+        if token_score < 0.7 and (
+            tokens_a <= tokens_b or tokens_b <= tokens_a
+        ):
+            token_score = 0.7
+    else:
+        token_score = 0.0
+    return max(edit_score, token_score, 0.0)
+
+
+#: Families of compatible OEM types for partial type credit.
+_NUMERIC = frozenset({"Integer", "Real"})
+_TEXTUAL = frozenset({"String", "Url"})
+
+
+def type_similarity(type_a, type_b):
+    """Similarity of two OEM types in [0, 1]."""
+    if type_a is type_b:
+        return 1.0
+    names = {type_a.value, type_b.value}
+    if names <= _NUMERIC:
+        return 0.7
+    if names <= _TEXTUAL:
+        return 0.7
+    if "String" in names:
+        # Anything serializes to text; weak compatibility.
+        return 0.3
+    return 0.0
+
+
+def arity_similarity(multi_a, multi_b):
+    """1 when both elements agree on single- vs multi-valued."""
+    return 1.0 if bool(multi_a) == bool(multi_b) else 0.0
+
+
+def sample_similarity(samples_a, samples_b):
+    """Jaccard overlap of stringified instance samples in [0, 1].
+
+    Missing samples on *either* side give a neutral 0.5: absence of
+    instance evidence (the global schema comes from domain knowledge,
+    not data) should neither help nor kill a correspondence.  Zero is
+    reserved for actual disagreement — both sides sampled, nothing
+    shared.
+    """
+    set_a = {str(sample) for sample in samples_a}
+    set_b = {str(sample) for sample in samples_b}
+    if not set_a or not set_b:
+        return 0.5
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def combined_similarity(element_a, element_b, weights):
+    """Weighted combination of all metrics for two
+    :class:`~repro.wrappers.schema.SchemaElement` objects."""
+    return (
+        weights.name * name_similarity(element_a.name, element_b.name)
+        + weights.type * type_similarity(element_a.oem_type,
+                                         element_b.oem_type)
+        + weights.arity * arity_similarity(element_a.multivalued,
+                                           element_b.multivalued)
+        + weights.samples * sample_similarity(element_a.samples,
+                                              element_b.samples)
+    )

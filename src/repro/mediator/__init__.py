@@ -1,0 +1,52 @@
+"""The ANNODA mediator: global model, decomposition, optimization,
+execution and reconciliation.
+
+Figure 1 of the paper puts the *Mediator* between the application
+interface and the wrappers.  Section 3.1: *"Queries posed against the
+ANNODA global schema will be translated into individual queries
+against the relevant annotation databases, and their results combined
+before being returned to the user."*
+
+Pipeline::
+
+    GlobalQuery --decompose--> SubQueries --optimize--> ExecutionPlan
+        --execute (via wrappers + reconciler)--> IntegratedResult (OEM)
+"""
+
+from repro.mediator.decompose import (
+    GlobalQuery,
+    LinkConstraint,
+    QueryDecomposer,
+    SubQuery,
+)
+from repro.mediator.executor import Executor, IntegratedResult
+from repro.mediator.global_schema import GlobalSchema
+from repro.mediator.gml import GmlBuilder
+from repro.mediator.mapping import MappingModule, TransformRegistry
+from repro.mediator.mediator import Mediator
+from repro.mediator.optimizer import ExecutionPlan, Optimizer, OptimizerOptions
+from repro.mediator.reconcile import (
+    ReconciliationPolicy,
+    ReconciliationReport,
+    Reconciler,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "Executor",
+    "GlobalQuery",
+    "GlobalSchema",
+    "GmlBuilder",
+    "IntegratedResult",
+    "LinkConstraint",
+    "MappingModule",
+    "Mediator",
+    "Optimizer",
+    "OptimizerOptions",
+    "QueryDecomposer",
+    "ReconciliationPolicy",
+    "ReconciliationReport",
+    "Reconciler",
+    "SubQuery",
+    "TransformRegistry",
+]

@@ -1,0 +1,482 @@
+"""Plan execution: fetch through wrappers, reconcile, combine into OEM.
+
+The executor realizes the federated promise of section 3.1: it ships
+each plan step to the owning wrapper, evaluates residual predicates at
+the mediator, applies the reconciler while joining link constraints,
+and materializes one integrated OEM answer graph — *"their results
+combined before being returned to the user"*.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.oem.graph import OEMGraph
+from repro.oem.types import OEMType
+from repro.sources.base import NativeCondition, _evaluate
+from repro.util.errors import IntegrationError
+
+
+@dataclass
+class ExecutionStats:
+    """Work accounting used by the optimizer/architecture benchmarks."""
+
+    rows_fetched: dict = field(default_factory=dict)
+    residual_evaluations: int = 0
+    anchors_considered: int = 0
+    anchors_returned: int = 0
+    wall_seconds: float = 0.0
+
+    def total_rows_fetched(self):
+        return sum(self.rows_fetched.values())
+
+    def add_fetch(self, source_name, count):
+        self.rows_fetched[source_name] = (
+            self.rows_fetched.get(source_name, 0) + count
+        )
+
+
+class IntegratedResult:
+    """One integrated answer: OEM view + plain records + diagnostics."""
+
+    def __init__(self, graph, root, genes, report, stats, plan):
+        self.graph = graph
+        self.root = root
+        self.genes = genes
+        self.report = report
+        self.stats = stats
+        self.plan = plan
+
+    def __len__(self):
+        return len(self.genes)
+
+    def gene_ids(self):
+        return [gene["GeneID"] for gene in self.genes]
+
+    def gene(self, gene_id):
+        for gene in self.genes:
+            if gene["GeneID"] == gene_id:
+                return gene
+        raise IntegrationError(f"no gene {gene_id} in this result")
+
+    def __repr__(self):
+        return (
+            f"IntegratedResult({len(self.genes)} genes, "
+            f"{self.report.count()} conflicts observed)"
+        )
+
+
+class Executor:
+    """Run :class:`~repro.mediator.optimizer.ExecutionPlan` objects."""
+
+    def __init__(self, wrappers_by_name, mapping_module, reconciler):
+        self.wrappers = wrappers_by_name
+        self.mapping_module = mapping_module
+        self.reconciler = reconciler
+
+    # -- entry point ------------------------------------------------------------
+
+    def execute(self, plan, query, enrich_links=True):
+        started = time.perf_counter()
+        stats = ExecutionStats()
+        from repro.mediator.reconcile import ReconciliationReport
+
+        report = ReconciliationReport()
+
+        anchor_wrapper = self.wrappers[plan.anchor.source_name]
+
+        # Per-step state computed once, not per anchor record: the
+        # allowed-id set of conditioned link steps, and the symbol
+        # vocabulary index for symbol joins.
+        allowed_by_step = {}
+        self._symbol_indexes = {}
+        self._reverse_indexes = {}
+        for step in plan.link_steps:
+            if step.link.reverse_join:
+                # The reverse index is built from the conditioned fetch
+                # directly; the conditioned key set also bounds any
+                # symbol-join matches for this step.
+                index, conditioned_keys = self._reverse_index(step, stats)
+                self._reverse_indexes[id(step)] = index
+                allowed_by_step[id(step)] = conditioned_keys
+            elif not step.pruned:
+                allowed_by_step[id(step)] = self._allowed_ids(
+                    step, self.wrappers[step.source_name], stats
+                )
+            if step.link.symbol_join:
+                from repro.mediator.reconcile import SymbolIndex
+
+                wrapper = self.wrappers[step.source_name]
+                symbol_local = self.mapping_module.correspondences(
+                    step.source_name
+                ).to_local("GeneSymbol")
+                if symbol_local is not None:
+                    key_label = self.mapping_module.to_local_label(
+                        step.source_name, step.link.via
+                    )
+                    self._symbol_indexes[step.source_name] = (
+                        SymbolIndex.from_wrapper(
+                            wrapper,
+                            key_label=key_label,
+                            symbol_label=symbol_local,
+                        )
+                    )
+
+        if plan.anchor.semijoin is not None:
+            anchor_records = self._semijoin_fetch(
+                plan, allowed_by_step, stats
+            )
+        else:
+            anchor_records = self._run_fetch(plan.anchor, stats)
+        stats.anchors_considered = len(anchor_records)
+
+        surviving = []
+        matched_links = []
+        for record in anchor_records:
+            links_for_record = {}
+            keep = True
+            for step in plan.link_steps:
+                matched = self._match_link(
+                    step, anchor_wrapper, record, stats, report,
+                    allowed_by_step.get(id(step)),
+                )
+                links_for_record[step.source_name] = matched
+                if step.link.mode == "include" and not matched:
+                    keep = False
+                    break
+                if step.link.mode == "exclude" and matched:
+                    keep = False
+                    break
+            if keep:
+                surviving.append(record)
+                matched_links.append(links_for_record)
+        stats.anchors_returned = len(surviving)
+
+        genes, graph, root = self._combine(
+            plan, query, anchor_wrapper, surviving, matched_links,
+            enrich_links, stats,
+        )
+        stats.wall_seconds = time.perf_counter() - started
+        return IntegratedResult(graph, root, genes, report, stats, plan)
+
+    # -- fetching ---------------------------------------------------------------
+
+    def _run_fetch(self, step, stats):
+        """Fetch one step's records and apply its residual predicates.
+
+        A member source failing mid-query is reported as an
+        :class:`IntegrationError` naming the source, so federated
+        callers see *which* member broke, not a bare traceback.
+        """
+        wrapper = self.wrappers[step.source_name]
+        try:
+            records = wrapper.fetch(step.pushed)
+        except IntegrationError:
+            raise
+        except Exception as exc:
+            raise IntegrationError(
+                f"source {step.source_name!r} failed during fetch: {exc}"
+            ) from exc
+        stats.add_fetch(step.source_name, len(records))
+        if not step.residual:
+            return records
+        kept = []
+        for record in records:
+            stats.residual_evaluations += len(step.residual)
+            if self._residual_ok(wrapper, record, step.residual):
+                kept.append(record)
+        return kept
+
+    def _reverse_index(self, step, stats):
+        """anchor GeneID -> set of link keys, from the linked source's
+        back-references (conditioned records only)."""
+        wrapper = self.wrappers[step.source_name]
+        records = self._run_fetch(step, stats)
+        key_field = wrapper.source_field(
+            self.mapping_module.to_local_label(
+                step.source_name, step.link.via
+            )
+        )
+        gene_field = wrapper.source_field(
+            self.mapping_module.to_local_label(step.source_name, "GeneID")
+        )
+        index = {}
+        conditioned_keys = set()
+        for record in records:
+            conditioned_keys.add(record[key_field])
+            anchor_ref = record.get(gene_field)
+            if anchor_ref:
+                index.setdefault(anchor_ref, set()).add(record[key_field])
+        return index, conditioned_keys
+
+    def _semijoin_fetch(self, plan, allowed_by_step, stats):
+        """Retrieve the anchor by link-id equality instead of scanning.
+
+        The driving link's allowed-id set is already computed; for each
+        id, anchors carrying it are fetched with the anchor's pushed
+        conditions plus one id-equality predicate, then de-duplicated
+        by identity key and residual-filtered.
+        """
+        driver_source, via_label = plan.anchor.semijoin
+        driver_step = next(
+            step
+            for step in plan.link_steps
+            if step.source_name == driver_source
+        )
+        allowed = allowed_by_step[id(driver_step)]
+        wrapper = self.wrappers[plan.anchor.source_name]
+        key_local = self.mapping_module.to_local_label(
+            wrapper.name, "GeneID"
+        )
+        key_field = wrapper.source_field(key_local)
+        seen = set()
+        records = []
+        # Ensure the anchor source appears in the fetch accounting even
+        # when the driving link matched nothing.
+        stats.add_fetch(wrapper.name, 0)
+        for link_id in sorted(allowed, key=str):
+            fetched = wrapper.fetch(
+                plan.anchor.pushed + [(via_label, "=", link_id)]
+            )
+            stats.add_fetch(wrapper.name, len(fetched))
+            for record in fetched:
+                key = record[key_field]
+                if key in seen:
+                    continue
+                seen.add(key)
+                if plan.anchor.residual:
+                    stats.residual_evaluations += len(plan.anchor.residual)
+                    if not self._residual_ok(
+                        wrapper, record, plan.anchor.residual
+                    ):
+                        continue
+                records.append(record)
+        records.sort(key=lambda record: record[key_field])
+        return records
+
+    @staticmethod
+    def _residual_ok(wrapper, record, conditions):
+        for label, op, value in conditions:
+            condition = NativeCondition(label, op, value)
+            field_value = record.get(wrapper.source_field(label))
+            if not _evaluate(field_value, condition):
+                return False
+        return True
+
+    # -- link matching -------------------------------------------------------------
+
+    def _match_link(self, step, anchor_wrapper, record, stats, report,
+                    allowed):
+        """The linked ids of one anchor record that satisfy one link step.
+
+        ``allowed`` is the precomputed id set of the step's conditioned
+        fetch (``None`` for pruned steps: any valid id counts).
+        """
+        link = step.link
+        link_wrapper = self.wrappers[step.source_name]
+        anchor_id = self._anchor_id(anchor_wrapper, record)
+
+        if link.reverse_join:
+            reverse = self._reverse_indexes[id(step)]
+            matched = sorted(reverse.get(anchor_id, ()), key=str)
+        else:
+            via_field = anchor_wrapper.source_field(
+                self.mapping_module.to_local_label(
+                    anchor_wrapper.name, link.via
+                )
+            )
+            raw_ids = record.get(via_field) or []
+            if not isinstance(raw_ids, list):
+                raw_ids = [raw_ids]
+            valid = self._validated_ids(
+                anchor_id, raw_ids, link_wrapper, report
+            )
+            matched = [
+                link_id
+                for link_id in valid
+                if allowed is None or link_id in allowed
+            ]
+
+        if link.symbol_join and step.source_name in self._symbol_indexes:
+            symbol_field = anchor_wrapper.source_field(
+                self.mapping_module.to_local_label(
+                    anchor_wrapper.name, "GeneSymbol"
+                )
+            )
+            alias_local = self.mapping_module.correspondences(
+                anchor_wrapper.name
+            ).to_local("AliasSymbol")
+            aliases = []
+            if alias_local is not None:
+                aliases = record.get(
+                    anchor_wrapper.source_field(alias_local)
+                ) or []
+            via_symbols = self.reconciler.disease_ids_via_symbols(
+                anchor_id,
+                record.get(symbol_field, ""),
+                aliases,
+                link_wrapper,
+                report,
+                index=self._symbol_indexes.get(step.source_name),
+            )
+            for mim in sorted(via_symbols):
+                if allowed is not None and mim not in allowed:
+                    continue
+                if mim not in matched:
+                    matched.append(mim)
+        return matched
+
+    def _allowed_ids(self, step, link_wrapper, stats):
+        """Key ids of linked-source records satisfying the step's
+        conditions (the un-pruned path)."""
+        records = self._run_fetch(step, stats)
+        key_local = self.mapping_module.to_local_label(
+            step.source_name, step.link.via
+        )
+        key_field = link_wrapper.source_field(key_local)
+        allowed = {record[key_field] for record in records}
+        for label, _op, value in step.closure:
+            if label != key_local:
+                raise IntegrationError(
+                    f"'under' applies to the link key {key_local!r}, "
+                    f"not {label!r}"
+                )
+            within = {value} | set(link_wrapper.descendants(value))
+            allowed &= within
+        return allowed
+
+    def _validated_ids(self, anchor_id, raw_ids, link_wrapper, report):
+        """Reconciler validation, dispatched on wrapper capabilities."""
+        if hasattr(link_wrapper, "is_obsolete"):
+            return self.reconciler.valid_annotation_ids(
+                anchor_id, raw_ids, link_wrapper, report
+            )
+        if hasattr(link_wrapper, "entries_for_symbol"):
+            return self.reconciler.valid_disease_ids(
+                anchor_id, raw_ids, link_wrapper, report
+            )
+        return list(raw_ids)
+
+    def _anchor_id(self, anchor_wrapper, record):
+        key_local = self.mapping_module.to_local_label(
+            anchor_wrapper.name, "GeneID"
+        )
+        return record.get(anchor_wrapper.source_field(key_local))
+
+    # -- combination into the integrated OEM view --------------------------------------
+
+    def _combine(self, plan, query, anchor_wrapper, records, matched_links,
+                 enrich_links, stats):
+        graph = OEMGraph("integrated-view")
+        root = graph.new_complex()
+        graph.set_root("IntegratedView", root)
+
+        enrichment = {}
+        if enrich_links:
+            enrichment = self._enrichment_indexes(plan, stats)
+
+        genes = []
+        for record, links_for_record in zip(records, matched_links):
+            gene_dict = self.mapping_module.translate_record(
+                anchor_wrapper.name, record, anchor_wrapper
+            )
+            gene_dict["_links"] = links_for_record
+            if query.select:
+                gene_dict = {
+                    key: value
+                    for key, value in gene_dict.items()
+                    if key in query.select or key in ("GeneID", "_links")
+                }
+            genes.append(gene_dict)
+            gene_object = self._build_gene(
+                graph, gene_dict, record, anchor_wrapper,
+                links_for_record, enrichment, plan,
+            )
+            graph.add_edge(root, "Gene", gene_object)
+        return genes, graph, root
+
+    def _enrichment_indexes(self, plan, stats):
+        """Per link source: id -> translated record, for view detail."""
+        indexes = {}
+        for step in plan.link_steps:
+            wrapper = self.wrappers[step.source_name]
+            key_local = self.mapping_module.to_local_label(
+                step.source_name, step.link.via
+            )
+            key_field = wrapper.source_field(key_local)
+            index = {}
+            records = wrapper.fetch(())
+            stats.add_fetch(step.source_name, len(records))
+            for record in records:
+                translated = self.mapping_module.translate_record(
+                    step.source_name, record, wrapper
+                )
+                index[record[key_field]] = (translated, record)
+            indexes[step.source_name] = index
+        return indexes
+
+    def _build_gene(self, graph, gene_dict, record, anchor_wrapper,
+                    links_for_record, enrichment, plan):
+        gene = graph.new_complex()
+        for key, value in gene_dict.items():
+            if key == "_links" or value in (None, "", []):
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                graph.add_edge(gene, key, graph.new_atomic(item))
+        # Linked detail objects (Annotation / Disease / Citation).
+        for step in plan.link_steps:
+            source_index = enrichment.get(step.source_name, {})
+            child_label = _LINK_CHILD_LABELS.get(
+                step.source_name, step.source_name
+            )
+            for link_id in links_for_record.get(step.source_name, ()):
+                child = graph.new_complex()
+                graph.add_edge(gene, child_label, child)
+                graph.add_edge(
+                    child, step.link.via, graph.new_atomic(link_id)
+                )
+                entry = source_index.get(link_id)
+                if entry is not None:
+                    translated, _raw = entry
+                    for key in ("Title", "Aspect", "Inheritance",
+                                "Journal", "Year", "SequenceLength"):
+                        if translated.get(key) not in (None, "", []):
+                            graph.add_edge(
+                                child,
+                                key,
+                                graph.new_atomic(translated[key]),
+                            )
+        # Web links for interactive navigation.  Built from the
+        # *reconciled* answer (self + matched link ids), never from the
+        # raw record — raw links may dangle, and the integrated view
+        # must only offer links that resolve.
+        from repro.navigation.links import url_for
+
+        links_object = graph.new_complex()
+        graph.add_edge(gene, "Links", links_object)
+        anchor_id = self._anchor_id(anchor_wrapper, record)
+        graph.add_edge(
+            links_object,
+            "Self",
+            graph.new_atomic(
+                url_for(anchor_wrapper.name, anchor_id), OEMType.URL
+            ),
+        )
+        for step in plan.link_steps:
+            for link_id in links_for_record.get(step.source_name, ()):
+                graph.add_edge(
+                    links_object,
+                    step.source_name,
+                    graph.new_atomic(
+                        url_for(step.source_name, link_id), OEMType.URL
+                    ),
+                )
+        return gene
+
+
+_LINK_CHILD_LABELS = {
+    "GO": "Annotation",
+    "OMIM": "Disease",
+    "PubMed": "Citation",
+    "SwissProt": "Protein",
+}

@@ -1,0 +1,99 @@
+"""The ANNODA global schema vocabulary.
+
+Section 3.2.3: the global model *"has been constructed either from the
+local relevant models or from general knowledge of the domain"*.  This
+module is the *general knowledge* half: a gene-centric vocabulary of
+global schema elements that local model attributes are matched onto by
+MDSM.  The builder half lives in :mod:`repro.mediator.gml`.
+"""
+
+from repro.oem.types import OEMType
+from repro.wrappers.schema import SchemaElement
+
+#: The global, source-independent attribute vocabulary.
+GLOBAL_ELEMENTS = (
+    SchemaElement(
+        "GeneID", OEMType.INTEGER, False,
+        "unique integer identifier of a gene locus"),
+    SchemaElement(
+        "GeneSymbol", OEMType.STRING, False,
+        "official symbol of the gene"),
+    SchemaElement(
+        "Species", OEMType.STRING, False,
+        "organism the gene belongs to"),
+    SchemaElement(
+        "Definition", OEMType.STRING, False,
+        "descriptive text: gene description, term definition, entry body"),
+    SchemaElement(
+        "MapPosition", OEMType.STRING, False,
+        "cytogenetic map position of the gene"),
+    SchemaElement(
+        "AliasSymbol", OEMType.STRING, True,
+        "alternate symbols or synonyms"),
+    SchemaElement(
+        "AnnotationID", OEMType.STRING, True,
+        "functional annotation (GO) accessions"),
+    SchemaElement(
+        "DiseaseID", OEMType.INTEGER, True,
+        "associated disease entry (MIM) numbers"),
+    SchemaElement(
+        "CitationID", OEMType.INTEGER, True,
+        "supporting literature (PubMed) identifiers"),
+    SchemaElement(
+        "Title", OEMType.STRING, False,
+        "name or title of an entry, term or article"),
+    SchemaElement(
+        "Aspect", OEMType.STRING, False,
+        "ontology branch of an annotation term"),
+    SchemaElement(
+        "ParentTerm", OEMType.STRING, True,
+        "parent accessions of an annotation term"),
+    SchemaElement(
+        "Obsolete", OEMType.BOOLEAN, False,
+        "whether an annotation term is obsolete"),
+    SchemaElement(
+        "Inheritance", OEMType.STRING, False,
+        "mode of inheritance of a disease entry"),
+    SchemaElement(
+        "Journal", OEMType.STRING, False,
+        "journal a citation appeared in"),
+    SchemaElement(
+        "Year", OEMType.INTEGER, False,
+        "publication year of a citation"),
+    SchemaElement(
+        "ProteinID", OEMType.STRING, False,
+        "accession of a protein entry"),
+    SchemaElement(
+        "Keyword", OEMType.STRING, True,
+        "controlled-vocabulary keywords of an entry"),
+    SchemaElement(
+        "SequenceLength", OEMType.INTEGER, False,
+        "amino-acid length of a protein"),
+)
+
+
+class GlobalSchema:
+    """Lookup access to the global element vocabulary."""
+
+    def __init__(self, elements=GLOBAL_ELEMENTS):
+        self._elements = tuple(elements)
+        self._by_name = {element.name: element for element in self._elements}
+
+    def elements(self):
+        return list(self._elements)
+
+    def names(self):
+        return [element.name for element in self._elements]
+
+    def get(self, name):
+        """The element named ``name``, or ``None``."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __len__(self):
+        return len(self._elements)
+
+    def render(self):
+        return "\n".join(element.render() for element in self._elements)

@@ -1,0 +1,129 @@
+"""Construction of the ANNODA-GML global model (Figure 4).
+
+ANNODA-GML is an OEM graph describing the federation itself: one
+``Source`` object per participating annotation database, each carrying
+its ``SourceID``, ``Name``, ``Content`` summary and ``Structure``
+(schema elements with their global correspondences), plus web ``Links``
+— exactly the shape the section 4.1 example query navigates
+(``select X from ANNODA-GML.Source X where X.Name = "LocusLink"``).
+
+GML stays *virtual* with respect to data: ``Content`` summarizes the
+member database (entry label and live count) rather than materializing
+records, in keeping with the federated approach — *"ANNODA-GML does
+not require a number of participating data sources to be physically
+integrated into a single database"* (section 3.2.3).
+"""
+
+from repro.oem.graph import OEMGraph
+from repro.oem.types import OEMType
+
+ROOT_NAME = "ANNODA-GML"
+
+_HOMEPAGES = {
+    "LocusLink": "http://www.ncbi.nlm.nih.gov/LocusLink/",
+    "GO": "http://www.geneontology.org/",
+    "OMIM": "http://www.ncbi.nlm.nih.gov/omim/",
+    "PubMed": "http://www.ncbi.nlm.nih.gov/pubmed/",
+}
+
+
+class GmlBuilder:
+    """Build the GML OEM graph from wrappers + the mapping module."""
+
+    def __init__(self, mapping_module, version="2005.1"):
+        self.mapping_module = mapping_module
+        self.version = version
+
+    def build(self, wrappers):
+        """Returns ``(graph, root)`` with the root bound as ANNODA-GML."""
+        graph = OEMGraph("annoda-gml")
+        root = graph.new_complex()
+        graph.set_root(ROOT_NAME, root)
+        version = graph.new_atomic(self.version, OEMType.STRING)
+        graph.add_edge(root, "Version", version)
+        for index, wrapper in enumerate(wrappers):
+            source = self._build_source(graph, wrapper, index)
+            graph.add_edge(root, "Source", source)
+        return graph, root
+
+    def _build_source(self, graph, wrapper, index):
+        source = graph.new_complex()
+        # SourceIDs 103, 203, 303, ... mirror the paper's section 4.1
+        # listing, where LocusLink's answer object shows SourceID &103.
+        source_id = graph.new_atomic(100 * (index + 1) + 3, OEMType.INTEGER)
+        graph.add_edge(source, "SourceID", source_id)
+        name = graph.new_atomic(wrapper.name, OEMType.STRING)
+        graph.add_edge(source, "Name", name)
+        description = graph.new_atomic(
+            self.mapping_module.description(wrapper.name)
+            or wrapper.describe(),
+            OEMType.STRING,
+        )
+        graph.add_edge(source, "Description", description)
+        graph.add_edge(source, "Content", self._build_content(graph, wrapper))
+        graph.add_edge(
+            source, "Structure", self._build_structure(graph, wrapper)
+        )
+        graph.add_edge(source, "Links", self._build_links(graph, wrapper))
+        return source
+
+    @staticmethod
+    def _build_content(graph, wrapper):
+        content = graph.new_complex()
+        entry_label = graph.new_atomic(wrapper.entry_label, OEMType.STRING)
+        graph.add_edge(content, "EntryLabel", entry_label)
+        entry_count = graph.new_atomic(wrapper.count(), OEMType.INTEGER)
+        graph.add_edge(content, "EntryCount", entry_count)
+        return content
+
+    def _build_structure(self, graph, wrapper):
+        structure = graph.new_complex()
+        model = graph.new_atomic("ANNODA-OML", OEMType.STRING)
+        graph.add_edge(structure, "Model", model)
+        correspondences = None
+        if wrapper.name in self.mapping_module.sources():
+            correspondences = self.mapping_module.correspondences(
+                wrapper.name
+            )
+        for schema_element in wrapper.schema_elements():
+            element = graph.new_complex()
+            graph.add_edge(structure, "Element", element)
+            graph.add_edge(
+                element,
+                "Name",
+                graph.new_atomic(schema_element.name, OEMType.STRING),
+            )
+            graph.add_edge(
+                element,
+                "Type",
+                graph.new_atomic(
+                    schema_element.oem_type.value, OEMType.STRING
+                ),
+            )
+            graph.add_edge(
+                element,
+                "Multivalued",
+                graph.new_atomic(
+                    schema_element.multivalued, OEMType.BOOLEAN
+                ),
+            )
+            if correspondences is not None:
+                global_name = correspondences.to_global(schema_element.name)
+                if global_name is not None:
+                    graph.add_edge(
+                        element,
+                        "MapsTo",
+                        graph.new_atomic(global_name, OEMType.STRING),
+                    )
+        return structure
+
+    @staticmethod
+    def _build_links(graph, wrapper):
+        links = graph.new_complex()
+        homepage = _HOMEPAGES.get(
+            wrapper.name, f"http://annoda.example/source/{wrapper.name}"
+        )
+        graph.add_edge(
+            links, "Homepage", graph.new_atomic(homepage, OEMType.URL)
+        )
+        return links

@@ -1,0 +1,163 @@
+"""The Mediator facade: registration, GML, planning and execution.
+
+Wires the mapping module (MDSM correspondences), the GML builder, the
+decomposer, the optimizer and the executor into the single component
+Figure 1 draws between the user interface and the wrappers.
+"""
+
+from repro.lorel.engine import LorelEngine
+from repro.matching.mdsm import MdsmMatcher
+from repro.mediator.decompose import QueryDecomposer
+from repro.mediator.executor import Executor
+from repro.mediator.global_schema import GlobalSchema
+from repro.mediator.gml import ROOT_NAME, GmlBuilder
+from repro.mediator.mapping import MappingModule
+from repro.mediator.optimizer import Optimizer, OptimizerOptions
+from repro.mediator.reconcile import Reconciler
+from repro.util.errors import IntegrationError
+
+
+class Mediator:
+    """Federated query answering over registered wrappers."""
+
+    #: Most recently used query results kept per mediator.
+    RESULT_CACHE_SIZE = 32
+
+    def __init__(self, global_schema=None, matcher=None,
+                 optimizer_options=None, reconciler=None):
+        self.global_schema = global_schema or GlobalSchema()
+        self.mapping_module = MappingModule(
+            global_schema=self.global_schema,
+            matcher=matcher or MdsmMatcher(),
+        )
+        self.optimizer_options = optimizer_options or OptimizerOptions()
+        self.reconciler = reconciler or Reconciler()
+        self._wrappers = {}
+        self._registration_order = []
+        self._gml_cache = None
+        self._result_cache = {}
+
+    # -- source registration (paper section 3.1, two-step plug-in) -------------
+
+    def register_wrapper(self, wrapper):
+        """Plug a new annotation source into the federation.
+
+        Step 1: map its schema onto the global schema (MDSM); step 2:
+        expose its mediator interface (wrapper registry + GML entry).
+        Returns the correspondence set MDSM produced.
+        """
+        if wrapper.name in self._wrappers:
+            raise IntegrationError(
+                f"source {wrapper.name!r} is already registered"
+            )
+        correspondence_set = self.mapping_module.register_wrapper(wrapper)
+        self._wrappers[wrapper.name] = wrapper
+        self._registration_order.append(wrapper.name)
+        self._gml_cache = None
+        return correspondence_set
+
+    def unregister_source(self, source_name):
+        """Remove a source from the federation."""
+        if source_name not in self._wrappers:
+            raise IntegrationError(
+                f"source {source_name!r} is not registered"
+            )
+        del self._wrappers[source_name]
+        self._registration_order.remove(source_name)
+        self.mapping_module.unregister(source_name)
+        self._gml_cache = None
+
+    def sources(self):
+        """Registered source names in registration order."""
+        return list(self._registration_order)
+
+    def wrapper(self, source_name):
+        try:
+            return self._wrappers[source_name]
+        except KeyError:
+            raise IntegrationError(
+                f"source {source_name!r} is not registered"
+            ) from None
+
+    def correspondences(self, source_name):
+        return self.mapping_module.correspondences(source_name)
+
+    # -- ANNODA-GML ----------------------------------------------------------------
+
+    def gml(self):
+        """The current global model as ``(graph, root)``.
+
+        Rebuilt whenever registration or any source version changes —
+        the federated view always reflects live sources.
+        """
+        versions = tuple(
+            self._wrappers[name].version for name in self._registration_order
+        )
+        if self._gml_cache is None or self._gml_cache[0] != versions:
+            builder = GmlBuilder(self.mapping_module)
+            graph, root = builder.build(
+                [self._wrappers[name] for name in self._registration_order]
+            )
+            self._gml_cache = (versions, graph, root)
+        return self._gml_cache[1], self._gml_cache[2]
+
+    def lorel_engine(self):
+        """A Lorel engine with the current GML registered, for raw
+        section-4.1-style queries."""
+        graph, root = self.gml()
+        engine = LorelEngine()
+        engine.register(ROOT_NAME, graph, root)
+        return engine
+
+    # -- global query answering -------------------------------------------------------
+
+    def plan(self, query):
+        """Decompose and optimize ``query`` into an execution plan."""
+        decomposer = QueryDecomposer(self.mapping_module)
+        optimizer = Optimizer(self._wrappers, self.optimizer_options)
+        return optimizer.plan(decomposer.decompose(query))
+
+    def query(self, query, enrich_links=True, use_cache=True):
+        """Answer a :class:`~repro.mediator.decompose.GlobalQuery`.
+
+        Results are cached keyed on the query *and every source's
+        version counter*, so a cache hit is always as fresh as a
+        recomputation — a repeat question costs nothing, while any
+        source update invalidates automatically (the federated
+        freshness guarantee is never traded away).
+        """
+        cache_key = None
+        if use_cache:
+            cache_key = self._cache_key(query, enrich_links)
+            cached = self._result_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        plan = self.plan(query)
+        executor = Executor(
+            self._wrappers, self.mapping_module, self.reconciler
+        )
+        result = executor.execute(plan, query, enrich_links=enrich_links)
+        if cache_key is not None:
+            if len(self._result_cache) >= self.RESULT_CACHE_SIZE:
+                # Drop the oldest entry (insertion order).
+                oldest = next(iter(self._result_cache))
+                del self._result_cache[oldest]
+            self._result_cache[cache_key] = result
+        return result
+
+    def _cache_key(self, query, enrich_links):
+        versions = tuple(
+            (name, self._wrappers[name].version)
+            for name in self._registration_order
+        )
+        return (
+            query,
+            enrich_links,
+            versions,
+            self.optimizer_options,
+            self.reconciler.policy,
+        )
+
+    def explain(self, query):
+        """The optimizer's plan as human-readable text."""
+        return self.plan(query).explain()

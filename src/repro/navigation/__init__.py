@@ -1,0 +1,33 @@
+"""Interactive navigation via web-links (Figure 5c, requirement 4).
+
+The paper's abstract highlights that *"this database design uses
+web-links which are very useful for interactive navigation"*.  Every
+OML entry and every integrated answer carries a ``Links`` object of
+``Url``-typed children; this package parses those URLs back to
+(source, identifier) pairs, follows them to live records in the
+federation, keeps a browsing history, and renders the three views of
+Figure 5: the query form (a), the annotation integrated view (b), and
+the individual object view (c).
+"""
+
+from repro.navigation.links import WebLink, extract_links, resolve_url
+from repro.navigation.navigator import NavigationSession, Navigator, ObjectView
+from repro.navigation.render import (
+    render_integrated_view,
+    render_integrated_view_html,
+    render_object_view,
+    render_query_form,
+)
+
+__all__ = [
+    "NavigationSession",
+    "Navigator",
+    "ObjectView",
+    "WebLink",
+    "extract_links",
+    "render_integrated_view",
+    "render_integrated_view_html",
+    "render_object_view",
+    "render_query_form",
+    "resolve_url",
+]

@@ -1,0 +1,138 @@
+"""Following web-links to live records across the federation."""
+
+from repro.navigation.links import extract_links, make_web_link, resolve_url
+from repro.oem.graph import OEMGraph
+from repro.util.errors import IntegrationError, QueryError
+
+#: The key OML label per source, used to fetch one record by id.
+_KEY_LABELS = {
+    "LocusLink": "LocusID",
+    "GO": "GoID",
+    "OMIM": "MimNumber",
+    "PubMed": "Pmid",
+    "SwissProt": "Accession",
+}
+
+
+class ObjectView:
+    """The individual object view of Figure 5(c): one live record as
+    OEM, plus its onward links."""
+
+    def __init__(self, source_name, target_id, graph, entry, links):
+        self.source_name = source_name
+        self.target_id = target_id
+        self.graph = graph
+        self.entry = entry
+        self.links = links
+
+    def field_items(self):
+        """(label, value) pairs of the record's atomic fields, in OML
+        order, with multivalued labels flattened."""
+        items = []
+        for ref in self.entry.references:
+            child = self.graph.get(ref.oid)
+            if child.is_atomic:
+                items.append((ref.label, child.value))
+        return items
+
+    def __repr__(self):
+        return (
+            f"ObjectView({self.source_name}:{self.target_id}, "
+            f"{len(self.links)} links)"
+        )
+
+
+class Navigator:
+    """Resolve and follow links against a mediator's wrappers."""
+
+    def __init__(self, mediator):
+        self.mediator = mediator
+
+    def follow_url(self, url):
+        """Navigate a raw URL to its :class:`ObjectView`."""
+        source_name, target_id = resolve_url(url)
+        return self._view(source_name, target_id)
+
+    def follow(self, web_link):
+        """Navigate a :class:`~repro.navigation.links.WebLink`."""
+        return self._view(web_link.target_source, web_link.target_id)
+
+    def links_of(self, graph, obj):
+        """The navigable links an OEM object exposes."""
+        return extract_links(graph, obj)
+
+    def _view(self, source_name, target_id):
+        if source_name not in self.mediator.sources():
+            raise IntegrationError(
+                f"link points at unregistered source {source_name!r}"
+            )
+        wrapper = self.mediator.wrapper(source_name)
+        key_label = _KEY_LABELS.get(source_name)
+        if key_label is None:
+            raise QueryError(
+                f"source {source_name!r} has no navigation key configured"
+            )
+        records = wrapper.fetch([(key_label, "=", target_id)])
+        if not records:
+            raise IntegrationError(
+                f"{source_name} has no record {target_id!r} "
+                "(dangling web-link)"
+            )
+        graph = OEMGraph(f"view-{source_name}-{target_id}")
+        entry = wrapper.build_entry(graph, records[0])
+        graph.set_root("Object", entry)
+        links = extract_links(graph, entry)
+        return ObjectView(source_name, target_id, graph, entry, links)
+
+
+class NavigationSession:
+    """A stateful browsing session with history (back/forward)."""
+
+    def __init__(self, navigator):
+        self.navigator = navigator
+        self._history = []
+        self._position = -1
+
+    @property
+    def current(self):
+        """The view currently displayed, or ``None``."""
+        if 0 <= self._position < len(self._history):
+            return self._history[self._position]
+        return None
+
+    def visit_url(self, url):
+        """Navigate to a URL, truncating any forward history."""
+        view = self.navigator.follow_url(url)
+        self._push(view)
+        return view
+
+    def visit(self, web_link):
+        view = self.navigator.follow(web_link)
+        self._push(view)
+        return view
+
+    def _push(self, view):
+        self._history = self._history[: self._position + 1]
+        self._history.append(view)
+        self._position += 1
+
+    def back(self):
+        """Return to the previous view; error at the start of history."""
+        if self._position <= 0:
+            raise QueryError("no earlier view in this session")
+        self._position -= 1
+        return self.current
+
+    def forward(self):
+        """Redo a navigation undone by :meth:`back`."""
+        if self._position + 1 >= len(self._history):
+            raise QueryError("no later view in this session")
+        self._position += 1
+        return self.current
+
+    def trail(self):
+        """The (source, id) breadcrumb of this session up to now."""
+        return [
+            (view.source_name, view.target_id)
+            for view in self._history[: self._position + 1]
+        ]

@@ -1,0 +1,155 @@
+"""Renderers for the three Figure-5 views.
+
+The paper demonstrates ANNODA through a web GUI; a screenshot cannot
+be reproduced, but the information content can: these renderers emit
+deterministic text (and minimal HTML) for (a) the query interface,
+(b) the annotation integrated view, and (c) the individual object
+view.  The figure-regeneration benchmark prints them.
+"""
+
+import html
+
+from repro.navigation.links import extract_links
+from repro.util.text import box, table
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(a): the query interface
+# ---------------------------------------------------------------------------
+
+
+def render_query_form(question, available_sources):
+    """The query form: source inclusion/exclusion, combination method,
+    search conditions — the three steps section 4.2 walks through."""
+    body = [f"Biological question: {question.text}"]
+    body.append("")
+    body.append("Step 1 - target sources:")
+    included = {link.source_name for link in question.include_links()}
+    excluded = {link.source_name for link in question.exclude_links()}
+    for source in available_sources:
+        if source == question.anchor_source:
+            marker = "[anchor]"
+        elif source in included:
+            marker = "[include]"
+        elif source in excluded:
+            marker = "[exclude]"
+        else:
+            marker = "[ignore]"
+        body.append(f"  {marker} {source}")
+    body.append("")
+    body.append(f"Step 2 - combination method: {question.combination}")
+    body.append("")
+    body.append("Step 3 - search conditions:")
+    condition_lines = question.condition_descriptions()
+    if condition_lines:
+        body.extend(f"  - {line}" for line in condition_lines)
+    else:
+        body.append("  (none)")
+    return box("ANNODA query interface", body)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(b): the annotation integrated view
+# ---------------------------------------------------------------------------
+
+
+def render_integrated_view(result, limit=None):
+    """The integrated answer as an aligned table with web-link markers.
+
+    GO and OMIM get the paper's named columns; any further federated
+    source with matches (SwissProt, PubMed, ...) gets its own column.
+    """
+    extra_sources = sorted(
+        {
+            source
+            for gene in result.genes
+            for source, ids in gene.get("_links", {}).items()
+            if source not in ("GO", "OMIM") and ids
+        }
+    )
+    headers = (
+        ["GeneID", "Symbol", "Organism", "Annotations", "Diseases"]
+        + extra_sources
+        + ["Links"]
+    )
+    rows = []
+    genes = result.genes if limit is None else result.genes[:limit]
+    for gene in genes:
+        links = gene.get("_links", {})
+        go_ids = links.get("GO", [])
+        mims = links.get("OMIM", [])
+        row = [
+            gene.get("GeneID", ""),
+            gene.get("GeneSymbol", ""),
+            gene.get("Species", ""),
+            ", ".join(go_ids) or "-",
+            ", ".join(str(mim) for mim in mims) or "-",
+        ]
+        for source in extra_sources:
+            row.append(
+                ", ".join(str(i) for i in links.get(source, ())) or "-"
+            )
+        row.append("[web]")
+        rows.append(row)
+    header = (
+        f"Annotation integrated view - {len(result.genes)} genes "
+        f"({result.report.count()} conflicts reconciled)"
+    )
+    shown = table(headers, rows)
+    if limit is not None and len(result.genes) > limit:
+        shown += f"\n... and {len(result.genes) - limit} more"
+    return f"{header}\n{shown}"
+
+
+def render_integrated_view_html(result, limit=None):
+    """Minimal HTML version of the integrated view, with real anchors
+    for the web-links (what the paper's GUI showed)."""
+    genes = result.genes if limit is None else result.genes[:limit]
+    parts = [
+        "<html><head><title>ANNODA integrated view</title></head><body>",
+        f"<h1>Annotation integrated view ({len(result.genes)} genes)</h1>",
+        "<table border='1'>",
+        "<tr><th>GeneID</th><th>Symbol</th><th>Organism</th>"
+        "<th>Annotations</th><th>Diseases</th></tr>",
+    ]
+    gene_objects = result.graph.children(result.root, "Gene")
+    for gene, gene_object in zip(genes, gene_objects):
+        links = {
+            link.label: link.url
+            for link in extract_links(result.graph, gene_object)
+        }
+        self_url = links.get("Self", "#")
+        annotations = ", ".join(gene.get("_links", {}).get("GO", [])) or "-"
+        diseases = ", ".join(
+            str(mim) for mim in gene.get("_links", {}).get("OMIM", [])
+        ) or "-"
+        parts.append(
+            "<tr>"
+            f"<td><a href='{html.escape(self_url)}'>"
+            f"{gene.get('GeneID', '')}</a></td>"
+            f"<td>{html.escape(str(gene.get('GeneSymbol', '')))}</td>"
+            f"<td>{html.escape(str(gene.get('Species', '')))}</td>"
+            f"<td>{html.escape(annotations)}</td>"
+            f"<td>{html.escape(diseases)}</td>"
+            "</tr>"
+        )
+    parts.append("</table></body></html>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(c): the individual object view
+# ---------------------------------------------------------------------------
+
+
+def render_object_view(view):
+    """One record with its fields and onward navigation links."""
+    body = []
+    for label, value in view.field_items():
+        body.append(f"{label}: {value}")
+    if view.links:
+        body.append("")
+        body.append("Web links:")
+        body.extend(f"  {link.render()}" for link in view.links)
+    title = f"{view.source_name} object {view.target_id}"
+    return box(title, body)

@@ -1,0 +1,49 @@
+"""The extended Object Exchange Model (OEM) — ANNODA's interchange model.
+
+The paper (section 3.2.1) chooses OEM because *"the simple data models
+have an advantage over complex models when used for integration"* while
+still supporting the two key object-model features: **object nesting**
+and **object identity**.  Both the per-source local models
+(ANNODA-OML) and the global model (ANNODA-GML) are expressed in this
+model, and Lorel query answers are themselves OEM objects.
+
+Public surface:
+
+- :class:`OEMGraph` — the object store (vertices = objects, edges =
+  labels), with named roots, construction helpers and merging.
+- :class:`OEMObject` / :class:`ObjectRef` — objects and the
+  (label, oid, type) reference pairs forming complex values.
+- :class:`OEMType` — the extended atomic type tags (Integer, Real,
+  String, Boolean, Gif, Url) plus Complex.
+- :class:`PathExpression` — Lorel-style label paths with wildcards.
+- Figure-3 text serialization and a JSON object-table format.
+"""
+
+from repro.oem.graph import OEMGraph, graph_signature
+from repro.oem.model import OEMObject, ObjectRef
+from repro.oem.paths import PathExpression
+from repro.oem.serialize import (
+    from_json_table,
+    read_figure3,
+    to_json_table,
+    to_python,
+    write_figure3,
+)
+from repro.oem.types import ATOMIC_TYPES, OEMType, infer_type, type_from_name
+
+__all__ = [
+    "ATOMIC_TYPES",
+    "OEMGraph",
+    "OEMObject",
+    "OEMType",
+    "ObjectRef",
+    "PathExpression",
+    "from_json_table",
+    "graph_signature",
+    "infer_type",
+    "read_figure3",
+    "to_json_table",
+    "to_python",
+    "type_from_name",
+    "write_figure3",
+]

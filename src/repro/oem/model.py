@@ -1,0 +1,167 @@
+"""Objects and object references of the Object Exchange Model.
+
+In OEM *all entities are objects* (paper section 3.2.1).  Each object
+has a unique object identifier (oid).  Atomic objects carry a value
+from one of the disjoint atomic types; complex objects carry a set of
+*object references*, denoted as (label, oid, type) pairs.
+
+:class:`OEMObject` instances are owned by an :class:`~repro.oem.graph.OEMGraph`
+and are never constructed directly by user code — the graph's
+``new_atomic`` / ``new_complex`` factories allocate oids and keep the
+oid index consistent.
+"""
+
+from dataclasses import dataclass
+
+from repro.oem.types import OEMType, infer_type, validate_value
+from repro.util.errors import DataFormatError
+from repro.util.oids import OidAllocator
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """One (label, oid, type) pair of a complex object's value.
+
+    ``type`` is the type tag of the *referenced* object, carried on the
+    edge exactly as the paper describes so that a reader of a complex
+    value knows each child's type without dereferencing it.
+    """
+
+    label: str
+    oid: int
+    type: OEMType
+
+    def render(self):
+        """Render as e.g. ``(Symbol, &4, String)``."""
+        return f"({self.label}, {OidAllocator.render(self.oid)}, {self.type})"
+
+
+class OEMObject:
+    """A single OEM object: oid plus either an atomic value or references.
+
+    Attributes
+    ----------
+    oid:
+        Unique integer identifier within the owning graph.
+    type:
+        The object's :class:`OEMType`; ``COMPLEX`` for non-atomic objects.
+    value:
+        The atomic payload (``None`` for complex objects).
+    """
+
+    __slots__ = ("oid", "type", "value", "_references")
+
+    def __init__(self, oid, oem_type, value=None):
+        self.oid = oid
+        self.type = oem_type
+        if oem_type is OEMType.COMPLEX:
+            if value is not None:
+                raise DataFormatError(
+                    "complex objects carry references, not a value"
+                )
+            self.value = None
+            self._references = []
+        else:
+            self.value = validate_value(value, oem_type)
+            self._references = None
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_atomic(self):
+        return self.type is not OEMType.COMPLEX
+
+    @property
+    def is_complex(self):
+        return self.type is OEMType.COMPLEX
+
+    # -- complex-object value -----------------------------------------------
+
+    @property
+    def references(self):
+        """The (label, oid, type) pairs of a complex object's value."""
+        if self._references is None:
+            raise DataFormatError(
+                f"atomic object &{self.oid} has no object references"
+            )
+        return tuple(self._references)
+
+    def add_reference(self, label, child):
+        """Append a reference to ``child`` under ``label``.
+
+        The reference set of an OEM object is *a set*: adding an exact
+        duplicate (same label, same child) is a no-op, matching the
+        paper's set-of-pairs definition.
+        """
+        if self._references is None:
+            raise DataFormatError(
+                f"cannot add references to atomic object &{self.oid}"
+            )
+        ref = ObjectRef(label, child.oid, child.type)
+        if ref not in self._references:
+            self._references.append(ref)
+        return ref
+
+    def remove_reference(self, label, child_oid):
+        """Remove the reference (label → child_oid); error if absent."""
+        if self._references is None:
+            raise DataFormatError(
+                f"atomic object &{self.oid} has no references to remove"
+            )
+        for index, ref in enumerate(self._references):
+            if ref.label == label and ref.oid == child_oid:
+                del self._references[index]
+                return
+        raise DataFormatError(
+            f"object &{self.oid} has no reference {label} -> &{child_oid}"
+        )
+
+    def sort_references(self, key):
+        """Stably sort the reference list by ``key(ref)``.
+
+        Used by Lorel's ``order by``: an answer object's edge order is
+        its result order.
+        """
+        if self._references is None:
+            raise DataFormatError(
+                f"atomic object &{self.oid} has no references to sort"
+            )
+        self._references.sort(key=key)
+
+    def reverse_references(self):
+        """Reverse the reference list (descending ``order by``)."""
+        if self._references is None:
+            raise DataFormatError(
+                f"atomic object &{self.oid} has no references to reverse"
+            )
+        self._references.reverse()
+
+    def labels(self):
+        """The distinct outgoing labels, in first-appearance order."""
+        seen = []
+        for ref in self.references:
+            if ref.label not in seen:
+                seen.append(ref.label)
+        return seen
+
+    def refs_with_label(self, label):
+        """All references whose label equals ``label``."""
+        return [ref for ref in self.references if ref.label == label]
+
+    # -- display ------------------------------------------------------------
+
+    def __repr__(self):
+        if self.is_atomic:
+            return (
+                f"OEMObject(&{self.oid}, {self.type}, value={self.value!r})"
+            )
+        return (
+            f"OEMObject(&{self.oid}, Complex, "
+            f"{len(self._references)} references)"
+        )
+
+
+def atomic_from_python(oid, value, oem_type=None):
+    """Build an atomic object, inferring the type tag when not given."""
+    resolved = oem_type if oem_type is not None else infer_type(value)
+    return OEMObject(oid, resolved, value)

@@ -1,0 +1,157 @@
+"""Label path expressions over OEM graphs.
+
+Lorel navigates OEM with *path expressions*: ``Source.Name`` walks the
+``Source`` edge then the ``Name`` edge.  Because semi-structured data is
+irregular (*"object structure is not fully known"*, paper section 4.1),
+Lorel path expressions allow wildcards; this module implements the
+subset ANNODA uses:
+
+``Label``      an exact edge label (matched case-sensitively),
+``%``          inside a label: any run of characters (SQL LIKE style),
+``#``          a whole segment matching *any path* of length >= 0.
+
+A path is compiled once into a :class:`PathExpression` and can then be
+matched from any start object, returning either the terminal objects or
+full trails for navigation displays.
+"""
+
+import re
+
+from repro.util.errors import QueryError
+
+
+class PathExpression:
+    """A compiled label path.
+
+    >>> from repro.oem.graph import OEMGraph
+    >>> graph = OEMGraph()
+    >>> root = graph.build({"Source": {"Name": "LocusLink"}})
+    >>> [obj.value for obj in PathExpression.parse("Source.Name").terminals(graph, root)]
+    ['LocusLink']
+    """
+
+    def __init__(self, segments, text):
+        self.segments = segments
+        self.text = text
+
+    @classmethod
+    def parse(cls, text):
+        """Compile dotted path text into a :class:`PathExpression`."""
+        stripped = text.strip()
+        if not stripped:
+            raise QueryError("empty path expression")
+        segments = []
+        for raw in stripped.split("."):
+            label = raw.strip()
+            if not label:
+                raise QueryError(f"empty segment in path {text!r}")
+            if label == "#":
+                segments.append(_AnyPath())
+            elif "%" in label:
+                segments.append(_LikeSegment(label))
+            else:
+                segments.append(_ExactSegment(label))
+        return cls(segments, stripped)
+
+    def __len__(self):
+        return len(self.segments)
+
+    def __repr__(self):
+        return f"PathExpression({self.text!r})"
+
+    # -- matching -----------------------------------------------------------
+
+    def trails(self, graph, start):
+        """All matching trails from ``start``.
+
+        A trail is a tuple of (label, object) steps; the terminal object
+        of a trail is ``trail[-1][1]`` (or ``start`` for the empty trail,
+        which only an all-``#`` path can produce).  Results preserve
+        first-encounter order and contain no duplicate terminal visits
+        for the same (segment index, object) state, so cyclic graphs
+        terminate.
+        """
+        results = []
+        seen_states = set()
+
+        def _match(obj, index, trail):
+            state = (index, obj.oid)
+            if state in seen_states:
+                return
+            seen_states.add(state)
+            if index == len(self.segments):
+                results.append(tuple(trail))
+                return
+            segment = self.segments[index]
+            if isinstance(segment, _AnyPath):
+                # '#' matches the empty path ...
+                _match(obj, index + 1, trail)
+                # ... or one more edge followed by '#' again.
+                if obj.is_complex:
+                    for ref in obj.references:
+                        child = graph.get(ref.oid)
+                        trail.append((ref.label, child))
+                        _match(child, index, trail)
+                        trail.pop()
+                return
+            if obj.is_complex:
+                for ref in obj.references:
+                    if segment.matches(ref.label):
+                        child = graph.get(ref.oid)
+                        trail.append((ref.label, child))
+                        _match(child, index + 1, trail)
+                        trail.pop()
+
+        _match(start, 0, [])
+        return results
+
+    def terminals(self, graph, start):
+        """Terminal objects of all matching trails, de-duplicated by oid."""
+        ordered = []
+        seen = set()
+        for trail in self.trails(graph, start):
+            terminal = trail[-1][1] if trail else start
+            if terminal.oid not in seen:
+                seen.add(terminal.oid)
+                ordered.append(terminal)
+        return ordered
+
+    def first(self, graph, start):
+        """The first terminal object, or ``None`` when nothing matches."""
+        terminals = self.terminals(graph, start)
+        return terminals[0] if terminals else None
+
+
+class _ExactSegment:
+    """Matches one edge whose label equals the segment exactly."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def matches(self, label):
+        return label == self.label
+
+    def __repr__(self):
+        return f"Exact({self.label})"
+
+
+class _LikeSegment:
+    """Matches one edge whose label fits a ``%`` wildcard pattern."""
+
+    def __init__(self, pattern):
+        self.pattern = pattern
+        parts = [re.escape(part) for part in pattern.split("%")]
+        self._regex = re.compile("^" + ".*".join(parts) + "$")
+
+    def matches(self, label):
+        return self._regex.match(label) is not None
+
+    def __repr__(self):
+        return f"Like({self.pattern})"
+
+
+class _AnyPath:
+    """The ``#`` segment: any path of length >= 0."""
+
+    def __repr__(self):
+        return "AnyPath(#)"

@@ -1,0 +1,250 @@
+"""OEM serialization: the paper's Figure-3 text format and a JSON form.
+
+Figure 3 of the paper shows the ANNODA-OML representation of LocusLink
+as indented text where *"each line shows label, object's oid, object
+type, and object value.  If the object is atomic, its value is given on
+that line.  If the object is complex, and has not been described
+earlier, subsequent indented lines describe its object references."*
+
+:func:`write_figure3` emits exactly that layout; :func:`read_figure3`
+parses it back into an :class:`~repro.oem.graph.OEMGraph` preserving
+oids, so the format round-trips (a property test enforces this).  The
+JSON form is a flat object table used for machine interchange.
+"""
+
+from repro.oem.graph import OEMGraph
+from repro.oem.model import OEMObject
+from repro.oem.types import (
+    OEMType,
+    parse_value,
+    render_value,
+    type_from_name,
+)
+from repro.util.errors import DataFormatError
+from repro.util.oids import OidAllocator
+
+INDENT = "  "
+
+
+# ---------------------------------------------------------------------------
+# Figure-3 text format
+# ---------------------------------------------------------------------------
+
+
+def write_figure3(graph, root_label, root):
+    """Serialize the subtree at ``root`` in the paper's Figure-3 layout."""
+    lines = []
+    described = set()
+
+    def _emit(label, obj, depth):
+        pad = INDENT * depth
+        oid_text = OidAllocator.render(obj.oid)
+        if obj.is_atomic:
+            value_text = _quote(render_value(obj.value, obj.type))
+            lines.append(f"{pad}{label} {oid_text} {obj.type} {value_text}")
+            return
+        lines.append(f"{pad}{label} {oid_text} {obj.type}")
+        if obj.oid in described:
+            return
+        described.add(obj.oid)
+        for ref in obj.references:
+            _emit(ref.label, graph.get(ref.oid), depth + 1)
+
+    _emit(root_label, root, 0)
+    return "\n".join(lines) + "\n"
+
+
+def read_figure3(text, graph_name="oem"):
+    """Parse Figure-3 text back into ``(graph, root_label, root)``.
+
+    Oids from the text are preserved so that ``write -> read -> write``
+    is the identity on well-formed documents.
+    """
+    graph = OEMGraph(graph_name)
+    # (depth, parent object) stack; index 0 is a virtual super-root.
+    stack = []
+    root_label = None
+    root_obj = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        depth, line = _split_indent(raw, line_number)
+        label, oid, oem_type, value = _parse_line(line, line_number)
+        while stack and stack[-1][0] >= depth:
+            stack.pop()
+        if depth > 0 and not stack:
+            raise DataFormatError(
+                "indented line has no parent", line_number=line_number
+            )
+        if oid in graph:
+            obj = graph.get(oid)
+            if obj.type is not oem_type:
+                raise DataFormatError(
+                    f"&{oid} re-described with type {oem_type}, "
+                    f"was {obj.type}",
+                    line_number=line_number,
+                )
+        else:
+            obj = OEMObject(oid, oem_type, value)
+            graph.adopt(obj)
+        if stack:
+            parent = stack[-1][1]
+            parent.add_reference(label, obj)
+        else:
+            if root_obj is not None:
+                raise DataFormatError(
+                    "document has more than one top-level object",
+                    line_number=line_number,
+                )
+            root_label, root_obj = label, obj
+        if obj.is_complex:
+            stack.append((depth, obj))
+    if root_obj is None:
+        raise DataFormatError("document contains no objects")
+    graph.rebind_root(root_label, root_obj)
+    return graph, root_label, root_obj
+
+
+def _split_indent(raw, line_number):
+    stripped = raw.lstrip(" ")
+    spaces = len(raw) - len(stripped)
+    if spaces % len(INDENT) != 0:
+        raise DataFormatError(
+            f"indentation of {spaces} spaces is not a multiple of "
+            f"{len(INDENT)}",
+            line_number=line_number,
+        )
+    return spaces // len(INDENT), stripped.rstrip()
+
+
+def _parse_line(line, line_number):
+    """Split ``Label &N Type ['value']`` into its four parts."""
+    parts = line.split(" ", 3)
+    if len(parts) < 3:
+        raise DataFormatError(
+            f"expected 'label &oid type [value]', got {line!r}",
+            line_number=line_number,
+        )
+    label = parts[0]
+    try:
+        oid = OidAllocator.parse(parts[1])
+    except ValueError as exc:
+        raise DataFormatError(str(exc), line_number=line_number) from None
+    oem_type = type_from_name(parts[2])
+    if oem_type is OEMType.COMPLEX:
+        if len(parts) == 4 and parts[3].strip():
+            raise DataFormatError(
+                "complex objects carry no value on their line",
+                line_number=line_number,
+            )
+        return label, oid, oem_type, None
+    if len(parts) < 4:
+        raise DataFormatError(
+            f"atomic object of type {oem_type} is missing its value",
+            line_number=line_number,
+        )
+    return label, oid, oem_type, parse_value(_unquote(parts[3], line_number), oem_type)
+
+
+def _quote(text):
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _unquote(text, line_number):
+    stripped = text.strip()
+    if len(stripped) < 2 or not (
+        stripped.startswith("'") and stripped.endswith("'")
+    ):
+        raise DataFormatError(
+            f"atomic value must be single-quoted: {text!r}",
+            line_number=line_number,
+        )
+    return stripped[1:-1].replace("''", "'")
+
+
+# ---------------------------------------------------------------------------
+# JSON object-table format
+# ---------------------------------------------------------------------------
+
+
+def to_json_table(graph):
+    """Flatten a whole graph to a JSON-serializable object table."""
+    objects = []
+    for obj in graph.objects():
+        if obj.is_atomic:
+            objects.append(
+                {
+                    "oid": obj.oid,
+                    "type": obj.type.value,
+                    "value": render_value(obj.value, obj.type),
+                }
+            )
+        else:
+            objects.append(
+                {
+                    "oid": obj.oid,
+                    "type": obj.type.value,
+                    "references": [
+                        {"label": ref.label, "oid": ref.oid}
+                        for ref in obj.references
+                    ],
+                }
+            )
+    roots = {name: graph.root(name).oid for name in graph.root_names()}
+    return {"name": graph.name, "objects": objects, "roots": roots}
+
+
+def from_json_table(table):
+    """Rebuild a graph from :func:`to_json_table` output."""
+    graph = OEMGraph(table.get("name", "oem"))
+    pending_refs = []
+    for entry in table["objects"]:
+        oem_type = type_from_name(entry["type"])
+        if oem_type is OEMType.COMPLEX:
+            obj = OEMObject(entry["oid"], oem_type)
+            pending_refs.append((obj, entry.get("references", [])))
+        else:
+            obj = OEMObject(
+                entry["oid"], oem_type, parse_value(entry["value"], oem_type)
+            )
+        graph.adopt(obj)
+    for obj, refs in pending_refs:
+        for ref in refs:
+            obj.add_reference(ref["label"], graph.get(ref["oid"]))
+    for name, oid in table.get("roots", {}).items():
+        graph.rebind_root(name, graph.get(oid))
+    problems = graph.validate()
+    if problems:
+        raise DataFormatError(
+            "JSON object table is not referentially consistent: "
+            + "; ".join(problems)
+        )
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Convenience conversion to plain Python
+# ---------------------------------------------------------------------------
+
+
+def to_python(graph, obj, _active=None):
+    """Convert an OEM subtree into plain Python structures.
+
+    Complex objects become dicts; labels that fan out to several
+    children become lists; atomic objects become their values.  Cycles
+    are cut with the sentinel string ``"<cycle &N>"``.
+    """
+    active = _active or frozenset()
+    if obj.is_atomic:
+        return obj.value
+    if obj.oid in active:
+        return f"<cycle &{obj.oid}>"
+    active = active | {obj.oid}
+    result = {}
+    for label in obj.labels():
+        children = [
+            to_python(graph, graph.get(ref.oid), active)
+            for ref in obj.refs_with_label(label)
+        ]
+        result[label] = children[0] if len(children) == 1 else children
+    return result

@@ -1,0 +1,153 @@
+"""Atomic value types of the extended Object Exchange Model.
+
+Section 3.2.1 of the paper: *"for simplicity, when comparing the
+object's value, we extended the data type of the object's value into
+OEM"* and *"some objects are atomic and contain a value from one of the
+disjoint basic atomic types (e.g. integer, real, string, gif, etc)"*.
+
+This module defines those disjoint atomic types, type inference from
+Python values, and value validation.  ``COMPLEX`` is included as the
+type tag of non-atomic objects so every (label, oid, type) reference
+carries a tag from one enumeration.
+"""
+
+import enum
+
+from repro.util.errors import DataFormatError
+
+
+class OEMType(enum.Enum):
+    """Type tags of the extended OEM used by ANNODA-OML and ANNODA-GML."""
+
+    INTEGER = "Integer"
+    REAL = "Real"
+    STRING = "String"
+    BOOLEAN = "Boolean"
+    #: Binary image payload; in this reproduction carried as ``bytes``.
+    GIF = "Gif"
+    #: Web-link values power the paper's interactive navigation.
+    URL = "Url"
+    #: Non-atomic objects whose value is a set of object references.
+    COMPLEX = "Complex"
+
+    def __str__(self):
+        return self.value
+
+    @property
+    def is_atomic(self):
+        return self is not OEMType.COMPLEX
+
+
+#: Types an atomic object may carry, in serialization-stable order.
+ATOMIC_TYPES = tuple(t for t in OEMType if t.is_atomic)
+
+_BY_NAME = {t.value: t for t in OEMType}
+_BY_NAME.update({t.value.lower(): t for t in OEMType})
+_BY_NAME.update({t.name: t for t in OEMType})
+
+
+def type_from_name(name):
+    """Resolve a type tag from its serialized name (case-tolerant).
+
+    Raises
+    ------
+    DataFormatError
+        If ``name`` is not a known OEM type tag.
+    """
+    try:
+        return _BY_NAME[name if name in _BY_NAME else str(name).lower()]
+    except KeyError:
+        raise DataFormatError(f"unknown OEM type tag: {name!r}") from None
+
+
+def infer_type(value):
+    """Infer the OEM atomic type of a Python value.
+
+    Booleans are checked before integers because ``bool`` subclasses
+    ``int`` in Python.  Strings that look like URLs become ``URL`` only
+    via explicit tagging, never by inference, so that gene descriptions
+    mentioning a protocol are not misclassified.
+    """
+    if isinstance(value, bool):
+        return OEMType.BOOLEAN
+    if isinstance(value, int):
+        return OEMType.INTEGER
+    if isinstance(value, float):
+        return OEMType.REAL
+    if isinstance(value, str):
+        return OEMType.STRING
+    if isinstance(value, (bytes, bytearray)):
+        return OEMType.GIF
+    raise DataFormatError(
+        f"value of Python type {type(value).__name__!r} has no OEM atomic type"
+    )
+
+
+_EXPECTED_PYTHON_TYPES = {
+    OEMType.INTEGER: (int,),
+    OEMType.REAL: (float, int),
+    OEMType.STRING: (str,),
+    OEMType.BOOLEAN: (bool,),
+    OEMType.GIF: (bytes, bytearray),
+    OEMType.URL: (str,),
+}
+
+
+def validate_value(value, oem_type):
+    """Check that ``value`` is representable under ``oem_type``.
+
+    Returns the (possibly normalized) value: integers passed as REAL
+    are widened to float, ``bytearray`` is frozen to ``bytes``.
+
+    Raises
+    ------
+    DataFormatError
+        If the value cannot carry the requested type.
+    """
+    if oem_type is OEMType.COMPLEX:
+        raise DataFormatError("complex objects do not carry an atomic value")
+    expected = _EXPECTED_PYTHON_TYPES[oem_type]
+    if isinstance(value, bool) and oem_type is not OEMType.BOOLEAN:
+        raise DataFormatError(
+            f"boolean value {value!r} cannot carry type {oem_type}"
+        )
+    if not isinstance(value, expected):
+        raise DataFormatError(
+            f"value {value!r} cannot carry OEM type {oem_type}"
+        )
+    if oem_type is OEMType.REAL:
+        return float(value)
+    if isinstance(value, bytearray):
+        return bytes(value)
+    return value
+
+
+def parse_value(text, oem_type):
+    """Parse the serialized text of an atomic value back into Python.
+
+    Inverse of :func:`render_value` for every atomic type.
+    """
+    if oem_type is OEMType.INTEGER:
+        return int(text)
+    if oem_type is OEMType.REAL:
+        return float(text)
+    if oem_type is OEMType.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+        raise DataFormatError(f"not a boolean literal: {text!r}")
+    if oem_type is OEMType.GIF:
+        return bytes.fromhex(text)
+    # STRING and URL serialize verbatim.
+    return text
+
+
+def render_value(value, oem_type):
+    """Render an atomic value to its serialized text form."""
+    if oem_type is OEMType.GIF:
+        return bytes(value).hex()
+    if oem_type is OEMType.BOOLEAN:
+        return "true" if value else "false"
+    return str(value)

@@ -1,0 +1,24 @@
+"""The biological-question interface (section 4.2).
+
+*"Users can describe a query in biological question, not in SQL."*
+A :class:`BiologicalQuestion` captures the three steps of the paper's
+query interface — source inclusion/exclusion, combination method,
+search conditions — and compiles to a
+:class:`~repro.mediator.decompose.GlobalQuery`.  Questions are built
+three ways: the fluent :class:`QuestionBuilder`, the canned
+:mod:`~repro.questions.catalog`, or parsed from constrained English by
+:class:`QuestionParser` (the paper's Figure-5(b) question parses out of
+the box).
+"""
+
+from repro.questions.builder import QuestionBuilder
+from repro.questions.catalog import QuestionCatalog
+from repro.questions.model import BiologicalQuestion
+from repro.questions.parser import QuestionParser
+
+__all__ = [
+    "BiologicalQuestion",
+    "QuestionBuilder",
+    "QuestionCatalog",
+    "QuestionParser",
+]

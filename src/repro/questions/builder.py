@@ -1,0 +1,138 @@
+"""Fluent construction of biological questions."""
+
+from repro.mediator.decompose import Condition, LinkConstraint
+from repro.questions.model import BiologicalQuestion
+from repro.util.errors import QueryError
+
+#: Default link attribute for each known source.
+DEFAULT_VIA = {
+    "GO": "AnnotationID",
+    "OMIM": "DiseaseID",
+    "PubMed": "CitationID",
+    "SwissProt": "ProteinID",
+}
+
+#: Sources whose native linkage goes through gene symbols.
+SYMBOL_JOINED = frozenset({"OMIM", "SwissProt"})
+
+#: Sources whose link ids live on their own side (GeneID back-refs).
+REVERSE_JOINED = frozenset({"SwissProt"})
+
+
+class QuestionBuilder:
+    """Step-by-step question assembly mirroring the Figure-5(a) form.
+
+    >>> question = (
+    ...     QuestionBuilder("genes with GO but no OMIM")
+    ...     .include("GO")
+    ...     .exclude("OMIM")
+    ...     .build()
+    ... )
+    >>> [link.mode for link in question.links]
+    ['include', 'exclude']
+    """
+
+    def __init__(self, text):
+        self._text = text
+        self._anchor = "LocusLink"
+        self._anchor_conditions = []
+        self._links = []
+        self._pending_link = None
+        self._select = []
+
+    # -- step 0: the anchor -----------------------------------------------------
+
+    def anchor(self, source_name):
+        """Choose the gene source the question ranges over."""
+        self._anchor = source_name
+        return self
+
+    # -- step 1: inclusion / exclusion of targets ------------------------------
+
+    def include(self, source_name, via=None, symbol_join=None,
+                reverse_join=None):
+        """Require a qualifying link into ``source_name``."""
+        return self._add_link(
+            "include", source_name, via, symbol_join, reverse_join
+        )
+
+    def exclude(self, source_name, via=None, symbol_join=None,
+                reverse_join=None):
+        """Forbid any qualifying link into ``source_name``."""
+        return self._add_link(
+            "exclude", source_name, via, symbol_join, reverse_join
+        )
+
+    def _add_link(self, mode, source_name, via, symbol_join, reverse_join):
+        self._flush_pending()
+        resolved_via = via or DEFAULT_VIA.get(source_name)
+        if resolved_via is None:
+            raise QueryError(
+                f"no default link attribute for source {source_name!r}; "
+                "pass via=..."
+            )
+        if symbol_join is None:
+            symbol_join = source_name in SYMBOL_JOINED
+        if reverse_join is None:
+            reverse_join = source_name in REVERSE_JOINED
+        self._pending_link = {
+            "source_name": source_name,
+            "mode": mode,
+            "via": resolved_via,
+            "symbol_join": symbol_join,
+            "reverse_join": reverse_join,
+            "conditions": [],
+        }
+        return self
+
+    # -- step 3: search conditions ------------------------------------------------
+
+    def where(self, attribute, op, value):
+        """A condition on the anchor's global attributes."""
+        self._anchor_conditions.append(Condition(attribute, op, value))
+        return self
+
+    def where_linked(self, attribute, op, value):
+        """A condition on the most recently added link's source."""
+        if self._pending_link is None:
+            raise QueryError(
+                "where_linked() must follow include()/exclude()"
+            )
+        self._pending_link["conditions"].append(
+            Condition(attribute, op, value)
+        )
+        return self
+
+    # -- projection -------------------------------------------------------------------
+
+    def select(self, *attributes):
+        """Restrict the answer to the named global attributes."""
+        self._select.extend(attributes)
+        return self
+
+    # -- finish ------------------------------------------------------------------------
+
+    def build(self):
+        self._flush_pending()
+        return BiologicalQuestion(
+            text=self._text,
+            anchor_source=self._anchor,
+            anchor_conditions=tuple(self._anchor_conditions),
+            links=tuple(self._links),
+            select=tuple(self._select),
+        )
+
+    def _flush_pending(self):
+        if self._pending_link is not None:
+            pending = self._pending_link
+            self._links.append(
+                LinkConstraint(
+                    source_name=pending["source_name"],
+                    mode=pending["mode"],
+                    via=pending["via"],
+                    conditions=tuple(pending["conditions"]),
+                    symbol_join=pending["symbol_join"],
+                    reverse_join=pending["reverse_join"],
+                )
+            )
+            self._pending_link = None

@@ -1,0 +1,101 @@
+"""The biological-question model."""
+
+from dataclasses import dataclass, field
+
+from repro.mediator.decompose import GlobalQuery
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class BiologicalQuestion:
+    """One question as the query interface captures it.
+
+    Attributes mirror the three interface steps of section 4.2:
+    ``links`` carries the per-source inclusion/exclusion (step 1),
+    ``combination`` the combining method (step 2; link constraints are
+    conjunctive — the paper's interface combines selected mappings with
+    one method), and the conditions the search narrowing (step 3).
+    """
+
+    text: str
+    anchor_source: str = "LocusLink"
+    anchor_conditions: tuple = ()
+    links: tuple = ()
+    combination: str = "and"
+    select: tuple = ()
+
+    def __post_init__(self):
+        if self.combination != "and":
+            raise QueryError(
+                "the ANNODA interface combines constraints "
+                f"conjunctively; got {self.combination!r}"
+            )
+
+    # -- views the renderer uses -------------------------------------------------
+
+    def include_links(self):
+        return [link for link in self.links if link.mode == "include"]
+
+    def exclude_links(self):
+        return [link for link in self.links if link.mode == "exclude"]
+
+    def condition_descriptions(self):
+        """Human-readable conditions for the Figure-5(a) form."""
+        lines = [
+            f"{self.anchor_source}: {condition.render()}"
+            for condition in self.anchor_conditions
+        ]
+        for link in self.links:
+            for condition in link.conditions:
+                lines.append(f"{link.source_name}: {condition.render()}")
+        return lines
+
+    # -- compilation ---------------------------------------------------------------
+
+    def to_global_query(self):
+        """The mediator query this question denotes."""
+        return GlobalQuery(
+            anchor_source=self.anchor_source,
+            conditions=self.anchor_conditions,
+            links=self.links,
+            select=self.select,
+        )
+
+    def to_lorel(self):
+        """An explanatory Lorel rendering of the question.
+
+        Shown to curious users (the paper expresses complex queries in
+        Lorel, section 4.1); decomposition does not round-trip through
+        this text.
+        """
+        clauses = []
+        for condition in self.anchor_conditions:
+            clauses.append(
+                f"G.{condition.attribute} {condition.op} "
+                f"{_lorel_literal(condition.value)}"
+            )
+        for link in self.links:
+            inner = f"exists G.{link.via}"
+            if link.conditions:
+                inner = " and ".join(
+                    [inner]
+                    + [
+                        f"{link.source_name}.{condition.attribute} "
+                        f"{condition.op} {_lorel_literal(condition.value)}"
+                        for condition in link.conditions
+                    ]
+                )
+            if link.mode == "exclude":
+                inner = f"not ({inner})"
+            clauses.append(inner)
+        where = " and ".join(clauses) if clauses else "true"
+        return (
+            f"select G from ANNODA-GML.{self.anchor_source}.Locus G "
+            f"where {where}"
+        )
+
+
+def _lorel_literal(value):
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)

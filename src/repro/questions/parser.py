@@ -1,0 +1,152 @@
+"""Parsing constrained-English biological questions.
+
+The paper's users *"describe a query in biological question, not in
+SQL"*.  This parser covers the question family the paper's interface
+supports: a gene anchor, organism qualifiers, per-source
+inclusion/exclusion phrases, and quoted narrowing terms, e.g.::
+
+    Find a set of LocusLink genes, which are annotated with some GO
+    functions, but not associated with some OMIM disease
+
+    human genes annotated with GO function containing "kinase"
+
+Anything outside the grammar raises a helpful
+:class:`~repro.util.errors.QueryError` rather than guessing.
+"""
+
+import re
+
+from repro.questions.builder import QuestionBuilder
+from repro.util.errors import QueryError
+
+_ORGANISMS = {
+    "human": "Homo sapiens",
+    "mouse": "Mus musculus",
+    "murine": "Mus musculus",
+    "rat": "Rattus norvegicus",
+}
+
+#: (source name, phrases that reference a link into it)
+_SOURCE_PHRASES = (
+    ("GO", r"(?:go|gene ontology)\s+(?:function|term|annotation)s?"),
+    ("OMIM", r"(?:omim\s+)?(?:omim|disease|disorder|phenotype)s?(?:\s+entry|\s+entries)?"),
+    ("PubMed", r"(?:pubmed\s+)?(?:article|citation|publication)s?"),
+)
+
+_LINK_VERBS = (
+    r"annotated with",
+    r"associated with",
+    r"linked to",
+    r"cited in",
+)
+
+
+class QuestionParser:
+    """Parse one constrained-English question into a
+    :class:`~repro.questions.model.BiologicalQuestion`."""
+
+    def parse(self, text):
+        normalized = " ".join(text.strip().split())
+        if not normalized:
+            raise QueryError("empty question")
+        lowered = normalized.lower()
+        if "gene" not in lowered and "loci" not in lowered and (
+            "locus" not in lowered
+        ):
+            raise QueryError(
+                "questions must range over genes, e.g. 'find genes "
+                "annotated with some GO function'"
+            )
+        builder = QuestionBuilder(normalized)
+        self._parse_organism(lowered, builder)
+        self._parse_symbol(normalized, builder)
+        matched_any = self._parse_links(lowered, normalized, builder)
+        if not matched_any and not builder._anchor_conditions:
+            raise QueryError(
+                "could not find any constraint in the question; supported "
+                "phrases: 'annotated with some GO function', "
+                "'associated with some OMIM disease', "
+                "'cited in some PubMed article', 'human/mouse/rat genes', "
+                "'with symbol X'"
+            )
+        return builder.build()
+
+    # -- qualifiers ---------------------------------------------------------------
+
+    @staticmethod
+    def _parse_organism(lowered, builder):
+        for word, organism in _ORGANISMS.items():
+            if re.search(rf"\b{word}\b", lowered):
+                builder.where("Species", "=", organism)
+                return
+
+    @staticmethod
+    def _parse_symbol(text, builder):
+        match = re.search(
+            r"with (?:the )?symbol ['\"]?([A-Za-z0-9-]+)['\"]?", text,
+            flags=re.IGNORECASE,
+        )
+        if match:
+            builder.where("GeneSymbol", "=", match.group(1))
+
+    # -- link phrases ------------------------------------------------------------------
+
+    def _parse_links(self, lowered, original, builder):
+        matched_any = self._parse_specific_term(lowered, builder)
+        for source_name, noun_pattern in _SOURCE_PHRASES:
+            if matched_any and source_name == "GO" and re.search(
+                r"term\s+go:\d{7}", lowered
+            ):
+                # Already captured as a specific-term constraint.
+                continue
+            for verb in _LINK_VERBS:
+                pattern = (
+                    rf"(?P<negation>not\s+|without\s+being\s+)?{verb}\s+"
+                    rf"(?:some\s+|any\s+|a\s+|an\s+)?(?:given\s+)?"
+                    rf"(?P<noun>{noun_pattern})"
+                )
+                match = re.search(pattern, lowered)
+                if not match:
+                    continue
+                matched_any = True
+                if match.group("negation"):
+                    builder.exclude(source_name)
+                else:
+                    builder.include(source_name)
+                self._parse_containing(
+                    lowered, original, match.end(), builder
+                )
+                break
+        return matched_any
+
+    @staticmethod
+    def _parse_specific_term(lowered, builder):
+        """'annotated with [the] [GO] term GO:0000123 [or below]' pins
+        the annotation to one accession (or its descendant closure)."""
+        match = re.search(
+            r"(?P<negation>not\s+)?annotated\s+with\s+(?:the\s+)?"
+            r"(?:go\s+)?term\s+(?P<accession>go:\d{7})"
+            r"(?P<below>\s+or\s+(?:below|any\s+descendant))?",
+            lowered,
+        )
+        if not match:
+            return False
+        accession = "GO:" + match.group("accession")[3:]
+        if match.group("negation"):
+            builder.exclude("GO")
+        else:
+            builder.include("GO")
+        operator = "under" if match.group("below") else "="
+        builder.where_linked("AnnotationID", operator, accession)
+        return True
+
+    @staticmethod
+    def _parse_containing(lowered, original, position, builder):
+        """A 'containing \"word\"' right after a link phrase narrows the
+        linked source's Title."""
+        tail = lowered[position:position + 40]
+        match = re.match(
+            r"s?\s+containing\s+['\"]([^'\"]+)['\"]", tail
+        )
+        if match:
+            builder.where_linked("Title", "contains", match.group(1))

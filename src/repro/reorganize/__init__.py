@@ -1,0 +1,14 @@
+"""Re-organization of retrieved results (paper future-work item 4).
+
+The paper's conclusion: *"Re-Organization of the retrieved results
+will be mainly focused on to facilitate the further analysis."*  This
+package implements that follow-up: pivoting an
+:class:`~repro.mediator.executor.IntegratedResult` by annotation,
+disease or species; building the gene x annotation incidence matrix
+automated large-scale analyses consume; and exporting to CSV/JSON.
+"""
+
+from repro.reorganize.export import to_csv, to_json_records
+from repro.reorganize.pivot import Reorganizer
+
+__all__ = ["Reorganizer", "to_csv", "to_json_records"]

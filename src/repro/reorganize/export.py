@@ -1,0 +1,77 @@
+"""Machine-readable exports of integrated results."""
+
+import csv
+import io
+import json
+
+
+#: Gene columns exported in stable order when present.
+_PREFERRED_COLUMNS = (
+    "GeneID",
+    "GeneSymbol",
+    "Species",
+    "MapPosition",
+    "Definition",
+)
+
+
+def _columns(result):
+    present = set()
+    for gene in result.genes:
+        present.update(key for key in gene if key != "_links")
+    ordered = [c for c in _PREFERRED_COLUMNS if c in present]
+    ordered.extend(sorted(present - set(ordered)))
+    return ordered
+
+
+def to_csv(result):
+    """The integrated result as CSV text.
+
+    Multivalued attributes and matched link ids are joined with ``|``
+    inside their cell (the classic bioinformatics convention).
+    """
+    columns = _columns(result)
+    link_sources = sorted(
+        {
+            source
+            for gene in result.genes
+            for source in gene.get("_links", {})
+        }
+    )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns + [f"Linked{source}" for source in link_sources])
+    for gene in result.genes:
+        row = []
+        for column in columns:
+            value = gene.get(column, "")
+            if isinstance(value, list):
+                value = "|".join(str(item) for item in value)
+            row.append(value)
+        for source in link_sources:
+            row.append(
+                "|".join(
+                    str(link_id)
+                    for link_id in gene.get("_links", {}).get(source, ())
+                )
+            )
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json_records(result):
+    """The integrated result as a JSON string of gene records.
+
+    ``_links`` becomes a ``links`` object keyed by source name.
+    """
+    records = []
+    for gene in result.genes:
+        record = {
+            key: value for key, value in gene.items() if key != "_links"
+        }
+        record["links"] = {
+            source: list(ids)
+            for source, ids in gene.get("_links", {}).items()
+        }
+        records.append(record)
+    return json.dumps(records, indent=2, sort_keys=True)

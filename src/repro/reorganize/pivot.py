@@ -1,0 +1,152 @@
+"""Pivot views over integrated results."""
+
+from repro.oem.graph import OEMGraph
+from repro.util.errors import QueryError
+
+
+class Reorganizer:
+    """Re-organize one integrated result for further analysis.
+
+    All views are derived from the result's plain gene dicts (global
+    vocabulary), so they work for any anchor/link combination the
+    mediator produced.
+    """
+
+    def __init__(self, result):
+        self.result = result
+
+    # -- grouping views ----------------------------------------------------------
+
+    def by_annotation(self):
+        """GO accession -> {"title": term title or None,
+        "genes": [GeneIDs]} over the matched annotations."""
+        return self._by_link("GO")
+
+    def by_disease(self):
+        """MIM number -> {"title": ..., "genes": [GeneIDs]}."""
+        return self._by_link("OMIM")
+
+    def _by_link(self, source_name):
+        groups = {}
+        titles = self._link_titles(source_name)
+        for gene in self.result.genes:
+            for link_id in gene.get("_links", {}).get(source_name, ()):
+                group = groups.setdefault(
+                    link_id,
+                    {"title": titles.get(link_id), "genes": []},
+                )
+                group["genes"].append(gene["GeneID"])
+        for group in groups.values():
+            group["genes"].sort()
+        return dict(sorted(groups.items(), key=lambda item: str(item[0])))
+
+    def _link_titles(self, source_name):
+        """Link id -> Title, read from the enriched OEM view."""
+        titles = {}
+        graph = self.result.graph
+        child_label = {"GO": "Annotation", "OMIM": "Disease",
+                       "PubMed": "Citation"}.get(source_name)
+        if child_label is None:
+            return titles
+        for gene_object in graph.children(self.result.root, "Gene"):
+            for child in graph.children(gene_object, child_label):
+                link_id = None
+                title = None
+                for ref in child.references:
+                    value_object = graph.get(ref.oid)
+                    if not value_object.is_atomic:
+                        continue
+                    if ref.label == "Title":
+                        title = value_object.value
+                    elif link_id is None and ref.label != "Title":
+                        link_id = value_object.value
+                if link_id is not None and title is not None:
+                    titles[link_id] = title
+        return titles
+
+    def by_species(self):
+        """Species -> [GeneIDs]."""
+        groups = {}
+        for gene in self.result.genes:
+            species = gene.get("Species", "unknown")
+            groups.setdefault(species, []).append(gene["GeneID"])
+        for genes in groups.values():
+            genes.sort()
+        return dict(sorted(groups.items()))
+
+    # -- the analysis matrix --------------------------------------------------------
+
+    def incidence_matrix(self, source_name="GO"):
+        """The gene x link incidence matrix automated analyses consume.
+
+        Returns ``(gene_ids, link_ids, rows)`` where ``rows[i][j]`` is
+        1 iff gene ``gene_ids[i]`` matched link ``link_ids[j]``.
+        """
+        gene_ids = [gene["GeneID"] for gene in self.result.genes]
+        link_ids = sorted(
+            {
+                link_id
+                for gene in self.result.genes
+                for link_id in gene.get("_links", {}).get(source_name, ())
+            },
+            key=str,
+        )
+        column_of = {link_id: j for j, link_id in enumerate(link_ids)}
+        rows = []
+        for gene in self.result.genes:
+            row = [0] * len(link_ids)
+            for link_id in gene.get("_links", {}).get(source_name, ()):
+                row[column_of[link_id]] = 1
+            rows.append(row)
+        return gene_ids, link_ids, rows
+
+    # -- OEM pivot view ------------------------------------------------------------
+
+    def pivot_view(self, source_name="GO"):
+        """The by-annotation grouping as a new OEM graph.
+
+        Result shape: a root with one ``Group`` per link id, each
+        carrying the id, its title (when enriched) and ``GeneID``
+        members — itself queryable with Lorel, keeping the paper's
+        "answers are OEM objects" property.
+        """
+        groups = self._by_link(source_name)
+        graph = OEMGraph(f"pivot-{source_name.lower()}")
+        root = graph.new_complex()
+        graph.set_root("PivotView", root)
+        for link_id, group in groups.items():
+            group_object = graph.new_complex()
+            graph.add_edge(root, "Group", group_object)
+            graph.add_edge(group_object, "Key", graph.new_atomic(link_id))
+            if group["title"] is not None:
+                graph.add_edge(
+                    group_object, "Title", graph.new_atomic(group["title"])
+                )
+            for gene_id in group["genes"]:
+                graph.add_edge(
+                    group_object, "GeneID", graph.new_atomic(gene_id)
+                )
+        return graph, root
+
+    # -- summary -----------------------------------------------------------------------
+
+    def summary(self):
+        """Headline counts for reports."""
+        annotation_groups = self.by_annotation()
+        disease_groups = self.by_disease()
+        return {
+            "genes": len(self.result.genes),
+            "annotation_groups": len(annotation_groups),
+            "disease_groups": len(disease_groups),
+            "species": {
+                species: len(genes)
+                for species, genes in self.by_species().items()
+            },
+        }
+
+
+def require_nonempty(result):
+    """Guard helper for workflows that cannot pivot nothing."""
+    if not result.genes:
+        raise QueryError("cannot reorganize an empty result")
+    return result

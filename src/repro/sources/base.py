@@ -1,0 +1,128 @@
+"""The common contract every annotation source implements.
+
+Wrappers (and the warehouse baseline's extractors) talk to sources only
+through this interface, so plugging a new source in means implementing
+one class — requirement 2 of section 3.1: *"a new relevant data source
+should be wrapped and plugged in as it comes into existence"*.
+"""
+
+import abc
+from dataclasses import dataclass
+
+from repro.util.errors import QueryError
+
+#: Comparison operators a source may support natively.
+NATIVE_OPS = ("=", "!=", "<", "<=", ">", ">=", "like", "contains")
+
+
+@dataclass(frozen=True)
+class NativeCondition:
+    """A predicate a source evaluates natively: ``field op value``.
+
+    ``contains`` is case-insensitive substring match (flat-file grep
+    style); ``like`` uses SQL wildcards.  The mediator's optimizer
+    pushes a condition down only when the source's capabilities include
+    its (field, op) pair.
+    """
+
+    field: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in NATIVE_OPS:
+            raise QueryError(f"unsupported native operator {self.op!r}")
+
+    def render(self):
+        return f"{self.field} {self.op} {self.value!r}"
+
+
+class DataSource(abc.ABC):
+    """Abstract annotation source.
+
+    Concrete sources differ wildly in storage structure; this contract
+    is intentionally minimal: enumerate records (as plain dicts), filter
+    natively where capable, and report schema and version metadata.
+    """
+
+    #: Stable source name ("LocusLink", "GO", "OMIM", ...).
+    name = "abstract"
+
+    @abc.abstractmethod
+    def fields(self):
+        """The record fields this source exposes, in schema order."""
+
+    @abc.abstractmethod
+    def capabilities(self):
+        """Set of (field, op) pairs the source evaluates natively."""
+
+    @abc.abstractmethod
+    def records(self):
+        """All records as a list of plain dicts (field -> value)."""
+
+    @abc.abstractmethod
+    def count(self):
+        """Number of records currently stored."""
+
+    @property
+    @abc.abstractmethod
+    def version(self):
+        """Monotone counter bumped by every mutation; the freshness
+        experiment compares it against a warehouse's loaded version."""
+
+    # -- native filtering (shared implementation) ----------------------------
+
+    def supports(self, condition):
+        """True when ``condition`` can be evaluated natively here."""
+        return (condition.field, condition.op) in self.capabilities()
+
+    def native_query(self, conditions=()):
+        """Records satisfying every condition, evaluated at the source.
+
+        Raises
+        ------
+        QueryError
+            If any condition is outside this source's capabilities —
+            the optimizer must not push it here.
+        """
+        for condition in conditions:
+            if not self.supports(condition):
+                raise QueryError(
+                    f"source {self.name!r} cannot evaluate "
+                    f"{condition.render()} natively"
+                )
+        matched = []
+        for record in self.records():
+            if all(
+                _evaluate(record.get(condition.field), condition)
+                for condition in conditions
+            ):
+                matched.append(record)
+        return matched
+
+    def describe(self):
+        """Human-readable source description used by the mediator's
+        annotation-database-description registry (Figure 1)."""
+        capability_text = ", ".join(
+            f"{field} {op}" for field, op in sorted(self.capabilities())
+        )
+        return (
+            f"{self.name}: {self.count()} records, fields "
+            f"[{', '.join(self.fields())}], native predicates "
+            f"[{capability_text}]"
+        )
+
+
+def _evaluate(value, condition):
+    """Evaluate one native condition against one field value."""
+    from repro.lorel.coerce import compare, like
+
+    if value is None:
+        return False
+    values = value if isinstance(value, (list, tuple)) else [value]
+    if condition.op == "contains":
+        needle = str(condition.value).lower()
+        return any(needle in str(item).lower() for item in values)
+    if condition.op == "like":
+        return any(like(str(item), str(condition.value)) for item in values)
+    return any(compare(condition.op, item, condition.value) for item in values)

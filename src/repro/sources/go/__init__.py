@@ -1,0 +1,22 @@
+"""Gene Ontology: a DAG-shaped ontology source (source #2).
+
+The Gene Ontology distributes terms in the OBO flat format; terms form
+a rooted directed acyclic graph per namespace via ``is_a``
+relationships.  This subpackage reproduces the term model, the OBO
+format, a DAG store with ancestor/descendant closure, and a seeded
+generator.
+"""
+
+from repro.sources.go.generator import GoGenerator
+from repro.sources.go.obo import parse_obo, write_obo
+from repro.sources.go.ontology import GoOntology
+from repro.sources.go.term import NAMESPACES, GoTerm
+
+__all__ = [
+    "GoGenerator",
+    "GoOntology",
+    "GoTerm",
+    "NAMESPACES",
+    "parse_obo",
+    "write_obo",
+]

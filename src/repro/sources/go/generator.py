@@ -1,0 +1,128 @@
+"""Seeded synthetic Gene Ontology data.
+
+Builds a rooted DAG per namespace: each namespace gets one root and a
+population of terms whose parents are drawn from earlier terms of the
+same namespace (guaranteeing acyclicity by construction), with a small
+fraction of multi-parent terms so the DAG is not a tree.
+"""
+
+from repro.sources.go.term import NAMESPACES, GoTerm, make_go_id
+from repro.util.rng import DeterministicRng
+
+_ROOT_NAMES = {
+    "molecular_function": "molecular_function",
+    "biological_process": "biological_process",
+    "cellular_component": "cellular_component",
+}
+
+_NAME_HEADS = (
+    "transcription factor",
+    "kinase",
+    "receptor",
+    "transporter",
+    "hydrolase",
+    "ligase",
+    "oxidoreductase",
+    "DNA binding",
+    "RNA binding",
+    "signal transducer",
+    "structural",
+    "chaperone",
+)
+
+_NAME_TAILS = (
+    "activity",
+    "regulation",
+    "binding",
+    "complex",
+    "process",
+    "pathway",
+    "assembly",
+    "transport",
+    "localization",
+    "catabolism",
+)
+
+_DEF_WORDS = (
+    "catalysis",
+    "of",
+    "the",
+    "selective",
+    "interaction",
+    "with",
+    "a",
+    "specific",
+    "molecule",
+    "or",
+    "complex",
+    "enabling",
+    "downstream",
+    "signaling",
+    "events",
+)
+
+
+class GoGenerator:
+    """Generate a synthetic :class:`GoTerm` population forming a DAG."""
+
+    def __init__(self, rng=None):
+        self._rng = rng if rng is not None else DeterministicRng(0)
+
+    def generate(self, count, multi_parent_rate=0.2, obsolete_rate=0.03):
+        """``count`` terms split across the three namespaces.
+
+        The first three accessions are the namespace roots.  Every
+        non-root term has 1 parent (or 2 with ``multi_parent_rate``)
+        drawn from earlier same-namespace terms, so is_a edges always
+        point to lower accession numbers — acyclic by construction.
+        """
+        terms = []
+        per_namespace = {namespace: [] for namespace in NAMESPACES}
+        next_number = 1
+        for namespace in NAMESPACES:
+            go_id = make_go_id(next_number)
+            next_number += 1
+            root = GoTerm(
+                go_id=go_id,
+                name=_ROOT_NAMES[namespace],
+                namespace=namespace,
+                definition=f"Root of the {namespace} branch.",
+            )
+            terms.append(root)
+            per_namespace[namespace].append(go_id)
+        remaining = max(0, count - len(NAMESPACES))
+        for _ in range(remaining):
+            namespace = self._rng.choice(NAMESPACES)
+            pool = per_namespace[namespace]
+            parents = [self._rng.choice(pool)]
+            if len(pool) > 1 and self._rng.bernoulli(multi_parent_rate):
+                second = self._rng.choice(pool)
+                if second not in parents:
+                    parents.append(second)
+            go_id = make_go_id(next_number)
+            next_number += 1
+            term = GoTerm(
+                go_id=go_id,
+                name=self._term_name(),
+                namespace=namespace,
+                definition=self._rng.sentence(_DEF_WORDS),
+                is_a=parents,
+                synonyms=self._synonyms(),
+                obsolete=self._rng.bernoulli(obsolete_rate),
+            )
+            terms.append(term)
+            pool.append(go_id)
+        return terms
+
+    def _term_name(self):
+        head = self._rng.choice(_NAME_HEADS)
+        tail = self._rng.choice(_NAME_TAILS)
+        if self._rng.bernoulli(0.3):
+            qualifier = self._rng.choice(["positive", "negative", "nuclear"])
+            return f"{qualifier} {head} {tail}"
+        return f"{head} {tail}"
+
+    def _synonyms(self):
+        if self._rng.bernoulli(0.25):
+            return [self._term_name()]
+        return []

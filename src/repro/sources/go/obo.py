@@ -1,0 +1,150 @@
+"""The OBO 1.2 flat format for GO terms.
+
+A minimal but faithful subset of OBO: a header, then ``[Term]`` stanzas
+with ``tag: value`` lines::
+
+    format-version: 1.2
+    ontology: go
+
+    [Term]
+    id: GO:0003700
+    name: transcription factor activity
+    namespace: molecular_function
+    def: "Interacting selectively with DNA."
+    synonym: "sequence-specific DNA binding"
+    is_a: GO:0003677 ! DNA binding
+
+``is_a`` values may carry the conventional `` ! name`` comment, which
+the parser strips.
+"""
+
+from repro.sources.go.term import GoTerm
+from repro.util.errors import DataFormatError
+
+_SOURCE = "OBO"
+
+_HEADER = "format-version: 1.2\nontology: go\n"
+
+
+def write_obo(terms):
+    """Serialize terms to OBO text (terms in given order)."""
+    chunks = [_HEADER]
+    for term in terms:
+        lines = ["[Term]"]
+        lines.append(f"id: {term.go_id}")
+        lines.append(f"name: {term.name}")
+        lines.append(f"namespace: {term.namespace}")
+        if term.definition:
+            lines.append(f'def: "{_escape(term.definition)}"')
+        for synonym in term.synonyms:
+            lines.append(f'synonym: "{_escape(synonym)}"')
+        for parent in term.is_a:
+            lines.append(f"is_a: {parent}")
+        if term.obsolete:
+            lines.append("is_obsolete: true")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+def parse_obo(text):
+    """Parse OBO text into a list of :class:`GoTerm`."""
+    terms = []
+    stanza = None
+    stanza_line = None
+    in_term_stanza = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if stanza is not None:
+                terms.append(_finish(stanza, stanza_line))
+                stanza = None
+            in_term_stanza = line == "[Term]"
+            if in_term_stanza:
+                stanza = {}
+                stanza_line = line_number
+            continue
+        if stanza is None:
+            if in_term_stanza:
+                raise DataFormatError(
+                    "internal stanza tracking error",
+                    line_number=line_number,
+                    source_name=_SOURCE,
+                )
+            # Header lines and non-Term stanzas are skipped.
+            continue
+        if ":" not in line:
+            raise DataFormatError(
+                f"expected 'tag: value', got {line!r}",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        tag, _, value = line.partition(":")
+        _apply(stanza, tag.strip(), value.strip(), line_number)
+    if stanza is not None:
+        terms.append(_finish(stanza, stanza_line))
+    return terms
+
+
+def _apply(stanza, tag, value, line_number):
+    if tag == "id":
+        stanza["go_id"] = value
+    elif tag == "name":
+        stanza["name"] = value
+    elif tag == "namespace":
+        stanza["namespace"] = value
+    elif tag == "def":
+        stanza["definition"] = _unquote(value, line_number)
+    elif tag == "synonym":
+        stanza.setdefault("synonyms", []).append(
+            _unquote(value, line_number)
+        )
+    elif tag == "is_a":
+        parent = value.split("!")[0].strip()
+        stanza.setdefault("is_a", []).append(parent)
+    elif tag == "is_obsolete":
+        stanza["obsolete"] = value.lower() == "true"
+    # Other OBO tags (xref, relationship, ...) are tolerated silently.
+
+
+def _finish(stanza, line_number):
+    try:
+        return GoTerm(**stanza)
+    except (TypeError, DataFormatError) as exc:
+        raise DataFormatError(
+            f"invalid [Term] stanza: {exc}",
+            line_number=line_number,
+            source_name=_SOURCE,
+        ) from exc
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _unquote(value, line_number):
+    stripped = value.strip()
+    if not stripped.startswith('"'):
+        raise DataFormatError(
+            f"quoted value expected, got {value!r}",
+            line_number=line_number,
+            source_name=_SOURCE,
+        )
+    chars = []
+    index = 1
+    while index < len(stripped):
+        char = stripped[index]
+        if char == "\\" and index + 1 < len(stripped):
+            chars.append(stripped[index + 1])
+            index += 2
+            continue
+        if char == '"':
+            return "".join(chars)
+        chars.append(char)
+        index += 1
+    raise DataFormatError(
+        f"unterminated quoted value: {value!r}",
+        line_number=line_number,
+        source_name=_SOURCE,
+    )

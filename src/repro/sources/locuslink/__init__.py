@@ -1,0 +1,20 @@
+"""LocusLink: flat-file gene locus records (source #1).
+
+NCBI's LocusLink distributed its data as ``LL_tmpl`` flat files — one
+record per locus, ``FIELD: value`` lines, ``>>`` record separators.
+This subpackage reproduces that shape: the record model, the flat
+format, a store with native filtering, and a seeded generator.
+"""
+
+from repro.sources.locuslink.format import parse_ll_tmpl, write_ll_tmpl
+from repro.sources.locuslink.generator import LocusLinkGenerator
+from repro.sources.locuslink.record import LocusRecord
+from repro.sources.locuslink.store import LocusLinkStore
+
+__all__ = [
+    "LocusLinkGenerator",
+    "LocusLinkStore",
+    "LocusRecord",
+    "parse_ll_tmpl",
+    "write_ll_tmpl",
+]

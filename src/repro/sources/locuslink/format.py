@@ -1,0 +1,163 @@
+"""The LL_tmpl flat-file format.
+
+NCBI distributed LocusLink as ``LL_tmpl``: records separated by ``>>``
+lines, each field one ``TAG: value`` line, repeating tags for
+multi-valued fields.  Example::
+
+    >>2354
+    LOCUSID: 2354
+    ORGANISM: Homo sapiens
+    OFFICIAL_SYMBOL: FOSB
+    SUMMARY: FBJ murine osteosarcoma viral oncogene homolog B
+    MAP: 19q13.32
+    ALIAS_SYMBOL: G0S3
+    GO: GO:0003700
+    OMIM: 164772
+    PMID: 8889548
+
+This module writes and parses that format, raising
+:class:`~repro.util.errors.DataFormatError` with line numbers for every
+malformation so corrupt dumps fail loudly.
+"""
+
+from repro.sources.locuslink.record import LocusRecord
+from repro.util.errors import DataFormatError
+
+_SOURCE = "LL_tmpl"
+
+
+def write_ll_tmpl(records):
+    """Serialize records to LL_tmpl text (records in given order)."""
+    chunks = []
+    for record in records:
+        lines = [f">>{record.locus_id}"]
+        lines.append(f"LOCUSID: {record.locus_id}")
+        lines.append(f"ORGANISM: {record.organism}")
+        lines.append(f"OFFICIAL_SYMBOL: {record.symbol}")
+        if record.description:
+            lines.append(f"SUMMARY: {record.description}")
+        if record.position:
+            lines.append(f"MAP: {record.position}")
+        for alias in record.aliases:
+            lines.append(f"ALIAS_SYMBOL: {alias}")
+        for go_id in record.go_ids:
+            lines.append(f"GO: {go_id}")
+        for omim_id in record.omim_ids:
+            lines.append(f"OMIM: {omim_id}")
+        for pmid in record.pubmed_ids:
+            lines.append(f"PMID: {pmid}")
+        chunks.append("\n".join(lines))
+    return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def parse_ll_tmpl(text):
+    """Parse LL_tmpl text into a list of :class:`LocusRecord`."""
+    records = []
+    current = None
+    current_line = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith(">>"):
+            if current is not None:
+                records.append(_finish(current, current_line))
+            header = line[2:].strip()
+            if not header.isdigit():
+                raise DataFormatError(
+                    f"record separator must be '>>' + LocusID, got {line!r}",
+                    line_number=line_number,
+                    source_name=_SOURCE,
+                )
+            current = {"header_id": int(header)}
+            current_line = line_number
+            continue
+        if current is None:
+            raise DataFormatError(
+                "field line before the first '>>' record separator",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        if ": " not in line and not line.endswith(":"):
+            raise DataFormatError(
+                f"expected 'TAG: value', got {line!r}",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        tag, _, value = line.partition(":")
+        tag = tag.strip()
+        value = value.strip()
+        _apply_field(current, tag, value, line_number)
+    if current is not None:
+        records.append(_finish(current, current_line))
+    return records
+
+
+def _apply_field(current, tag, value, line_number):
+    if tag == "LOCUSID":
+        if not value.isdigit():
+            raise DataFormatError(
+                f"LOCUSID must be an integer, got {value!r}",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        current["locus_id"] = int(value)
+    elif tag == "ORGANISM":
+        current["organism"] = value
+    elif tag == "OFFICIAL_SYMBOL":
+        current["symbol"] = value
+    elif tag == "SUMMARY":
+        current["description"] = value
+    elif tag == "MAP":
+        current["position"] = value
+    elif tag == "ALIAS_SYMBOL":
+        current.setdefault("aliases", []).append(value)
+    elif tag == "GO":
+        current.setdefault("go_ids", []).append(value)
+    elif tag == "OMIM":
+        if not value.isdigit():
+            raise DataFormatError(
+                f"OMIM must be a MIM number, got {value!r}",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        current.setdefault("omim_ids", []).append(int(value))
+    elif tag == "PMID":
+        if not value.isdigit():
+            raise DataFormatError(
+                f"PMID must be numeric, got {value!r}",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        current.setdefault("pubmed_ids", []).append(int(value))
+    else:
+        # LL_tmpl had dozens of tags; unknown ones are preserved policy-
+        # free by real parsers — we skip them but never crash.
+        current.setdefault("ignored_tags", []).append(tag)
+
+
+def _finish(current, line_number):
+    header_id = current.pop("header_id")
+    current.pop("ignored_tags", None)
+    locus_id = current.get("locus_id")
+    if locus_id is None:
+        raise DataFormatError(
+            f"record >>{header_id} is missing its LOCUSID field",
+            line_number=line_number,
+            source_name=_SOURCE,
+        )
+    if locus_id != header_id:
+        raise DataFormatError(
+            f"record separator >>{header_id} disagrees with "
+            f"LOCUSID: {locus_id}",
+            line_number=line_number,
+            source_name=_SOURCE,
+        )
+    try:
+        return LocusRecord(**current)
+    except (TypeError, DataFormatError) as exc:
+        raise DataFormatError(
+            f"record >>{header_id} is incomplete: {exc}",
+            line_number=line_number,
+            source_name=_SOURCE,
+        ) from exc

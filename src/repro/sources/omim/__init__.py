@@ -1,0 +1,20 @@
+"""OMIM: text records of heritable disease entries (source #3).
+
+OMIM distributed ``omim.txt``: records delimited by ``*RECORD*`` lines,
+fields introduced by ``*FIELD*`` marker lines.  Crucially, OMIM links
+to genes by *symbol*, not by LocusID — the representational mismatch
+that makes reconciliation necessary.
+"""
+
+from repro.sources.omim.format import parse_omim_txt, write_omim_txt
+from repro.sources.omim.generator import OmimGenerator
+from repro.sources.omim.record import OmimRecord
+from repro.sources.omim.store import OmimStore
+
+__all__ = [
+    "OmimGenerator",
+    "OmimRecord",
+    "OmimStore",
+    "parse_omim_txt",
+    "write_omim_txt",
+]

@@ -1,0 +1,132 @@
+"""The omim.txt record format.
+
+Faithful to OMIM's distribution format: ``*RECORD*`` separators and
+``*FIELD* XX`` markers, with the field body on the following lines::
+
+    *RECORD*
+    *FIELD* NO
+    164772
+    *FIELD* TI
+    164772 FBJ MURINE OSTEOSARCOMA VIRAL ONCOGENE HOMOLOG B; FOSB
+    *FIELD* GS
+    FOSB
+    *FIELD* TX
+    FosB is a member of the Fos gene family ...
+    *FIELD* IN
+    autosomal dominant
+"""
+
+from repro.sources.omim.record import OmimRecord
+from repro.util.errors import DataFormatError
+
+_SOURCE = "omim.txt"
+
+_RECORD_MARK = "*RECORD*"
+_FIELD_MARK = "*FIELD*"
+
+
+def write_omim_txt(records):
+    """Serialize records to omim.txt format."""
+    chunks = []
+    for record in records:
+        lines = [_RECORD_MARK]
+        lines.append(f"{_FIELD_MARK} NO")
+        lines.append(str(record.mim_number))
+        lines.append(f"{_FIELD_MARK} TI")
+        lines.append(f"{record.mim_number} {record.title}")
+        if record.gene_symbols:
+            lines.append(f"{_FIELD_MARK} GS")
+            lines.extend(record.gene_symbols)
+        if record.text:
+            lines.append(f"{_FIELD_MARK} TX")
+            lines.append(record.text)
+        if record.inheritance:
+            lines.append(f"{_FIELD_MARK} IN")
+            lines.append(record.inheritance)
+        chunks.append("\n".join(lines))
+    return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def parse_omim_txt(text):
+    """Parse omim.txt text into a list of :class:`OmimRecord`."""
+    records = []
+    current_fields = None
+    current_tag = None
+    record_line = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if line == _RECORD_MARK:
+            if current_fields is not None:
+                records.append(_finish(current_fields, record_line))
+            current_fields = {}
+            current_tag = None
+            record_line = line_number
+            continue
+        if line.startswith(_FIELD_MARK):
+            if current_fields is None:
+                raise DataFormatError(
+                    "*FIELD* before the first *RECORD*",
+                    line_number=line_number,
+                    source_name=_SOURCE,
+                )
+            current_tag = line[len(_FIELD_MARK):].strip()
+            if not current_tag:
+                raise DataFormatError(
+                    "*FIELD* marker without a tag",
+                    line_number=line_number,
+                    source_name=_SOURCE,
+                )
+            current_fields.setdefault(current_tag, [])
+            continue
+        if not line:
+            continue
+        if current_fields is None or current_tag is None:
+            raise DataFormatError(
+                "content line outside any *FIELD*",
+                line_number=line_number,
+                source_name=_SOURCE,
+            )
+        current_fields[current_tag].append(line)
+    if current_fields is not None:
+        records.append(_finish(current_fields, record_line))
+    return records
+
+
+def _finish(fields, line_number):
+    number_lines = fields.get("NO", [])
+    if len(number_lines) != 1 or not number_lines[0].strip().isdigit():
+        raise DataFormatError(
+            "record must have exactly one numeric NO field",
+            line_number=line_number,
+            source_name=_SOURCE,
+        )
+    mim_number = int(number_lines[0].strip())
+    title_lines = fields.get("TI", [])
+    if not title_lines:
+        raise DataFormatError(
+            f"record {mim_number} is missing its TI field",
+            line_number=line_number,
+            source_name=_SOURCE,
+        )
+    title = " ".join(title_lines)
+    prefix = f"{mim_number} "
+    if title.startswith(prefix):
+        title = title[len(prefix):]
+    try:
+        return OmimRecord(
+            mim_number=mim_number,
+            title=title,
+            gene_symbols=[
+                symbol.strip()
+                for symbol in fields.get("GS", [])
+                if symbol.strip()
+            ],
+            text=" ".join(fields.get("TX", [])),
+            inheritance=" ".join(fields.get("IN", [])),
+        )
+    except DataFormatError as exc:
+        raise DataFormatError(
+            f"record {mim_number} is invalid: {exc}",
+            line_number=line_number,
+            source_name=_SOURCE,
+        ) from exc

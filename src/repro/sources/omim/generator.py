@@ -1,0 +1,72 @@
+"""Seeded synthetic OMIM data.
+
+Disease entries are generated with titles derived from the gene
+symbols they will be linked to, so integrated views read sensibly.
+Gene symbols are attached by the corpus builder.
+"""
+
+from repro.sources.omim.record import OmimRecord
+from repro.util.rng import DeterministicRng
+
+_DISEASE_PATTERNS = (
+    "{symbol}-ASSOCIATED SYNDROME",
+    "{symbol} DEFICIENCY",
+    "OSTEOSARCOMA, {symbol}-RELATED",
+    "CARDIOMYOPATHY, FAMILIAL, {symbol} TYPE",
+    "NEUROPATHY, {symbol}-LINKED",
+    "ANEMIA DUE TO {symbol} MUTATION",
+)
+
+_INHERITANCE_MODES = (
+    "autosomal dominant",
+    "autosomal recessive",
+    "X-linked",
+    "",
+)
+
+_TEXT_WORDS = (
+    "patients",
+    "with",
+    "mutations",
+    "in",
+    "this",
+    "gene",
+    "present",
+    "progressive",
+    "clinical",
+    "features",
+    "including",
+    "variable",
+    "expressivity",
+    "and",
+    "onset",
+)
+
+
+class OmimGenerator:
+    """Generate synthetic :class:`OmimRecord` populations."""
+
+    def __init__(self, rng=None):
+        self._rng = rng if rng is not None else DeterministicRng(0)
+
+    def generate(self, count, start_mim=100050):
+        """``count`` entries with distinct MIM numbers and placeholder
+        titles (no gene symbols yet — the corpus builder links them)."""
+        records = []
+        mim_number = start_mim
+        for index in range(count):
+            mim_number += self._rng.randint(3, 40)
+            records.append(
+                OmimRecord(
+                    mim_number=mim_number,
+                    title=f"PHENOTYPE ENTRY {index + 1}",
+                    text=self._rng.sentence(_TEXT_WORDS, 6, 14),
+                    inheritance=self._rng.choice(_INHERITANCE_MODES),
+                )
+            )
+        return records
+
+    def retitle_for_symbol(self, record, symbol):
+        """Rewrite an entry's title around the gene symbol linked to it."""
+        pattern = self._rng.choice(_DISEASE_PATTERNS)
+        record.title = pattern.format(symbol=symbol)

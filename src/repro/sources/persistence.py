@@ -1,0 +1,150 @@
+"""Saving and loading federation data as flat files on disk.
+
+Each source persists in *its own* period-accurate format — exactly how
+these databases were distributed in 2005: LocusLink as ``LL_tmpl``, GO
+as OBO, OMIM as ``omim.txt``, citations as MEDLINE, proteins as
+SwissProt DAT.  A ``manifest.json`` records what is present.
+
+This is the bridge between the synthetic corpora and real dumps: a
+directory holding genuine (subset) dumps in these formats loads the
+same way.
+"""
+
+import json
+import pathlib
+
+from repro.sources.go.ontology import GoOntology
+from repro.sources.locuslink.store import LocusLinkStore
+from repro.sources.omim.store import OmimStore
+from repro.sources.pubmedlike.store import CitationStore
+from repro.sources.swissprotlike.store import ProteinStore
+from repro.util.errors import DataFormatError
+
+MANIFEST_NAME = "manifest.json"
+
+#: Source name -> (file name, store class).
+_REGISTRY = {
+    "LocusLink": ("locuslink.ll_tmpl", LocusLinkStore),
+    "GO": ("gene_ontology.obo", GoOntology),
+    "OMIM": ("omim.txt", OmimStore),
+    "PubMed": ("citations.medline", CitationStore),
+    "SwissProt": ("proteins.dat", ProteinStore),
+}
+
+#: Load/registration order (the paper's trio first).
+SOURCE_ORDER = ("LocusLink", "GO", "OMIM", "PubMed", "SwissProt")
+
+
+def save_stores(stores, directory, metadata=None):
+    """Write each store's flat file plus the manifest.
+
+    ``stores`` is an iterable of the supported store objects; returns
+    the manifest dict.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {"format": "annoda-federation/1", "sources": {}}
+    if metadata:
+        manifest["metadata"] = dict(metadata)
+    for store in stores:
+        if store.name not in _REGISTRY:
+            raise DataFormatError(
+                f"no persistence format registered for {store.name!r}"
+            )
+        file_name, _store_class = _REGISTRY[store.name]
+        (path / file_name).write_text(store.dump(), encoding="utf-8")
+        manifest["sources"][store.name] = {
+            "file": file_name,
+            "records": store.count(),
+        }
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return manifest
+
+
+def save_corpus(corpus, directory, citations=None, proteins=None,
+                metadata=None):
+    """Persist a corpus's three sources (plus optional extras)."""
+    stores = list(corpus.sources())
+    if citations is not None:
+        stores.append(citations)
+    if proteins is not None:
+        stores.append(proteins)
+    combined = {"seed": corpus.seed}
+    if metadata:
+        combined.update(metadata)
+    return save_stores(stores, directory, metadata=combined)
+
+
+def load_stores(directory):
+    """Load every persisted source; returns ``{name: store}``.
+
+    Consistency between manifest and files is enforced: a listed file
+    must exist and parse, and its record count must match.
+    """
+    path = pathlib.Path(directory)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise DataFormatError(
+            f"no {MANIFEST_NAME} in {path} - not a federation directory"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"corrupt manifest: {exc}") from exc
+    if manifest.get("format") != "annoda-federation/1":
+        raise DataFormatError(
+            f"unsupported federation format {manifest.get('format')!r}"
+        )
+    stores = {}
+    for name, entry in manifest.get("sources", {}).items():
+        if name not in _REGISTRY:
+            raise DataFormatError(f"unknown source {name!r} in manifest")
+        expected_file, store_class = _REGISTRY[name]
+        file_name = entry.get("file", expected_file)
+        file_path = path / file_name
+        if not file_path.exists():
+            raise DataFormatError(
+                f"manifest lists {file_name} but the file is missing"
+            )
+        store = store_class.from_text(
+            file_path.read_text(encoding="utf-8")
+        )
+        if entry.get("records") not in (None, store.count()):
+            raise DataFormatError(
+                f"{name}: manifest says {entry['records']} records, "
+                f"file holds {store.count()}"
+            )
+        stores[name] = store
+    return stores
+
+
+def load_manifest(directory):
+    """The manifest dict of a federation directory."""
+    path = pathlib.Path(directory) / MANIFEST_NAME
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def wrappers_for(stores):
+    """Wrappers for loaded stores, in canonical registration order."""
+    from repro.wrappers import (
+        GoWrapper,
+        LocusLinkWrapper,
+        OmimWrapper,
+        PubmedLikeWrapper,
+        SwissProtLikeWrapper,
+    )
+
+    classes = {
+        "LocusLink": LocusLinkWrapper,
+        "GO": GoWrapper,
+        "OMIM": OmimWrapper,
+        "PubMed": PubmedLikeWrapper,
+        "SwissProt": SwissProtLikeWrapper,
+    }
+    ordered = []
+    for name in SOURCE_ORDER:
+        if name in stores:
+            ordered.append(classes[name](stores[name]))
+    return ordered

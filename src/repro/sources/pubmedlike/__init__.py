@@ -1,0 +1,20 @@
+"""A PubMed-flavoured citation source (source #4, used for extensibility).
+
+The paper requires that *"a new annotation data source should be
+plugged in as it comes into existence"*.  This subpackage is that new
+source: MEDLINE-tagged citation records linked to loci by PMID.  It is
+deliberately *not* wired into the default corpus — the extensibility
+experiment plugs it in at run time.
+"""
+
+from repro.sources.pubmedlike.citation import Citation
+from repro.sources.pubmedlike.generator import CitationGenerator
+from repro.sources.pubmedlike.store import CitationStore, parse_medline, write_medline
+
+__all__ = [
+    "Citation",
+    "CitationGenerator",
+    "CitationStore",
+    "parse_medline",
+    "write_medline",
+]

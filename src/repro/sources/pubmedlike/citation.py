@@ -1,0 +1,56 @@
+"""The citation record model of the PubMed-like source."""
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import DataFormatError
+
+
+@dataclass
+class Citation:
+    """One literature citation.
+
+    Attributes
+    ----------
+    pmid:
+        PubMed identifier, the source's primary key.
+    title:
+        Article title.
+    journal:
+        Journal abbreviation.
+    year:
+        Publication year.
+    locus_ids:
+        LocusIDs the article annotates (the cross-link back to
+        LocusLink).
+    """
+
+    pmid: int
+    title: str
+    journal: str
+    year: int
+    locus_ids: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if not isinstance(self.pmid, int) or self.pmid < 1:
+            raise DataFormatError(f"PMID must be positive, got {self.pmid!r}")
+        if not self.title:
+            raise DataFormatError(f"citation {self.pmid} has an empty title")
+        if not (1950 <= self.year <= 2010):
+            raise DataFormatError(
+                f"citation {self.pmid} year {self.year} outside 1950-2010"
+            )
+
+    def web_link(self):
+        return (
+            "http://www.ncbi.nlm.nih.gov/entrez/query.fcgi"
+            f"?cmd=Retrieve&db=PubMed&list_uids={self.pmid}"
+        )
+
+    def as_dict(self):
+        return {
+            "Pmid": self.pmid,
+            "Title": self.title,
+            "Journal": self.journal,
+            "Year": self.year,
+            "LocusIDs": list(self.locus_ids),
+        }

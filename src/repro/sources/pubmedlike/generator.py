@@ -1,0 +1,62 @@
+"""Seeded synthetic citation data for the PubMed-like source."""
+
+from repro.sources.pubmedlike.citation import Citation
+from repro.util.rng import DeterministicRng
+
+_JOURNALS = (
+    "Nature",
+    "Science",
+    "Cell",
+    "Nucleic Acids Res",
+    "J Biol Chem",
+    "Genomics",
+    "Hum Mol Genet",
+)
+
+_TITLE_WORDS = (
+    "expression",
+    "analysis",
+    "of",
+    "the",
+    "human",
+    "gene",
+    "family",
+    "identifies",
+    "novel",
+    "regulatory",
+    "elements",
+    "during",
+    "development",
+    "in",
+    "disease",
+)
+
+
+class CitationGenerator:
+    """Generate synthetic :class:`Citation` populations."""
+
+    def __init__(self, rng=None):
+        self._rng = rng if rng is not None else DeterministicRng(0)
+
+    def generate(self, count, locus_ids, start_pmid=8000000):
+        """``count`` citations, each annotating 1-3 loci drawn from
+        ``locus_ids`` (empty list allowed: citation with no links)."""
+        citations = []
+        pmid = start_pmid
+        pool = list(locus_ids)
+        for _ in range(count):
+            pmid += self._rng.randint(1, 50)
+            linked = []
+            if pool:
+                link_count = self._rng.randint(1, min(3, len(pool)))
+                linked = sorted(self._rng.sample(pool, link_count))
+            citations.append(
+                Citation(
+                    pmid=pmid,
+                    title=self._rng.sentence(_TITLE_WORDS, 5, 10) + ".",
+                    journal=self._rng.choice(_JOURNALS),
+                    year=self._rng.randint(1985, 2005),
+                    locus_ids=linked,
+                )
+            )
+        return citations

@@ -1,0 +1,26 @@
+"""A SwissProt-flavoured protein source (source #5, model variety).
+
+The paper's future work: *"The larger and more variety of molecular
+and biological data models will be integrated to evaluate our proposed
+ANNODA."*  This source adds that variety: protein records in a
+UniProt/SwissProt-style two-letter line-code flat format, keyed by
+accession (``P12345``), linked to genes by *both* gene symbol and
+LocusID, carrying keyword vocabularies and sequence metadata no other
+source has.
+"""
+
+from repro.sources.swissprotlike.generator import ProteinGenerator
+from repro.sources.swissprotlike.record import ProteinRecord
+from repro.sources.swissprotlike.store import (
+    ProteinStore,
+    parse_dat,
+    write_dat,
+)
+
+__all__ = [
+    "ProteinGenerator",
+    "ProteinRecord",
+    "ProteinStore",
+    "parse_dat",
+    "write_dat",
+]

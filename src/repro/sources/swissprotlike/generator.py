@@ -1,0 +1,77 @@
+"""Seeded synthetic protein data tied to a locus population."""
+
+from repro.sources.swissprotlike.record import ProteinRecord
+from repro.util.rng import DeterministicRng
+
+_KEYWORDS = (
+    "Transcription",
+    "Nuclear protein",
+    "Kinase",
+    "Receptor",
+    "Membrane",
+    "Phosphoprotein",
+    "Zinc-finger",
+    "Signal",
+    "Disease mutation",
+    "Alternative splicing",
+)
+
+_NAME_PATTERNS = (
+    "Protein {symbol}",
+    "{symbol} kinase homolog",
+    "Putative {symbol} receptor",
+    "Uncharacterized protein {symbol}",
+)
+
+
+class ProteinGenerator:
+    """Generate synthetic :class:`ProteinRecord` populations.
+
+    Each protein encodes one locus from the supplied population; a
+    controllable fraction carries only the gene symbol (no curated
+    LocusID cross-reference), mirroring real curation lag.
+    """
+
+    def __init__(self, rng=None):
+        self._rng = rng if rng is not None else DeterministicRng(0)
+
+    def generate(self, loci, coverage=0.6, uncurated_rate=0.3):
+        """Proteins for roughly ``coverage`` of ``loci``.
+
+        ``loci`` is a list of
+        :class:`~repro.sources.locuslink.LocusRecord`.
+        """
+        records = []
+        used_accessions = set()
+        for locus in loci:
+            if not self._rng.bernoulli(coverage):
+                continue
+            accession = self._unique_accession(used_accessions)
+            pattern = self._rng.choice(_NAME_PATTERNS)
+            keyword_count = self._rng.randint(1, 4)
+            curated = not self._rng.bernoulli(uncurated_rate)
+            records.append(
+                ProteinRecord(
+                    accession=accession,
+                    protein_name=pattern.format(symbol=locus.symbol),
+                    organism=locus.organism,
+                    gene_symbol=locus.symbol,
+                    locus_id=locus.locus_id if curated else 0,
+                    sequence_length=self._rng.randint(80, 3000),
+                    keywords=sorted(
+                        self._rng.sample(list(_KEYWORDS), keyword_count)
+                    ),
+                )
+            )
+        return records
+
+    def _unique_accession(self, used):
+        while True:
+            letter = self._rng.choice("OPQ")
+            digits = "".join(
+                str(self._rng.randint(0, 9)) for _ in range(5)
+            )
+            accession = f"{letter}{digits}"
+            if accession not in used:
+                used.add(accession)
+                return accession

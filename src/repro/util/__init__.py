@@ -1,0 +1,28 @@
+"""Shared utilities for the ANNODA reproduction.
+
+Small, dependency-free helpers used across every subsystem: object
+identifier allocation, deterministic pseudo-random streams, error
+hierarchy roots, text formatting, and a wall-clock timer.
+"""
+
+from repro.util.errors import (
+    AnnodaError,
+    ConfigurationError,
+    DataFormatError,
+    IntegrationError,
+    QueryError,
+)
+from repro.util.oids import OidAllocator
+from repro.util.rng import DeterministicRng
+from repro.util.timer import Timer
+
+__all__ = [
+    "AnnodaError",
+    "ConfigurationError",
+    "DataFormatError",
+    "DeterministicRng",
+    "IntegrationError",
+    "OidAllocator",
+    "QueryError",
+    "Timer",
+]

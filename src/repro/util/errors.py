@@ -1,0 +1,36 @@
+"""Root exception hierarchy for the ANNODA reproduction.
+
+Every subsystem derives its own exceptions from :class:`AnnodaError` so
+that callers embedding the library can catch one base class at the
+integration boundary.
+"""
+
+
+class AnnodaError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(AnnodaError):
+    """A component was wired or configured inconsistently."""
+
+
+class DataFormatError(AnnodaError):
+    """A source file or record did not conform to its declared format."""
+
+    def __init__(self, message, line_number=None, source_name=None):
+        self.line_number = line_number
+        self.source_name = source_name
+        prefix = ""
+        if source_name is not None:
+            prefix += f"[{source_name}] "
+        if line_number is not None:
+            prefix += f"line {line_number}: "
+        super().__init__(prefix + message)
+
+
+class QueryError(AnnodaError):
+    """A query was malformed or could not be evaluated."""
+
+
+class IntegrationError(AnnodaError):
+    """The mediator could not combine results from member sources."""

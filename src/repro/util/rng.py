@@ -1,0 +1,96 @@
+"""Deterministic pseudo-random streams for synthetic corpora.
+
+All synthetic data in this reproduction (loci, ontology terms, disease
+entries, cross-links, injected conflicts) is generated from seeded
+streams so every experiment is exactly reproducible.  The class wraps
+:class:`random.Random` and adds the handful of draws the generators
+need, plus cheap *substream* derivation so independent generators fed
+from one master seed never share state.
+"""
+
+import random
+import zlib
+
+
+class DeterministicRng:
+    """A seeded random stream with biology-flavoured convenience draws."""
+
+    #: Alphabet used for synthetic gene symbols (upper-case, no ambiguous
+    #: characters, matching the look of HGNC-style symbols).
+    _SYMBOL_ALPHABET = "ABCDEFGHKLMNPRSTUWXYZ"
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def substream(self, label):
+        """Derive an independent stream for ``label``.
+
+        The derivation is a pure function of (seed, label) using a
+        *stable* hash (crc32) — the built-in ``hash`` is salted per
+        process and would make "deterministic" corpora differ between
+        runs.
+        """
+        digest = zlib.crc32(f"{self.seed}:{label}".encode("utf-8"))
+        return DeterministicRng(digest & 0x7FFFFFFF)
+
+    # -- thin pass-throughs -------------------------------------------------
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, sequence):
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(sequence)
+
+    def sample(self, population, k):
+        """k distinct elements, uniformly without replacement."""
+        return self._random.sample(population, k)
+
+    def shuffle(self, items):
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def uniform(self, low, high):
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    # -- domain draws -------------------------------------------------------
+
+    def gene_symbol(self):
+        """A synthetic HGNC-style gene symbol, e.g. ``TPK3`` or ``BRD11A``."""
+        stem_length = self.randint(2, 4)
+        stem = "".join(
+            self.choice(self._SYMBOL_ALPHABET) for _ in range(stem_length)
+        )
+        number = self.randint(1, 99)
+        suffix = self.choice(["", "", "", "A", "B", "L"])
+        return f"{stem}{number}{suffix}"
+
+    def map_position(self):
+        """A synthetic cytogenetic map position, e.g. ``7q31.2``."""
+        chromosome = self.choice(
+            [str(n) for n in range(1, 23)] + ["X", "Y"]
+        )
+        arm = self.choice(["p", "q"])
+        band = self.randint(11, 36)
+        if self.random() < 0.5:
+            sub_band = self.randint(1, 3)
+            return f"{chromosome}{arm}{band}.{sub_band}"
+        return f"{chromosome}{arm}{band}"
+
+    def sentence(self, words, minimum=4, maximum=10):
+        """A synthetic description sentence drawn from a word pool."""
+        count = self.randint(minimum, maximum)
+        chosen = [self.choice(words) for _ in range(count)]
+        text = " ".join(chosen)
+        return text[0].upper() + text[1:]
+
+    def bernoulli(self, probability):
+        """True with the given probability."""
+        return self.random() < probability

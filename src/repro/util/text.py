@@ -1,0 +1,69 @@
+"""Text-formatting helpers for renderers and serializers."""
+
+
+def indent_block(text, spaces):
+    """Indent every non-empty line of ``text`` by ``spaces`` spaces."""
+    pad = " " * spaces
+    return "\n".join(
+        pad + line if line else line for line in text.splitlines()
+    )
+
+
+def box(title, body_lines, width=72):
+    """Render a bordered ASCII box used by the Figure-5 view renderers."""
+    horizontal = "+" + "-" * (width - 2) + "+"
+    lines = [horizontal, f"| {title:<{width - 4}} |", horizontal]
+    for line in body_lines:
+        for chunk in _wrap(line, width - 4):
+            lines.append(f"| {chunk:<{width - 4}} |")
+    lines.append(horizontal)
+    return "\n".join(lines)
+
+
+def _wrap(line, width):
+    """Greedy word wrap that never returns an empty list."""
+    if len(line) <= width:
+        return [line]
+    words = line.split(" ")
+    chunks = []
+    current = ""
+    for word in words:
+        candidate = f"{current} {word}".strip()
+        if len(candidate) <= width:
+            current = candidate
+        else:
+            if current:
+                chunks.append(current)
+            while len(word) > width:
+                chunks.append(word[:width])
+                word = word[width:]
+            current = word
+    if current:
+        chunks.append(current)
+    return chunks or [""]
+
+
+def table(headers, rows, padding=2):
+    """Render an aligned plain-text table.
+
+    Used by the Table-1 regeneration harness so the comparison matrix
+    prints with the same row/column layout as the paper.
+    """
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index in range(columns):
+            cell = str(row[index]) if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+    pad = " " * padding
+
+    def render_row(cells):
+        return pad.join(
+            str(cells[index] if index < len(cells) else "").ljust(widths[index])
+            for index in range(columns)
+        ).rstrip()
+
+    separator = pad.join("-" * width for width in widths)
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

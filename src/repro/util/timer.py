@@ -1,0 +1,25 @@
+"""Wall-clock timing helper used by the benchmark harness."""
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(100))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.elapsed = time.perf_counter() - self._start
+        return False

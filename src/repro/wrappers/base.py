@@ -1,0 +1,177 @@
+"""The wrapper contract and shared OML-building machinery.
+
+A concrete wrapper declares, per OML label, how it maps onto its
+source's record fields; everything else — condition translation,
+native fetching, OEM construction, schema export, model caching — is
+shared here.
+"""
+
+import abc
+
+from repro.oem.graph import OEMGraph
+from repro.oem.types import OEMType
+from repro.sources.base import NativeCondition
+from repro.util.errors import QueryError
+from repro.wrappers.schema import elements_from_mapping
+
+
+class Wrapper(abc.ABC):
+    """Translate one :class:`~repro.sources.base.DataSource` into
+    ANNODA-OML.
+
+    Subclasses define:
+
+    - ``entry_label`` — the OML label of one record (``Locus``,
+      ``Term``, ``Disease``, ``Citation``);
+    - ``field_specs()`` — ordered mapping ``OML label -> (source field,
+      OEMType, multivalued, description)``;
+    - ``web_links(record)`` — the record's ``Links`` entries as
+      ``(label, url)`` pairs, powering interactive navigation.
+    """
+
+    #: OML label under which one record appears.
+    entry_label = "Entry"
+
+    def __init__(self, source):
+        self.source = source
+        self._model_cache = None
+
+    @property
+    def name(self):
+        return self.source.name
+
+    @property
+    def version(self):
+        return self.source.version
+
+    # -- subclass contract -----------------------------------------------------
+
+    @abc.abstractmethod
+    def field_specs(self):
+        """Ordered dict: OML label -> (source field, OEMType,
+        multivalued, description)."""
+
+    @abc.abstractmethod
+    def web_links(self, record):
+        """(label, url) pairs for the record's ``Links`` object."""
+
+    # -- capability translation ---------------------------------------------------
+
+    def source_field(self, label):
+        """The source record field behind an OML label."""
+        specs = self.field_specs()
+        if label not in specs:
+            raise QueryError(
+                f"wrapper {self.name!r} has no OML label {label!r}"
+            )
+        return specs[label][0]
+
+    def supports(self, label, op):
+        """True when a ``label op value`` predicate can be pushed down."""
+        specs = self.field_specs()
+        if label not in specs:
+            return False
+        return (specs[label][0], op) in self.source.capabilities()
+
+    def translate_conditions(self, conditions):
+        """OML-label conditions -> source-native conditions.
+
+        Raises
+        ------
+        QueryError
+            If any condition cannot run natively (the optimizer must
+            keep it as a residual predicate instead).
+        """
+        translated = []
+        for label, op, value in conditions:
+            if not self.supports(label, op):
+                raise QueryError(
+                    f"{self.name} cannot push down {label} {op} {value!r}"
+                )
+            translated.append(
+                NativeCondition(self.source_field(label), op, value)
+            )
+        return translated
+
+    # -- fetching -------------------------------------------------------------------
+
+    def fetch(self, conditions=()):
+        """Records satisfying pushed-down conditions, as plain dicts."""
+        return self.source.native_query(self.translate_conditions(conditions))
+
+    def count(self):
+        return self.source.count()
+
+    # -- OML construction -------------------------------------------------------------
+
+    def build_entry(self, graph, record):
+        """Build the OML entry object for one record dict in ``graph``.
+
+        This is the Figure-2/Figure-3 fragment: one complex object with
+        an edge per populated field, plus a ``Links`` complex object of
+        ``Url``-typed children.
+        """
+        entry = graph.new_complex()
+        for label, (source_field, oem_type, multivalued, _desc) in (
+            self.field_specs().items()
+        ):
+            value = record.get(source_field)
+            if value in (None, "", []):
+                continue
+            values = value if isinstance(value, list) else [value]
+            if not multivalued and len(values) > 1:
+                values = values[:1]
+            for item in values:
+                child = graph.new_atomic(item, oem_type)
+                graph.add_edge(entry, label, child)
+        links = self.web_links(record)
+        if links:
+            links_object = graph.new_complex()
+            graph.add_edge(entry, "Links", links_object)
+            for label, url in links:
+                child = graph.new_atomic(url, OEMType.URL)
+                graph.add_edge(links_object, label, child)
+        return entry
+
+    def build_local_model(self, graph=None, conditions=(), limit=None):
+        """The full ANNODA-OML model: a root with one entry per record.
+
+        Returns ``(graph, root)``.  When ``graph`` is omitted a fresh
+        graph named after the source is used (so a fresh model's root
+        takes oid 1, as in Figure 3).
+        """
+        graph = graph if graph is not None else OEMGraph(self.name.lower())
+        root = graph.new_complex()
+        records = self.fetch(conditions)
+        if limit is not None:
+            records = records[:limit]
+        for record in records:
+            entry = self.build_entry(graph, record)
+            graph.add_edge(root, self.entry_label, entry)
+        if not graph.has_root(self.name):
+            graph.set_root(self.name, root)
+        return graph, root
+
+    def local_model(self):
+        """Cached ``(graph, root)`` of the current source state.
+
+        Rebuilt whenever the source's version counter moves — the
+        federated architecture always reflects live data, which the
+        freshness experiment contrasts with the warehouse baseline.
+        """
+        if self._model_cache is None or self._model_cache[0] != self.version:
+            graph, root = self.build_local_model()
+            self._model_cache = (self.version, graph, root)
+        return self._model_cache[1], self._model_cache[2]
+
+    # -- schema export ----------------------------------------------------------------
+
+    def schema_elements(self):
+        """Schema elements (with live samples) for the mapping module."""
+        return elements_from_mapping(
+            self.field_specs(), self.source.records()
+        )
+
+    def describe(self):
+        """One-line description for the annotation-database registry."""
+        return self.source.describe()

@@ -1,0 +1,57 @@
+"""The LocusLink wrapper (Figures 2 and 3 of the paper)."""
+
+from repro.oem.types import OEMType
+from repro.wrappers.base import Wrapper
+
+_GO_URL = "http://godatabase.org/cgi-bin/go.cgi?query={go_id}"
+_OMIM_URL = "http://www.ncbi.nlm.nih.gov/entrez/dispomim.cgi?id={mim}"
+_PUBMED_URL = (
+    "http://www.ncbi.nlm.nih.gov/entrez/query.fcgi"
+    "?cmd=Retrieve&db=PubMed&list_uids={pmid}"
+)
+_SELF_URL = "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_id}"
+
+
+class LocusLinkWrapper(Wrapper):
+    """ANNODA-OML view of a :class:`~repro.sources.locuslink.LocusLinkStore`.
+
+    One entry reproduces the Figure-3 fragment: LocusID, Organism,
+    Symbol, Description, Position (+ multivalued annotation fields) and
+    a ``Links`` object whose ``Url`` children drive navigation.
+    """
+
+    entry_label = "Locus"
+
+    _SPECS = {
+        "LocusID": ("LocusID", OEMType.INTEGER, False,
+                    "unique integer identifier of the locus"),
+        "Organism": ("Organism", OEMType.STRING, False,
+                     "species the locus belongs to"),
+        "Symbol": ("Symbol", OEMType.STRING, False,
+                   "official gene symbol"),
+        "Description": ("Description", OEMType.STRING, False,
+                        "official gene name / description"),
+        "Position": ("Position", OEMType.STRING, False,
+                     "cytogenetic map position"),
+        "Alias": ("Aliases", OEMType.STRING, True,
+                  "alternate gene symbols"),
+        "GoID": ("GoIDs", OEMType.STRING, True,
+                 "GO terms annotating the locus"),
+        "OmimID": ("OmimIDs", OEMType.INTEGER, True,
+                   "MIM numbers of associated disease entries"),
+        "PubmedID": ("PubmedIDs", OEMType.INTEGER, True,
+                     "supporting citation identifiers"),
+    }
+
+    def field_specs(self):
+        return self._SPECS
+
+    def web_links(self, record):
+        links = [("Self", _SELF_URL.format(locus_id=record["LocusID"]))]
+        for go_id in record.get("GoIDs", ()):
+            links.append(("GO", _GO_URL.format(go_id=go_id)))
+        for mim in record.get("OmimIDs", ()):
+            links.append(("OMIM", _OMIM_URL.format(mim=mim)))
+        for pmid in record.get("PubmedIDs", ()):
+            links.append(("PubMed", _PUBMED_URL.format(pmid=pmid)))
+        return links

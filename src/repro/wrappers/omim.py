@@ -1,0 +1,56 @@
+"""The OMIM wrapper."""
+
+from repro.oem.types import OEMType
+from repro.wrappers.base import Wrapper
+
+_SELF_URL = "http://www.ncbi.nlm.nih.gov/entrez/dispomim.cgi?id={mim}"
+
+
+class OmimWrapper(Wrapper):
+    """ANNODA-OML view of an :class:`~repro.sources.omim.OmimStore`.
+
+    OMIM links to genes by symbol; :meth:`symbols_with_entries` gives
+    the mediator the symbol join key set, and
+    :meth:`entries_for_symbol` performs the (exact, source-level)
+    symbol lookup — reconciliation of case/alias variants is mediator
+    work.
+    """
+
+    entry_label = "Disease"
+
+    _SPECS = {
+        "MimNumber": ("MimNumber", OEMType.INTEGER, False,
+                      "six-digit MIM number of the entry"),
+        "Title": ("Title", OEMType.STRING, False,
+                  "disease / phenotype title"),
+        "GeneSymbol": ("GeneSymbols", OEMType.STRING, True,
+                       "symbols of associated genes"),
+        "Text": ("Text", OEMType.STRING, False,
+                 "free-text entry body"),
+        "Inheritance": ("Inheritance", OEMType.STRING, False,
+                        "mode of inheritance"),
+    }
+
+    def field_specs(self):
+        return self._SPECS
+
+    def web_links(self, record):
+        return [("Self", _SELF_URL.format(mim=record["MimNumber"]))]
+
+    # -- symbol join helpers ------------------------------------------------------
+
+    def entries_for_symbol(self, symbol):
+        """Entry dicts listing exactly ``symbol`` (source semantics)."""
+        return [
+            record.as_dict() for record in self.source.by_gene_symbol(symbol)
+        ]
+
+    def symbols_with_entries(self):
+        """Every symbol string that appears in some entry's GS field."""
+        symbols = set()
+        for record in self.source.all_records():
+            symbols.update(record.gene_symbols)
+        return symbols
+
+    def exists(self, mim_number):
+        return self.source.get(mim_number) is not None

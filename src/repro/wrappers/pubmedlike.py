@@ -1,0 +1,52 @@
+"""The PubMed-like wrapper — the plug-in source of the extensibility
+experiment.
+
+Implementing this class (field specs + web links) is *all* it takes to
+federate a new source: the mediator discovers its schema via MDSM and
+starts routing queries to it, which ``examples/plug_in_new_source.py``
+demonstrates end to end.
+"""
+
+from repro.oem.types import OEMType
+from repro.wrappers.base import Wrapper
+
+_SELF_URL = (
+    "http://www.ncbi.nlm.nih.gov/entrez/query.fcgi"
+    "?cmd=Retrieve&db=PubMed&list_uids={pmid}"
+)
+_LOCUS_URL = "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_id}"
+
+
+class PubmedLikeWrapper(Wrapper):
+    """ANNODA-OML view of a
+    :class:`~repro.sources.pubmedlike.CitationStore`."""
+
+    entry_label = "Citation"
+
+    _SPECS = {
+        "Pmid": ("Pmid", OEMType.INTEGER, False,
+                 "PubMed identifier of the citation"),
+        "Title": ("Title", OEMType.STRING, False,
+                  "article title"),
+        "Journal": ("Journal", OEMType.STRING, False,
+                    "journal abbreviation"),
+        "Year": ("Year", OEMType.INTEGER, False,
+                 "publication year"),
+        "LocusID": ("LocusIDs", OEMType.INTEGER, True,
+                    "loci the article annotates"),
+    }
+
+    def field_specs(self):
+        return self._SPECS
+
+    def web_links(self, record):
+        links = [("Self", _SELF_URL.format(pmid=record["Pmid"]))]
+        for locus_id in record.get("LocusIDs", ()):
+            links.append(("LocusLink", _LOCUS_URL.format(locus_id=locus_id)))
+        return links
+
+    def citations_for_locus(self, locus_id):
+        """Citation dicts annotating ``locus_id``."""
+        return [
+            citation.as_dict() for citation in self.source.by_locus(locus_id)
+        ]

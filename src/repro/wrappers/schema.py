@@ -1,0 +1,62 @@
+"""Schema elements exported by wrappers for the mapping module.
+
+MDSM matches *schema elements* of a local model against the global
+model.  A :class:`SchemaElement` carries everything the similarity
+metrics use: the OML label, the OEM value type, whether the label fans
+out to multiple children, a prose description, and sample values drawn
+from live data (instance-level evidence).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.oem.types import OEMType
+
+
+@dataclass(frozen=True)
+class SchemaElement:
+    """One attribute of a local or global model."""
+
+    name: str
+    oem_type: OEMType
+    multivalued: bool = False
+    description: str = ""
+    samples: tuple = ()
+
+    def render(self):
+        arity = "*" if self.multivalued else "1"
+        return f"{self.name}[{arity}]: {self.oem_type}"
+
+
+def elements_from_mapping(field_specs, records, sample_limit=5):
+    """Build schema elements from a wrapper's field specification.
+
+    ``field_specs`` is the wrapper's ordered mapping: OML label ->
+    (source field, OEMType, multivalued, description).  Samples come
+    from the first records that populate each field.
+    """
+    elements = []
+    for label, (source_field, oem_type, multivalued, description) in (
+        field_specs.items()
+    ):
+        samples = []
+        for record in records:
+            value = record.get(source_field)
+            if value in (None, "", []):
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                samples.append(item)
+                if len(samples) >= sample_limit:
+                    break
+            if len(samples) >= sample_limit:
+                break
+        elements.append(
+            SchemaElement(
+                name=label,
+                oem_type=oem_type,
+                multivalued=multivalued,
+                description=description,
+                samples=tuple(samples),
+            )
+        )
+    return elements

@@ -1,0 +1,58 @@
+"""The SwissProt-like wrapper — the model-variety source of the
+paper's future work.
+
+Proteins link to genes two ways: a curated LocusID cross-reference
+(DR line) when available, and the gene symbol otherwise — so queries
+through this source exercise both id joins and reconciled symbol
+joins.
+"""
+
+from repro.oem.types import OEMType
+from repro.wrappers.base import Wrapper
+
+_SELF_URL = "http://www.expasy.org/cgi-bin/niceprot.pl?{accession}"
+_LOCUS_URL = "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_id}"
+
+
+class SwissProtLikeWrapper(Wrapper):
+    """ANNODA-OML view of a
+    :class:`~repro.sources.swissprotlike.ProteinStore`."""
+
+    entry_label = "Protein"
+
+    _SPECS = {
+        "Accession": ("Accession", OEMType.STRING, False,
+                      "protein accession, the primary key"),
+        "ProteinName": ("ProteinName", OEMType.STRING, False,
+                        "recommended protein name"),
+        "Organism": ("Organism", OEMType.STRING, False,
+                     "species of the protein"),
+        "GeneSymbol": ("GeneSymbol", OEMType.STRING, False,
+                       "symbol of the encoding gene"),
+        "LocusID": ("LocusID", OEMType.INTEGER, False,
+                    "curated LocusLink cross-reference (0 = none)"),
+        "SequenceLength": ("SequenceLength", OEMType.INTEGER, False,
+                           "amino-acid count"),
+        "Keyword": ("Keywords", OEMType.STRING, True,
+                    "controlled-vocabulary keywords"),
+    }
+
+    def field_specs(self):
+        return self._SPECS
+
+    def web_links(self, record):
+        links = [
+            ("Self", _SELF_URL.format(accession=record["Accession"]))
+        ]
+        if record.get("LocusID"):
+            links.append(
+                ("LocusLink",
+                 _LOCUS_URL.format(locus_id=record["LocusID"]))
+            )
+        return links
+
+    def proteins_for_locus(self, locus_id):
+        """Protein dicts with a curated cross-reference to a locus."""
+        return [
+            record.as_dict() for record in self.source.by_locus(locus_id)
+        ]

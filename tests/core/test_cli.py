@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+SMALL = [
+    "--seed", "3",
+    "--loci", "60",
+    "--go-terms", "40",
+    "--omim-entries", "20",
+]
+
+
+def run_cli(arguments):
+    out = io.StringIO()
+    code = main(SMALL + arguments, out=out)
+    return code, out.getvalue()
+
+
+class TestDescribe:
+    def test_lists_sources_and_correspondences(self):
+        code, text = run_cli(["describe"])
+        assert code == 0
+        assert "LocusLink: 60 records" in text
+        assert "Symbol -> GeneSymbol" in text
+
+
+class TestAsk:
+    def test_table_format(self):
+        code, text = run_cli(
+            ["ask", "find genes associated with some OMIM disease"]
+        )
+        assert code == 0
+        assert "Annotation integrated view" in text
+
+    def test_csv_format(self):
+        code, text = run_cli(
+            [
+                "ask",
+                "find genes associated with some OMIM disease",
+                "--format", "csv",
+            ]
+        )
+        assert code == 0
+        assert text.splitlines()[0].startswith("GeneID,")
+
+    def test_json_format(self):
+        code, text = run_cli(
+            [
+                "ask",
+                "find genes annotated with some GO function",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        records = json.loads(text)
+        assert records and "GeneID" in records[0]
+
+    def test_explain_and_audit(self):
+        code, text = run_cli(
+            [
+                "ask",
+                "find genes associated with some OMIM disease",
+                "--explain", "--audit",
+            ]
+        )
+        assert code == 0
+        assert "execution plan" in text
+        assert "reconciliation" in text
+
+    def test_unparsable_question_fails_cleanly(self, capsys):
+        code, _ = run_cli(["ask", "what is the meaning of life"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLorel:
+    def test_section41_query(self):
+        code, text = run_cli(
+            [
+                "lorel",
+                'select X from ANNODA-GML.Source X '
+                'where X.Name = "LocusLink"',
+            ]
+        )
+        assert code == 0
+        assert text.startswith("answer &")
+
+    def test_syntax_error_fails_cleanly(self, capsys):
+        code, _ = run_cli(["lorel", "select"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_single_figure(self):
+        code, text = run_cli(["figures", "figure3"])
+        assert code == 0
+        assert "=== figure3 ===" in text
+        assert "LocusLink &1 Complex" in text
+
+    def test_all_figures(self):
+        code, text = run_cli(["figures"])
+        assert code == 0
+        for name in ("figure1", "figure4", "figure5b"):
+            assert f"=== {name} ===" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["figures", "figure9"])
+
+
+class TestTable1:
+    def test_regenerates_matrix(self):
+        code, text = run_cli(["table1"])
+        assert code == 0
+        assert "Table 1" in text
+        assert "ANNODA" in text
+        assert "probe evidence" in text
+
+
+class TestValidate:
+    def test_clean_federation_validates(self):
+        code, text = run_cli(["validate"])
+        assert code == 0
+        assert "0 findings" in text
+
+    def test_conflicted_federation_reports(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "--seed", "3",
+                "--loci", "150",
+                "--go-terms", "80",
+                "--omim-entries", "50",
+                "--conflict-rate", "0.5",
+                "validate",
+                "--limit", "5",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "findings" in text
+        assert "0 findings" not in text
+
+
+class TestSnapshotAndDataDir:
+    def test_snapshot_then_reload(self, tmp_path):
+        target = str(tmp_path / "federation")
+        code, text = run_cli(["snapshot", target])
+        assert code == 0
+        assert "locuslink.ll_tmpl" in text
+
+        out = io.StringIO()
+        code = main(["--data-dir", target, "describe"], out=out)
+        assert code == 0
+        assert "LocusLink: 60 records" in out.getvalue()
+
+    def test_data_dir_answers_queries(self, tmp_path):
+        target = str(tmp_path / "federation")
+        run_cli(["snapshot", target])
+        out = io.StringIO()
+        code = main(
+            [
+                "--data-dir", target,
+                "ask", "find genes associated with some OMIM disease",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "Annotation integrated view" in out.getvalue()
+
+    def test_missing_data_dir_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["--data-dir", str(tmp_path / "nope"), "describe"],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

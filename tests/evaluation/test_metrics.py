@@ -1,0 +1,35 @@
+"""Tests for the answer-quality metrics."""
+
+from repro.evaluation.metrics import answer_quality
+
+
+class TestAnswerQuality:
+    def test_perfect(self):
+        quality = answer_quality({1, 2}, {1, 2})
+        assert quality["precision"] == 1.0
+        assert quality["recall"] == 1.0
+        assert quality["f1"] == 1.0
+        assert quality["errors"] == 0
+
+    def test_false_positive(self):
+        quality = answer_quality({1, 2, 3}, {1, 2})
+        assert quality["false_positives"] == 1
+        assert quality["recall"] == 1.0
+        assert quality["precision"] == 2 / 3
+
+    def test_false_negative(self):
+        quality = answer_quality({1}, {1, 2})
+        assert quality["false_negatives"] == 1
+        assert quality["recall"] == 0.5
+
+    def test_empty_answer_on_nonempty_truth(self):
+        quality = answer_quality(set(), {1})
+        assert quality["precision"] == 0.0
+        assert quality["recall"] == 0.0
+        assert quality["f1"] == 0.0
+
+    def test_both_empty(self):
+        quality = answer_quality(set(), set())
+        assert quality["precision"] == 1.0
+        assert quality["recall"] == 1.0
+        assert quality["errors"] == 0

@@ -1,0 +1,124 @@
+"""The grand tour: every subsystem in one workflow.
+
+Builds a conflicted five-source federation, persists it, reloads it,
+answers a compound question, navigates, reorganizes, runs enrichment,
+and checks every step against ground truth — the closest thing to a
+user's full day with the tool.
+"""
+
+import pytest
+
+from repro import Annoda
+from repro.mediator import GlobalQuery, LinkConstraint
+from repro.questions import QuestionBuilder
+from repro.sources.corpus import CorpusParameters
+from repro.util.errors import IntegrationError
+from repro.wrappers import PubmedLikeWrapper, SwissProtLikeWrapper
+
+
+@pytest.fixture(scope="module")
+def federation(tmp_path_factory):
+    original = Annoda.with_default_sources(
+        seed=97,
+        parameters=CorpusParameters(
+            loci=250, go_terms=140, omim_entries=80, conflict_rate=0.25
+        ),
+    )
+    citations = original.corpus.make_citation_store(count=120)
+    proteins = original.corpus.make_protein_store()
+    original.add_source(PubmedLikeWrapper(citations))
+    original.add_source(SwissProtLikeWrapper(proteins))
+
+    directory = tmp_path_factory.mktemp("federation")
+    original.save(directory)
+    reloaded = Annoda.from_directory(directory)
+    return original, reloaded
+
+
+class TestPersistenceFidelity:
+    def test_all_five_sources_reload(self, federation):
+        original, reloaded = federation
+        assert reloaded.sources() == original.sources()
+
+    def test_reloaded_answers_match(self, federation):
+        original, reloaded = federation
+        question = (
+            QuestionBuilder("disease genes with literature support")
+            .include("OMIM")
+            .include("PubMed")
+            .build()
+        )
+        assert set(
+            reloaded.ask(question, enrich_links=False).gene_ids()
+        ) == set(original.ask(question, enrich_links=False).gene_ids())
+
+
+class TestCompoundWorkflow:
+    def test_four_constraint_question(self, federation):
+        original, _ = federation
+        question = (
+            QuestionBuilder(
+                "annotated disease genes with protein evidence, uncited"
+            )
+            .include("GO")
+            .include("OMIM")
+            .include("SwissProt")
+            .exclude("PubMed")
+            .build()
+        )
+        result = original.ask(question)
+        for gene in result.genes:
+            assert gene["_links"]["GO"]
+            assert gene["_links"]["OMIM"]
+            assert gene["_links"]["SwissProt"]
+            assert not gene["_links"]["PubMed"]
+
+    def test_navigate_reorganize_enrich(self, federation):
+        original, _ = federation
+        result = original.ask(
+            GlobalQuery(
+                anchor_source="LocusLink",
+                links=(
+                    LinkConstraint("GO", "include", via="AnnotationID"),
+                    LinkConstraint(
+                        "OMIM", "include", via="DiseaseID",
+                        symbol_join=True,
+                    ),
+                ),
+            )
+        )
+        assert len(result) > 5
+
+        # Navigate: the first gene's first link resolves.
+        gene = result.graph.children(result.root, "Gene")[0]
+        link = original.navigator.links_of(result.graph, gene)[0]
+        view = original.navigator.follow(link)
+        assert view.target_id == link.target_id
+
+        # Reorganize: groups cover every matched annotation pair.
+        reorganizer = original.reorganize(result)
+        summary = reorganizer.summary()
+        assert summary["genes"] == len(result)
+
+        # Enrich: the disease-gene set is analyzable.
+        hits = original.enrichment_analyzer().enrich_result(result)
+        assert hits
+        assert hits[0].p_value <= hits[-1].p_value
+
+    def test_reconciliation_kept_answers_exact(self, federation):
+        original, _ = federation
+        result = original.ask(
+            original.catalog.figure5b(), enrich_links=False
+        )
+        assert set(result.gene_ids()) == (
+            original.corpus.ground_truth.figure5b_expected()
+        )
+
+
+class TestAnchorValidation:
+    def test_non_gene_anchor_rejected_early(self, federation):
+        original, _ = federation
+        # GO maps no element to GeneID, so it cannot anchor.
+        with pytest.raises(IntegrationError) as excinfo:
+            original.ask(GlobalQuery(anchor_source="GO"))
+        assert "cannot anchor" in str(excinfo.value)

@@ -1,0 +1,68 @@
+"""Tests for Lorel comparison coercion."""
+
+import pytest
+
+from repro.lorel.coerce import comparable_pair, compare, like
+
+
+class TestComparablePair:
+    def test_numeric_pair(self):
+        assert comparable_pair(1, 2.5) == (1, 2.5)
+
+    def test_string_number_coercion(self):
+        assert comparable_pair("2354", 2354) == (2354, 2354)
+        assert comparable_pair(3.5, " 3.5 ") == (3.5, 3.5)
+
+    def test_uncoercible_string(self):
+        assert comparable_pair("FOSB", 7) is None
+
+    def test_bool_with_string(self):
+        assert comparable_pair(True, "true") == (True, True)
+        assert comparable_pair("0", False) == (False, False)
+
+    def test_bytes_pair(self):
+        assert comparable_pair(b"a", bytearray(b"a")) == (b"a", b"a")
+
+    def test_bytes_vs_int_uncoercible(self):
+        assert comparable_pair(b"a", 1) is None
+
+
+class TestCompare:
+    def test_cross_type_equality(self):
+        assert compare("=", "2354", 2354)
+
+    def test_ordering(self):
+        assert compare("<", 3, "4")
+        assert compare(">=", "10", 10)
+
+    def test_uncoercible_equality_false(self):
+        assert not compare("=", "FOSB", 7)
+
+    def test_uncoercible_inequality_true(self):
+        # Values of genuinely different kinds are unequal.
+        assert compare("!=", "FOSB", 7)
+
+    @pytest.mark.parametrize("op", ["=", "<", "<=", ">", ">="])
+    def test_none_pair_non_eq_ops_false(self, op):
+        assert not compare(op, b"img", "text")
+
+
+class TestLike:
+    def test_percent(self):
+        assert like("BRCA2", "BRCA%")
+        assert not like("FOSB", "BRCA%")
+
+    def test_underscore(self):
+        assert like("FOSB", "FOS_")
+        assert not like("FOS", "FOS_")
+
+    def test_literal_dots_escaped(self):
+        assert like("a.b", "a.b")
+        assert not like("axb", "a.b")
+
+    def test_non_string_values_false(self):
+        assert not like(7, "%")
+        assert not like("x", 7)
+
+    def test_full_match_required(self):
+        assert not like("xBRCA2", "BRCA%")

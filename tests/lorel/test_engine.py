@@ -1,0 +1,57 @@
+"""Tests for the Lorel engine's registry and rendering."""
+
+import pytest
+
+from repro.lorel import LorelEngine
+from repro.oem import OEMGraph
+from repro.util.errors import DataFormatError
+
+
+@pytest.fixture
+def engine_with_db():
+    graph = OEMGraph()
+    root = graph.build({"Entry": [{"Name": "a"}, {"Name": "b"}]})
+    graph.set_root("DB", root)
+    engine = LorelEngine()
+    engine.register("DB", graph, root)
+    return engine
+
+
+class TestRegistry:
+    def test_registration_copies_into_workspace(self, engine_with_db):
+        assert "DB" in engine_with_db.databases()
+        root = engine_with_db.root("DB")
+        assert len(engine_with_db.workspace.children(root, "Entry")) == 2
+
+    def test_duplicate_registration_rejected(self, engine_with_db):
+        other = OEMGraph()
+        other_root = other.build({"Entry": []})
+        with pytest.raises(DataFormatError):
+            engine_with_db.register("DB", other, other_root)
+
+    def test_register_object_binds_existing(self, engine_with_db):
+        result = engine_with_db.query("select X from DB.Entry X")
+        engine_with_db.register_object("mine", result.answer)
+        again = engine_with_db.query("select X.Name from mine.Entry X")
+        assert sorted(again.values()) == ["a", "b"]
+
+
+class TestExplain:
+    def test_explain_returns_canonical_text(self, engine_with_db):
+        text = engine_with_db.explain(
+            "SELECT x FROM DB.Entry x WHERE x.Name = 'a'"
+        )
+        assert text.startswith("select x from DB.Entry x where")
+
+
+class TestRenderAnswer:
+    def test_figure3_rendering_of_answer(self, engine_with_db):
+        result = engine_with_db.query(
+            "select X from DB.Entry X where X.Name = 'a'"
+        )
+        rendered = engine_with_db.render_answer(result)
+        first_line = rendered.splitlines()[0]
+        # 'answer &N Complex' like the section 4.1 listing.
+        assert first_line.startswith("answer &")
+        assert first_line.endswith("Complex")
+        assert "Name" in rendered

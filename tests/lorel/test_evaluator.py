@@ -1,0 +1,262 @@
+"""Tests for Lorel evaluation over OEM workspaces."""
+
+import pytest
+
+from repro.lorel import LorelEngine, LorelEvaluationError
+from repro.oem import OEMGraph
+
+
+@pytest.fixture
+def engine():
+    """An engine with a small ANNODA-GML-shaped database registered."""
+    graph = OEMGraph("gml")
+    root = graph.build(
+        {
+            "Source": [
+                {
+                    "SourceID": 103,
+                    "Name": "LocusLink",
+                    "Content": {"EntryCount": 3},
+                    "Structure": {"Model": "OML"},
+                },
+                {
+                    "SourceID": 203,
+                    "Name": "GO",
+                    "Content": {"EntryCount": 5},
+                    "Structure": {"Model": "OML"},
+                },
+                {
+                    "SourceID": 303,
+                    "Name": "OMIM",
+                    "Content": {"EntryCount": 2},
+                    "Structure": {"Model": "OML"},
+                },
+            ]
+        }
+    )
+    graph.set_root("ANNODA-GML", root)
+    engine = LorelEngine()
+    engine.register("ANNODA-GML", graph, root)
+    return engine
+
+
+class TestPaperExample:
+    def test_section_4_1_query(self, engine):
+        result = engine.query(
+            'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+        )
+        assert len(result) == 1
+        selected = result.objects("Source")[0]
+        assert engine.workspace.child_value(selected, "SourceID") == 103
+        # The answer object is new (fresh oid, complex).
+        assert result.answer.is_complex
+        assert result.answer.oid != selected.oid
+
+    def test_answer_children_match_paper_listing(self, engine):
+        result = engine.query(
+            'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+        )
+        selected = result.objects()[0]
+        assert selected.labels() == [
+            "SourceID",
+            "Name",
+            "Content",
+            "Structure",
+        ]
+
+    def test_answer_registered_and_renamed(self, engine):
+        first = engine.query("select X from ANNODA-GML.Source X")
+        second = engine.query("select X from ANNODA-GML.Source X")
+        assert first.answer_name == "answer"
+        assert second.answer_name == "answer2"
+        assert engine.workspace.root("answer") is first.answer
+
+    def test_answer_reusable_in_later_queries(self, engine):
+        engine.query(
+            'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+        )
+        reuse = engine.query(
+            "select Y.SourceID from answer.Source Y"
+        )
+        assert reuse.values("SourceID") == [103]
+
+    def test_answer_references_original_objects(self, engine):
+        result = engine.query(
+            'select X from ANNODA-GML.Source X where X.Name = "GO"'
+        )
+        original = engine.workspace.root("ANNODA-GML")
+        source_oids = {
+            ref.oid for ref in original.refs_with_label("Source")
+        }
+        assert result.objects()[0].oid in source_oids
+
+
+class TestProjectionsAndLabels:
+    def test_dotted_path_keeps_last_label(self, engine):
+        result = engine.query("select X.Name from ANNODA-GML.Source X")
+        assert sorted(result.values("Name")) == ["GO", "LocusLink", "OMIM"]
+
+    def test_alias_overrides_label(self, engine):
+        result = engine.query(
+            "select X.Name as SourceName from ANNODA-GML.Source X"
+        )
+        assert result.labels() == ["SourceName"]
+
+    def test_bare_variable_inherits_from_path_label(self, engine):
+        result = engine.query("select X from ANNODA-GML.Source X")
+        assert result.labels() == ["Source"]
+
+    def test_multiple_select_items(self, engine):
+        result = engine.query(
+            "select X.Name, X.SourceID from ANNODA-GML.Source X"
+        )
+        assert len(result.objects("Name")) == 3
+        assert len(result.objects("SourceID")) == 3
+
+    def test_nested_projection(self, engine):
+        result = engine.query(
+            "select X.Content.EntryCount from ANNODA-GML.Source X"
+        )
+        assert sorted(result.values()) == [2, 3, 5]
+
+
+class TestWhereSemantics:
+    def test_numeric_comparison(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X "
+            "where X.Content.EntryCount > 2"
+        )
+        assert sorted(result.values()) == ["GO", "LocusLink"]
+
+    def test_coerced_comparison(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X where X.SourceID = '103'"
+        )
+        assert result.values() == ["LocusLink"]
+
+    def test_like(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X where X.Name like 'O%'"
+        )
+        assert result.values() == ["OMIM"]
+
+    def test_in(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X "
+            "where X.Name in ('GO', 'OMIM')"
+        )
+        assert sorted(result.values()) == ["GO", "OMIM"]
+
+    def test_exists_on_missing_path(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X where exists X.Missing"
+        )
+        assert result.values() == []
+
+    def test_not_exists(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X "
+            "where not exists X.Missing"
+        )
+        assert len(result.values()) == 3
+
+    def test_boolean_connectives(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X "
+            "where X.SourceID > 100 and X.SourceID < 300"
+        )
+        assert sorted(result.values()) == ["GO", "LocusLink"]
+
+    def test_missing_path_comparison_is_false_not_error(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X where X.Missing = 1"
+        )
+        assert result.values() == []
+
+
+class TestDependentClauses:
+    def test_join_via_variable(self, engine):
+        result = engine.query(
+            "select C.EntryCount from ANNODA-GML.Source S, S.Content C"
+        )
+        assert sorted(result.values()) == [2, 3, 5]
+
+    def test_cross_variable_comparison(self, engine):
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X, ANNODA-GML.Source Y "
+            "where X.SourceID < Y.SourceID and Y.Name = 'OMIM'"
+        )
+        assert sorted(result.values()) == ["GO", "LocusLink"]
+
+
+class TestDuplicatesAndDistinct:
+    def test_duplicate_elimination_by_oid(self, engine):
+        # Joining Source with itself yields each Name object many times,
+        # but the answer holds each oid once.
+        result = engine.query(
+            "select X.Name from ANNODA-GML.Source X, ANNODA-GML.Source Y"
+        )
+        assert len(result.values()) == 3
+
+    def test_distinct_eliminates_structural_duplicates(self, engine):
+        plain = engine.query("select X.Structure from ANNODA-GML.Source X")
+        distinct = engine.query(
+            "select distinct X.Structure from ANNODA-GML.Source X"
+        )
+        # All three sources have structurally identical Structure objects
+        # (distinct oids), so distinct collapses them.
+        assert len(plain) == 3
+        assert len(distinct) == 1
+
+
+class TestSetOperators:
+    def test_union(self, engine):
+        result = engine.query(
+            "select X from ANNODA-GML.Source X where X.Name = 'GO' "
+            "union "
+            "select Y from ANNODA-GML.Source Y where Y.Name = 'OMIM'"
+        )
+        assert len(result) == 2
+
+    def test_except(self, engine):
+        result = engine.query(
+            "select X from ANNODA-GML.Source X "
+            "except "
+            "select Y from ANNODA-GML.Source Y where Y.Name = 'OMIM'"
+        )
+        names = {
+            engine.workspace.child_value(obj, "Name")
+            for obj in result.objects()
+        }
+        assert names == {"LocusLink", "GO"}
+
+    def test_intersect(self, engine):
+        result = engine.query(
+            "select X from ANNODA-GML.Source X where X.SourceID > 150 "
+            "intersect "
+            "select Y from ANNODA-GML.Source Y where Y.SourceID < 250"
+        )
+        names = {
+            engine.workspace.child_value(obj, "Name")
+            for obj in result.objects()
+        }
+        assert names == {"GO"}
+
+
+class TestErrors:
+    def test_unknown_database(self, engine):
+        with pytest.raises(LorelEvaluationError):
+            engine.query("select X from NOPE.Source X")
+
+    def test_unknown_variable_in_where(self, engine):
+        with pytest.raises(LorelEvaluationError):
+            engine.query("select X from ANNODA-GML.Source X where Z.a = 1")
+
+
+class TestStatistics:
+    def test_bindings_counted(self, engine):
+        result = engine.query(
+            "select X from ANNODA-GML.Source X where X.Name = 'GO'"
+        )
+        assert result.bindings_evaluated == 3
+        assert result.bindings_passed == 1

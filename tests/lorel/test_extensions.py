@@ -1,0 +1,224 @@
+"""Tests for the Lorel extensions: order by and count aggregates."""
+
+import pytest
+
+from repro.lorel import LorelEngine, parse
+from repro.lorel.errors import LorelSyntaxError
+from repro.oem import OEMGraph
+
+
+@pytest.fixture
+def engine():
+    graph = OEMGraph()
+    root = graph.build(
+        {
+            "Entry": [
+                {"Name": "gamma", "Size": 30},
+                {"Name": "alpha", "Size": 10},
+                {"Name": "beta", "Size": 20},
+                {"Name": "delta"},  # no Size: sorts last
+            ]
+        }
+    )
+    graph.set_root("DB", root)
+    engine = LorelEngine()
+    engine.register("DB", graph, root)
+    return engine
+
+
+class TestOrderByParsing:
+    def test_parse_asc_default(self):
+        query = parse("select X from DB.Entry X order by X.Name")
+        assert query.order_by is not None
+        assert not query.order_by.descending
+
+    def test_parse_desc(self):
+        query = parse("select X from DB.Entry X order by X.Size desc")
+        assert query.order_by.descending
+
+    def test_unparse_fixpoint(self):
+        text = "select X from DB.Entry X order by X.Size desc"
+        once = parse(text).unparse()
+        assert parse(once).unparse() == once
+
+    def test_order_requires_by(self):
+        with pytest.raises(LorelSyntaxError):
+            parse("select X from DB.Entry X order X.Name")
+
+
+class TestOrderByEvaluation:
+    def test_string_ordering(self, engine):
+        result = engine.query(
+            "select X from DB.Entry X order by X.Name"
+        )
+        names = [
+            engine.workspace.child_value(obj, "Name")
+            for obj in result.objects()
+        ]
+        assert names == ["alpha", "beta", "delta", "gamma"]
+
+    def test_numeric_ordering(self, engine):
+        result = engine.query(
+            "select X from DB.Entry X order by X.Size"
+        )
+        sizes = [
+            engine.workspace.child_value(obj, "Size")
+            for obj in result.objects()
+        ]
+        # delta has no Size and sorts last.
+        assert sizes == [10, 20, 30, None]
+
+    def test_descending(self, engine):
+        result = engine.query(
+            "select X from DB.Entry X order by X.Size desc"
+        )
+        sizes = [
+            engine.workspace.child_value(obj, "Size")
+            for obj in result.objects()
+        ]
+        assert sizes == [None, 30, 20, 10]
+
+    def test_ordering_atomic_projection(self, engine):
+        result = engine.query(
+            "select X.Name from DB.Entry X order by Name"
+        )
+        assert result.values() == ["alpha", "beta", "delta", "gamma"]
+
+
+class TestCountAggregate:
+    def test_count_objects(self, engine):
+        result = engine.query("select count(X) from DB.Entry X")
+        assert result.values("count") == [4]
+
+    def test_count_path(self, engine):
+        # Only three entries have a Size.
+        result = engine.query("select count(X.Size) from DB.Entry X")
+        assert result.values("count") == [3]
+
+    def test_count_with_where(self, engine):
+        result = engine.query(
+            "select count(X) from DB.Entry X where X.Size >= 20"
+        )
+        assert result.values("count") == [2]
+
+    def test_count_alias(self, engine):
+        result = engine.query(
+            "select count(X) as Total from DB.Entry X"
+        )
+        assert result.values("Total") == [1 + 3]
+
+    def test_count_is_new_object(self, engine):
+        before = len(engine.workspace)
+        result = engine.query("select count(X) from DB.Entry X")
+        count_object = result.objects("count")[0]
+        assert count_object.oid > before  # freshly created
+
+    def test_mixed_aggregate_and_plain(self, engine):
+        result = engine.query(
+            "select X.Name, count(X) from DB.Entry X"
+        )
+        assert len(result.objects("Name")) == 4
+        assert result.values("count") == [4]
+
+    def test_count_parse_errors(self):
+        with pytest.raises(LorelSyntaxError):
+            parse("select count X from DB.Entry X")
+        with pytest.raises(LorelSyntaxError):
+            parse("select count(X from DB.Entry X")
+
+    def test_count_unparse_fixpoint(self):
+        text = "select count(X.Size) as N from DB.Entry X"
+        once = parse(text).unparse()
+        assert parse(once).unparse() == once
+
+
+class TestSubqueries:
+    @pytest.fixture
+    def two_db_engine(self):
+        graph = OEMGraph()
+        root = graph.build(
+            {
+                "Entry": [
+                    {"Name": "alpha", "Size": 10},
+                    {"Name": "beta", "Size": 20},
+                    {"Name": "gamma", "Size": 30},
+                ]
+            }
+        )
+        graph.set_root("DB", root)
+        favorites = OEMGraph()
+        favorites_root = favorites.build(
+            {"Pick": [{"Name": "beta"}, {"Name": "gamma"}]}
+        )
+        favorites.set_root("Favorites", favorites_root)
+        engine = LorelEngine()
+        engine.register("DB", graph, root)
+        engine.register("Favorites", favorites, favorites_root)
+        return engine
+
+    def test_in_subquery(self, two_db_engine):
+        result = two_db_engine.query(
+            "select X.Size from DB.Entry X "
+            "where X.Name in (select P.Name from Favorites.Pick P)"
+        )
+        assert sorted(result.values()) == [20, 30]
+
+    def test_not_in_subquery(self, two_db_engine):
+        result = two_db_engine.query(
+            "select X.Name from DB.Entry X "
+            "where X.Name not in (select P.Name from Favorites.Pick P)"
+        )
+        assert result.values() == ["alpha"]
+
+    def test_subquery_with_where(self, two_db_engine):
+        result = two_db_engine.query(
+            "select X.Name from DB.Entry X where X.Size in "
+            "(select Y.Size from DB.Entry Y where Y.Name = 'beta')"
+        )
+        assert result.values() == ["beta"]
+
+    def test_subquery_unparse_fixpoint(self):
+        text = (
+            "select X from DB.Entry X "
+            "where X.Name in (select P.Name from F.Pick P)"
+        )
+        once = parse(text).unparse()
+        assert parse(once).unparse() == once
+
+    def test_empty_subquery_result(self, two_db_engine):
+        result = two_db_engine.query(
+            "select X from DB.Entry X where X.Name in "
+            "(select P.Name from Favorites.Pick P where P.Name = 'nope')"
+        )
+        assert len(result) == 0
+
+    def test_unterminated_subquery_rejected(self):
+        with pytest.raises(LorelSyntaxError):
+            parse(
+                "select X from DB X where X.a in "
+                "(select Y from F Y"
+            )
+
+
+class TestKeywordLabels:
+    """Edge labels in semi-structured data may collide with keywords."""
+
+    def test_keyword_after_dot_is_a_label(self):
+        query = parse("select X.count from DB.Entry X")
+        assert query.select_items[0].path.segments == ("count",)
+        assert query.select_items[0].aggregate is None
+
+    def test_order_as_label(self):
+        query = parse(
+            "select X from DB.Entry X where X.order = 1"
+        )
+        assert query.where.left.segments == ("order",)
+
+    def test_keyword_label_evaluates(self):
+        graph = OEMGraph()
+        root = graph.build({"Entry": [{"order": 7}]})
+        graph.set_root("DB", root)
+        engine = LorelEngine()
+        engine.register("DB", graph, root)
+        result = engine.query("select X.order from DB.Entry X")
+        assert result.values() == [7]

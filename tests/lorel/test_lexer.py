@@ -1,0 +1,110 @@
+"""Tests for the Lorel tokenizer."""
+
+import pytest
+
+from repro.lorel.errors import LorelSyntaxError
+from repro.lorel.lexer import tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.kind == "KEYWORD" and t.text == "select" for t in tokens[:-1])
+
+    def test_identifier_with_hyphen(self):
+        tokens = tokenize("ANNODA-GML")
+        assert tokens[0].kind == "NAME"
+        assert tokens[0].text == "ANNODA-GML"
+
+    def test_identifier_with_colon(self):
+        # GO term identifiers like GO:0003700 lex as one name.
+        tokens = tokenize("GO:0003700")
+        assert tokens[0].text == "GO:0003700"
+
+    def test_path_tokens(self):
+        assert kinds("Source.Name") == ["NAME", "DOT", "NAME", "EOF"]
+
+    def test_eof_token_always_present(self):
+        assert kinds("") == ["EOF"]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  select \n X ") == ["KEYWORD", "NAME", "EOF"]
+
+
+class TestLiterals:
+    def test_double_quoted_string(self):
+        tokens = tokenize('where Name = "LocusLink"')
+        assert tokens[-2].kind == "STRING"
+        assert tokens[-2].text == "LocusLink"
+
+    def test_single_quoted_string(self):
+        tokens = tokenize("'Homo sapiens'")
+        assert tokens[0].text == "Homo sapiens"
+
+    def test_doubled_quote_escape(self):
+        tokens = tokenize("'5''-flanking'")
+        assert tokens[0].text == "5'-flanking"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LorelSyntaxError):
+            tokenize('"no closing quote')
+
+    def test_integer(self):
+        tokens = tokenize("2354")
+        assert tokens[0].kind == "INTEGER"
+
+    def test_real(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind == "REAL"
+        assert tokens[0].text == "3.25"
+
+    def test_negative_number_after_operator(self):
+        tokens = tokenize("x = -5")
+        assert tokens[2].kind == "INTEGER"
+        assert tokens[2].text == "-5"
+
+    def test_oid_literal(self):
+        tokens = tokenize("&442")
+        assert tokens[0].kind == "OID"
+        assert tokens[0].text == "442"
+
+    def test_bare_ampersand_rejected(self):
+        with pytest.raises(LorelSyntaxError):
+            tokenize("& x")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "!=", "<>", "<", "<=", ">", ">="])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].kind == "OP"
+        assert tokens[1].text == op
+
+    def test_maximal_munch(self):
+        tokens = tokenize("a<=b")
+        assert tokens[1].text == "<="
+
+    def test_unexpected_character(self):
+        with pytest.raises(LorelSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+
+class TestWildcardNames:
+    def test_percent_in_name(self):
+        tokens = tokenize("Sou%ce")
+        assert tokens[0].kind == "NAME"
+        assert tokens[0].text == "Sou%ce"
+
+    def test_hash_as_name(self):
+        tokens = tokenize("#.Name")
+        assert tokens[0].text == "#"
+        assert tokens[1].kind == "DOT"

@@ -1,0 +1,128 @@
+"""Tests for the from-scratch Hungarian method."""
+
+import pytest
+
+from repro.matching import solve_assignment, solve_max_assignment
+from repro.util.errors import ConfigurationError
+
+
+class TestSquare:
+    def test_trivial_1x1(self):
+        assignment, cost = solve_assignment([[5]])
+        assert assignment == [(0, 0)]
+        assert cost == 5
+
+    def test_identity_optimal(self):
+        matrix = [
+            [1, 10, 10],
+            [10, 1, 10],
+            [10, 10, 1],
+        ]
+        assignment, cost = solve_assignment(matrix)
+        assert assignment == [(0, 0), (1, 1), (2, 2)]
+        assert cost == 3
+
+    def test_permutation_needed(self):
+        matrix = [
+            [10, 1],
+            [1, 10],
+        ]
+        assignment, cost = solve_assignment(matrix)
+        assert assignment == [(0, 1), (1, 0)]
+        assert cost == 2
+
+    def test_classic_example(self):
+        # A standard textbook instance with optimum 140 + 49 + 69 = ...
+        matrix = [
+            [250, 400, 350],
+            [400, 600, 350],
+            [200, 400, 250],
+        ]
+        _, cost = solve_assignment(matrix)
+        assert cost == 950  # 400 + 350 + 200
+
+    def test_ties_still_optimal(self):
+        matrix = [
+            [1, 1],
+            [1, 1],
+        ]
+        assignment, cost = solve_assignment(matrix)
+        assert cost == 2
+        assert len(assignment) == 2
+
+    def test_negative_costs(self):
+        matrix = [
+            [-5, 0],
+            [0, -5],
+        ]
+        _, cost = solve_assignment(matrix)
+        assert cost == -10
+
+    def test_float_costs(self):
+        matrix = [
+            [0.1, 0.9],
+            [0.9, 0.15],
+        ]
+        assignment, cost = solve_assignment(matrix)
+        assert assignment == [(0, 0), (1, 1)]
+        assert cost == pytest.approx(0.25)
+
+
+class TestRectangular:
+    def test_wide_matrix_assigns_all_rows(self):
+        matrix = [
+            [9, 1, 9, 9],
+            [9, 9, 1, 9],
+        ]
+        assignment, cost = solve_assignment(matrix)
+        assert assignment == [(0, 1), (1, 2)]
+        assert cost == 2
+
+    def test_tall_matrix_assigns_all_columns(self):
+        matrix = [
+            [9, 9],
+            [1, 9],
+            [9, 1],
+        ]
+        assignment, cost = solve_assignment(matrix)
+        assert assignment == [(1, 0), (2, 1)]
+        assert cost == 2
+
+    def test_empty_matrix(self):
+        assignment, cost = solve_assignment([])
+        assert assignment == []
+        assert cost == 0.0
+
+
+class TestValidation:
+    def test_ragged_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_assignment([[1, 2], [3]])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_assignment([[float("inf")]])
+        with pytest.raises(ConfigurationError):
+            solve_assignment([[float("nan")]])
+
+
+class TestMaximization:
+    def test_max_assignment_picks_high_scores(self):
+        matrix = [
+            [0.9, 0.1],
+            [0.1, 0.9],
+        ]
+        assignment, total = solve_max_assignment(matrix)
+        assert assignment == [(0, 0), (1, 1)]
+        assert total == pytest.approx(1.8)
+
+    def test_max_assignment_global_not_greedy(self):
+        # Greedy takes (0,0)=0.9 then is forced to (1,1)=0.0 -> 0.9.
+        # Optimal is (0,1)+(1,0) = 0.8 + 0.8 = 1.6.
+        matrix = [
+            [0.9, 0.8],
+            [0.8, 0.0],
+        ]
+        assignment, total = solve_max_assignment(matrix)
+        assert total == pytest.approx(1.6)
+        assert assignment == [(0, 1), (1, 0)]

@@ -1,0 +1,188 @@
+"""Tests for the MDSM matching pipeline and correspondence sets."""
+
+import pytest
+
+from repro.matching import Correspondence, CorrespondenceSet, MdsmMatcher
+from repro.matching.mdsm import SimilarityWeights
+from repro.oem import OEMType
+from repro.util.errors import ConfigurationError, IntegrationError
+from repro.wrappers.schema import SchemaElement
+
+
+def element(name, oem_type=OEMType.STRING, multi=False, samples=()):
+    return SchemaElement(name, oem_type, multi, samples=tuple(samples))
+
+
+@pytest.fixture
+def locuslink_elements():
+    return [
+        element("LocusID", OEMType.INTEGER, samples=(2354, 2360)),
+        element("Symbol", samples=("FOSB", "BRCA2")),
+        element("Organism", samples=("Homo sapiens",)),
+        element("Description", samples=("viral oncogene homolog",)),
+    ]
+
+
+@pytest.fixture
+def global_elements():
+    return [
+        element("GeneID", OEMType.INTEGER, samples=(2354,)),
+        element("GeneSymbol", samples=("FOSB",)),
+        element("Species", samples=("Homo sapiens",)),
+        element("Definition", samples=("viral oncogene homolog",)),
+    ]
+
+
+class TestWeights:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityWeights(name=0.9, type=0.9, arity=0.0, samples=0.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityWeights(name=1.2, type=-0.2, arity=0.0, samples=0.0)
+
+
+class TestMatcher:
+    def test_correct_correspondences_found(
+        self, locuslink_elements, global_elements
+    ):
+        matcher = MdsmMatcher()
+        result = matcher.match(
+            "LocusLink", locuslink_elements, global_elements
+        )
+        assert result.to_global("LocusID") == "GeneID"
+        assert result.to_global("Symbol") == "GeneSymbol"
+        assert result.to_global("Organism") == "Species"
+        assert result.to_global("Description") == "Definition"
+
+    def test_threshold_filters_weak_pairs(self):
+        matcher = MdsmMatcher(threshold=0.99)
+        result = matcher.match(
+            "X",
+            [element("CompletelyUnrelated", OEMType.GIF)],
+            [element("Year", OEMType.INTEGER)],
+        )
+        assert len(result) == 0
+
+    def test_empty_inputs(self):
+        matcher = MdsmMatcher()
+        assert len(matcher.match("X", [], [element("A")])) == 0
+        assert len(matcher.match("X", [element("A")], [])) == 0
+
+    def test_one_to_one_guarantee(self, locuslink_elements, global_elements):
+        matcher = MdsmMatcher(threshold=0.0)
+        result = matcher.match(
+            "LocusLink", locuslink_elements, global_elements
+        )
+        globals_used = [c.global_name for c in result]
+        assert len(globals_used) == len(set(globals_used))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MdsmMatcher(strategy="quantum")
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MdsmMatcher(threshold=1.5)
+
+    def test_hungarian_beats_greedy_on_adversarial_matrix(self):
+        # Build elements whose similarity matrix traps greedy: 'AB' is
+        # similar to both globals, 'AA' only to the first.
+        matcher_hungarian = MdsmMatcher(strategy="hungarian", threshold=0.0)
+        matcher_greedy = MdsmMatcher(strategy="greedy", threshold=0.0)
+        locals_ = [element("alpha"), element("alphabet")]
+        globals_ = [element("alphabets"), element("alpha")]
+        matrix = matcher_hungarian.similarity_matrix(locals_, globals_)
+        total_h = sum(
+            matrix[r][c]
+            for r, c in matcher_hungarian._assign_hungarian(matrix)
+        )
+        total_g = sum(
+            matrix[r][c] for r, c in matcher_greedy._assign_greedy(matrix)
+        )
+        assert total_h >= total_g
+
+    def test_random_strategy_deterministic_by_seed(
+        self, locuslink_elements, global_elements
+    ):
+        a = MdsmMatcher(strategy="random", seed=3, threshold=0.0).match(
+            "X", locuslink_elements, global_elements
+        )
+        b = MdsmMatcher(strategy="random", seed=3, threshold=0.0).match(
+            "X", locuslink_elements, global_elements
+        )
+        assert list(a) == list(b)
+
+
+class TestScoring:
+    def test_perfect_match_scores_one(self):
+        correspondences = [
+            Correspondence("A", "GA", 0.9),
+            Correspondence("B", "GB", 0.8),
+        ]
+        scores = MdsmMatcher.score_against(
+            correspondences, {"A": "GA", "B": "GB"}
+        )
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_partial_match(self):
+        correspondences = [
+            Correspondence("A", "GA", 0.9),
+            Correspondence("B", "WRONG", 0.8),
+        ]
+        scores = MdsmMatcher.score_against(
+            correspondences, {"A": "GA", "B": "GB"}
+        )
+        assert scores["precision"] == 0.5
+        assert scores["recall"] == 0.5
+
+    def test_empty_prediction(self):
+        scores = MdsmMatcher.score_against([], {"A": "GA"})
+        assert scores["f1"] == 0.0
+
+
+class TestCorrespondenceSet:
+    def test_lookups(self):
+        cs = CorrespondenceSet(
+            "S", [Correspondence("Symbol", "GeneSymbol", 0.8)]
+        )
+        assert cs.to_global("Symbol") == "GeneSymbol"
+        assert cs.to_local("GeneSymbol") == "Symbol"
+        assert cs.to_global("Nope") is None
+
+    def test_label_map_skips_identity(self):
+        cs = CorrespondenceSet(
+            "S",
+            [
+                Correspondence("Symbol", "GeneSymbol", 0.8),
+                Correspondence("Organism", "Organism", 0.9),
+            ],
+        )
+        assert cs.label_map() == {"Symbol": "GeneSymbol"}
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(IntegrationError):
+            CorrespondenceSet(
+                "S",
+                [
+                    Correspondence("A", "G1", 0.5),
+                    Correspondence("A", "G2", 0.5),
+                ],
+            )
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(IntegrationError):
+            CorrespondenceSet(
+                "S",
+                [
+                    Correspondence("A", "G", 0.5),
+                    Correspondence("B", "G", 0.5),
+                ],
+            )
+
+    def test_render(self):
+        cs = CorrespondenceSet(
+            "S", [Correspondence("Symbol", "GeneSymbol", 0.8)]
+        )
+        assert "Symbol -> GeneSymbol" in cs.render()

@@ -1,0 +1,133 @@
+"""Tests for the MDSM similarity metrics."""
+
+import pytest
+
+from repro.matching import (
+    combined_similarity,
+    levenshtein,
+    name_similarity,
+    sample_similarity,
+    type_similarity,
+)
+from repro.matching.mdsm import SimilarityWeights
+from repro.matching.similarity import arity_similarity, tokenize_name
+from repro.oem import OEMType
+from repro.wrappers.schema import SchemaElement
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("kitten", "sitting", 3),
+            ("symbol", "symbols", 1),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetric(self):
+        assert levenshtein("locus", "locusid") == levenshtein(
+            "locusid", "locus"
+        )
+
+
+class TestTokenize:
+    def test_camel_case_split(self):
+        assert "gene" in tokenize_name("GeneSymbol")
+
+    def test_underscores_and_hyphens(self):
+        assert tokenize_name("mim_number") == tokenize_name("mim-number")
+
+    def test_synonyms_canonicalized(self):
+        assert tokenize_name("LocusID")[-1] == tokenize_name("MimNumber")[-1]
+
+
+class TestNameSimilarity:
+    def test_identity(self):
+        assert name_similarity("Symbol", "Symbol") == 1.0
+
+    def test_case_insensitive_identity(self):
+        assert name_similarity("SYMBOL", "symbol") == 1.0
+
+    def test_synonym_tokens_score_high(self):
+        assert name_similarity("GeneSymbol", "Symbol") >= 0.5
+
+    def test_unrelated_scores_low(self):
+        assert name_similarity("Organism", "Year") < 0.4
+
+    def test_empty_names(self):
+        assert name_similarity("", "x") == 0.0
+
+    def test_ordering_sensible(self):
+        # Title~Name are declared synonyms; Title vs Organism are not.
+        assert name_similarity("Title", "Name") > name_similarity(
+            "Title", "Organism"
+        )
+
+
+class TestTypeSimilarity:
+    def test_identical(self):
+        assert type_similarity(OEMType.INTEGER, OEMType.INTEGER) == 1.0
+
+    def test_numeric_family(self):
+        assert type_similarity(OEMType.INTEGER, OEMType.REAL) == 0.7
+
+    def test_textual_family(self):
+        assert type_similarity(OEMType.STRING, OEMType.URL) == 0.7
+
+    def test_string_weakly_compatible(self):
+        assert type_similarity(OEMType.STRING, OEMType.INTEGER) == 0.3
+
+    def test_disjoint(self):
+        assert type_similarity(OEMType.GIF, OEMType.INTEGER) == 0.0
+
+
+class TestSampleSimilarity:
+    def test_no_evidence_is_neutral(self):
+        assert sample_similarity((), ()) == 0.5
+
+    def test_one_sided_evidence_is_neutral(self):
+        assert sample_similarity(("a",), ()) == 0.5
+
+    def test_disjoint_evidence_is_zero(self):
+        assert sample_similarity(("a",), ("b",)) == 0.0
+
+    def test_jaccard(self):
+        assert sample_similarity(("a", "b"), ("b", "c")) == pytest.approx(
+            1 / 3
+        )
+
+    def test_stringified_comparison(self):
+        assert sample_similarity((1, 2), ("1", "2")) == 1.0
+
+
+class TestCombined:
+    def test_matching_elements_score_high(self):
+        weights = SimilarityWeights()
+        local = SchemaElement(
+            "Symbol", OEMType.STRING, False, samples=("FOSB", "BRCA2")
+        )
+        global_element = SchemaElement(
+            "GeneSymbol", OEMType.STRING, False, samples=("FOSB",)
+        )
+        assert combined_similarity(local, global_element, weights) > 0.5
+
+    def test_mismatched_elements_score_low(self):
+        weights = SimilarityWeights()
+        local = SchemaElement(
+            "Year", OEMType.INTEGER, False, samples=(1996,)
+        )
+        global_element = SchemaElement(
+            "Organism", OEMType.STRING, True, samples=("Homo sapiens",)
+        )
+        assert combined_similarity(local, global_element, weights) < 0.35
+
+    def test_arity(self):
+        assert arity_similarity(True, True) == 1.0
+        assert arity_similarity(True, False) == 0.0

@@ -1,0 +1,41 @@
+"""Shared mediator test fixtures."""
+
+import pytest
+
+from repro.mediator import Mediator
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.wrappers import default_wrappers
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return AnnotationCorpus.generate(
+        seed=13,
+        parameters=CorpusParameters(loci=150, go_terms=90, omim_entries=45),
+    )
+
+
+@pytest.fixture(scope="session")
+def conflicted_corpus():
+    return AnnotationCorpus.generate(
+        seed=29,
+        parameters=CorpusParameters(
+            loci=250, go_terms=120, omim_entries=70, conflict_rate=0.35
+        ),
+    )
+
+
+@pytest.fixture()
+def mediator(corpus):
+    mediator = Mediator()
+    for wrapper in default_wrappers(corpus):
+        mediator.register_wrapper(wrapper)
+    return mediator
+
+
+@pytest.fixture()
+def conflicted_mediator(conflicted_corpus):
+    mediator = Mediator()
+    for wrapper in default_wrappers(conflicted_corpus):
+        mediator.register_wrapper(wrapper)
+    return mediator

@@ -1,0 +1,116 @@
+"""Tests for global queries and their decomposition."""
+
+import pytest
+
+from repro.mediator import GlobalQuery, LinkConstraint, QueryDecomposer
+from repro.mediator.decompose import Condition
+from repro.util.errors import IntegrationError, QueryError
+
+
+def figure5b_query():
+    """The paper's flagship query: LocusLink genes annotated with some
+    GO function but not associated with some OMIM disease."""
+    return GlobalQuery(
+        anchor_source="LocusLink",
+        links=(
+            LinkConstraint("GO", "include", via="AnnotationID"),
+            LinkConstraint(
+                "OMIM", "exclude", via="DiseaseID", symbol_join=True
+            ),
+        ),
+    )
+
+
+class TestLinkConstraint:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(QueryError):
+            LinkConstraint("GO", "maybe", via="AnnotationID")
+
+    def test_render(self):
+        link = LinkConstraint(
+            "GO",
+            "include",
+            via="AnnotationID",
+            conditions=(Condition("Aspect", "=", "molecular_function"),),
+        )
+        rendered = link.render()
+        assert "include GO" in rendered
+        assert "Aspect" in rendered
+
+
+class TestDecomposition:
+    def test_figure5b_decomposes_into_three_subqueries(self, mediator):
+        decomposer = QueryDecomposer(mediator.mapping_module)
+        subqueries = decomposer.decompose(figure5b_query())
+        assert [sq.source_name for sq in subqueries] == [
+            "LocusLink",
+            "GO",
+            "OMIM",
+        ]
+        assert [sq.purpose for sq in subqueries] == [
+            "anchor",
+            "link",
+            "link",
+        ]
+
+    def test_conditions_translated_to_local_labels(self, mediator):
+        decomposer = QueryDecomposer(mediator.mapping_module)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            conditions=(Condition("Species", "=", "Homo sapiens"),),
+            links=(
+                LinkConstraint(
+                    "GO",
+                    "include",
+                    via="AnnotationID",
+                    conditions=(
+                        Condition("Aspect", "=", "molecular_function"),
+                    ),
+                ),
+            ),
+        )
+        subqueries = decomposer.decompose(query)
+        assert subqueries[0].local_conditions == [
+            ("Organism", "=", "Homo sapiens")
+        ]
+        assert subqueries[1].local_conditions == [
+            ("Namespace", "=", "molecular_function")
+        ]
+
+    def test_unknown_anchor_rejected(self, mediator):
+        decomposer = QueryDecomposer(mediator.mapping_module)
+        with pytest.raises(IntegrationError):
+            decomposer.decompose(GlobalQuery(anchor_source="Ensembl"))
+
+    def test_unknown_link_source_rejected(self, mediator):
+        decomposer = QueryDecomposer(mediator.mapping_module)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(LinkConstraint("Ensembl", "include", via="AnnotationID"),),
+        )
+        with pytest.raises(IntegrationError):
+            decomposer.decompose(query)
+
+    def test_anchor_must_carry_link_attribute(self, mediator):
+        decomposer = QueryDecomposer(mediator.mapping_module)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(LinkConstraint("GO", "include", via="Journal"),),
+        )
+        with pytest.raises(IntegrationError):
+            decomposer.decompose(query)
+
+    def test_untranslatable_condition_rejected(self, mediator):
+        decomposer = QueryDecomposer(mediator.mapping_module)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            conditions=(Condition("Journal", "=", "Nature"),),
+        )
+        with pytest.raises(IntegrationError):
+            decomposer.decompose(query)
+
+    def test_render(self):
+        rendered = figure5b_query().render()
+        assert "anchor: LocusLink" in rendered
+        assert "include GO" in rendered
+        assert "exclude OMIM" in rendered

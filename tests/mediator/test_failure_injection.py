@@ -1,0 +1,88 @@
+"""Failure injection: a member source breaking mid-query."""
+
+import pytest
+
+from repro.mediator import GlobalQuery, LinkConstraint, Mediator
+from repro.mediator.decompose import Condition
+from repro.util.errors import IntegrationError
+from repro.wrappers import GoWrapper, default_wrappers
+
+
+class _FlakyOntology:
+    """Delegates to a real GO store but fails after N queries."""
+
+    def __init__(self, real, failures_after=0):
+        self._real = real
+        self._failures_after = failures_after
+        self._calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def native_query(self, conditions=()):
+        self._calls += 1
+        if self._calls > self._failures_after:
+            raise ConnectionError("simulated source outage")
+        return self._real.native_query(conditions)
+
+
+@pytest.fixture()
+def flaky_mediator(corpus):
+    mediator = Mediator()
+    wrappers = default_wrappers(corpus)
+    flaky = GoWrapper(_FlakyOntology(corpus.go, failures_after=10**9))
+    flaky_source = flaky.source
+    # Registration (schema matching) must succeed; arm the failure
+    # afterwards.
+    mediator.register_wrapper(wrappers[0])  # LocusLink
+    mediator.register_wrapper(flaky)
+    mediator.register_wrapper(wrappers[2])  # OMIM
+    flaky_source._failures_after = 0
+    return mediator
+
+
+class TestSourceOutage:
+    def test_outage_reported_with_source_name(self, flaky_mediator):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "GO",
+                    "include",
+                    via="AnnotationID",
+                    conditions=(
+                        # Conditioned link: the GO fetch actually runs.
+                        Condition("Aspect", "=", "molecular_function"),
+                    ),
+                ),
+            ),
+        )
+        with pytest.raises(IntegrationError) as excinfo:
+            flaky_mediator.query(query, enrich_links=False)
+        assert "'GO'" in str(excinfo.value)
+        assert "outage" in str(excinfo.value)
+
+    def test_queries_not_touching_the_broken_source_still_answer(
+        self, flaky_mediator, corpus
+    ):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint("OMIM", "include", via="DiseaseID"),
+            ),
+        )
+        result = flaky_mediator.query(query, enrich_links=False)
+        assert len(result) > 0
+
+    def test_pruned_go_step_avoids_the_outage_but_validation_does_not(
+        self, flaky_mediator
+    ):
+        # An unconditional include is pruned (no GO fetch), and the
+        # reconciler's exists/is_obsolete checks read the ontology
+        # in-process, so this query still answers.
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(LinkConstraint("GO", "include", via="AnnotationID"),),
+        )
+        result = flaky_mediator.query(query, enrich_links=False)
+        assert len(result) > 0

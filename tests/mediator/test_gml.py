@@ -1,0 +1,124 @@
+"""Tests for ANNODA-GML construction (Figure 4)."""
+
+from repro.oem import PathExpression, write_figure3
+from repro.mediator.gml import ROOT_NAME
+
+
+class TestGmlShape:
+    def test_root_bound_as_annoda_gml(self, mediator):
+        graph, root = mediator.gml()
+        assert graph.root(ROOT_NAME) is root
+
+    def test_one_source_object_per_wrapper(self, mediator):
+        graph, root = mediator.gml()
+        assert len(root.refs_with_label("Source")) == 3
+
+    def test_source_ids_match_paper_numbering(self, mediator):
+        graph, root = mediator.gml()
+        ids = [
+            graph.child_value(source, "SourceID")
+            for source in graph.children(root, "Source")
+        ]
+        assert ids == [103, 203, 303]
+
+    def test_source_names(self, mediator):
+        graph, root = mediator.gml()
+        names = PathExpression.parse("Source.Name").terminals(graph, root)
+        assert [obj.value for obj in names] == ["LocusLink", "GO", "OMIM"]
+
+    def test_section41_answer_labels(self, mediator):
+        # The section 4.1 answer object shows SourceID, Name, Content,
+        # Structure children on a Source.
+        graph, root = mediator.gml()
+        source = graph.children(root, "Source")[0]
+        labels = source.labels()
+        for expected in ("SourceID", "Name", "Content", "Structure"):
+            assert expected in labels
+
+    def test_content_stays_virtual(self, mediator, corpus):
+        graph, root = mediator.gml()
+        source = graph.children(root, "Source")[0]
+        content = graph.children(source, "Content")[0]
+        assert graph.child_value(content, "EntryCount") == (
+            corpus.locuslink.count()
+        )
+        assert graph.child_value(content, "EntryLabel") == "Locus"
+
+    def test_structure_lists_elements_with_correspondences(self, mediator):
+        graph, root = mediator.gml()
+        source = graph.children(root, "Source")[0]
+        structure = graph.children(source, "Structure")[0]
+        elements = graph.children(structure, "Element")
+        by_name = {
+            graph.child_value(element, "Name"): element
+            for element in elements
+        }
+        assert graph.child_value(by_name["Symbol"], "MapsTo") == "GeneSymbol"
+        assert graph.child_value(by_name["LocusID"], "Type") == "Integer"
+
+    def test_links_homepage(self, mediator):
+        graph, root = mediator.gml()
+        urls = PathExpression.parse("Source.Links.Homepage").terminals(
+            graph, root
+        )
+        assert any("geneontology" in obj.value for obj in urls)
+
+    def test_graph_is_valid(self, mediator):
+        graph, _ = mediator.gml()
+        assert graph.validate() == []
+
+    def test_figure4_renders(self, mediator):
+        graph, root = mediator.gml()
+        text = write_figure3(graph, ROOT_NAME, root)
+        assert text.startswith("ANNODA-GML &1 Complex")
+        assert "Source" in text
+
+
+class TestGmlCaching:
+    def test_cached_until_source_changes(self, mediator):
+        first, _ = mediator.gml()
+        second, _ = mediator.gml()
+        assert first is second
+
+    def test_rebuilt_after_source_mutation(self, mediator, corpus):
+        from repro.sources.locuslink import LocusRecord
+
+        first, _ = mediator.gml()
+        record = LocusRecord(
+            locus_id=999999, organism="Homo sapiens", symbol="ZZZZ9"
+        )
+        corpus.locuslink.add(record)
+        try:
+            second, root = mediator.gml()
+            assert second is not first
+            source = second.children(root, "Source")[0]
+            content = second.children(source, "Content")[0]
+            assert second.child_value(content, "EntryCount") == (
+                corpus.locuslink.count()
+            )
+        finally:
+            corpus.locuslink.remove(999999)
+
+
+class TestSection41Query:
+    def test_paper_query_through_lorel(self, mediator):
+        engine = mediator.lorel_engine()
+        result = engine.query(
+            'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+        )
+        assert len(result) == 1
+        selected = result.objects("Source")[0]
+        assert engine.workspace.child_value(selected, "SourceID") == 103
+
+    def test_answer_rendering_matches_section41_listing(self, mediator):
+        engine = mediator.lorel_engine()
+        result = engine.query(
+            'select X from ANNODA-GML.Source X where X.Name = "LocusLink"'
+        )
+        rendered = engine.render_answer(result)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("answer &")
+        assert any("SourceID" in line for line in lines)
+        assert any("Name" in line for line in lines)
+        assert any("Content" in line for line in lines)
+        assert any("Structure" in line for line in lines)

@@ -1,0 +1,81 @@
+"""Tests for the Mediator facade: registration lifecycle and plug-in."""
+
+import pytest
+
+from repro.mediator import GlobalQuery, LinkConstraint, Mediator
+from repro.util.errors import IntegrationError
+from repro.wrappers import PubmedLikeWrapper, default_wrappers
+
+
+class TestRegistration:
+    def test_sources_in_registration_order(self, mediator):
+        assert mediator.sources() == ["LocusLink", "GO", "OMIM"]
+
+    def test_double_registration_rejected(self, mediator, corpus):
+        from repro.wrappers import LocusLinkWrapper
+
+        with pytest.raises(IntegrationError):
+            mediator.register_wrapper(LocusLinkWrapper(corpus.locuslink))
+
+    def test_unregister(self, mediator):
+        mediator.unregister_source("OMIM")
+        assert mediator.sources() == ["LocusLink", "GO"]
+        with pytest.raises(IntegrationError):
+            mediator.wrapper("OMIM")
+
+    def test_unregister_unknown_rejected(self, mediator):
+        with pytest.raises(IntegrationError):
+            mediator.unregister_source("Ensembl")
+
+    def test_unregistered_source_leaves_gml(self, mediator):
+        mediator.unregister_source("OMIM")
+        graph, root = mediator.gml()
+        assert len(root.refs_with_label("Source")) == 2
+
+
+class TestPlugInNewSource:
+    """Requirement 2: a new source plugged in as it comes into existence."""
+
+    def test_pubmed_plugs_in_live(self, mediator, corpus):
+        citations = corpus.make_citation_store(count=60)
+        correspondence_set = mediator.register_wrapper(
+            PubmedLikeWrapper(citations)
+        )
+        # MDSM mapped it automatically.
+        assert correspondence_set.to_global("Pmid") == "CitationID"
+        # It appears in the GML immediately.
+        graph, root = mediator.gml()
+        names = [
+            graph.child_value(source, "Name")
+            for source in graph.children(root, "Source")
+        ]
+        assert names == ["LocusLink", "GO", "OMIM", "PubMed"]
+
+    def test_queries_route_to_new_source(self, mediator, corpus):
+        citations = corpus.make_citation_store(count=60)
+        mediator.register_wrapper(PubmedLikeWrapper(citations))
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint("PubMed", "include", via="CitationID"),
+            ),
+        )
+        result = mediator.query(query)
+        expected = {
+            locus_id
+            for citation in citations.all_citations()
+            for locus_id in citation.locus_ids
+        }
+        assert expected  # the corpus wires citations bidirectionally
+        assert set(result.gene_ids()) == expected
+
+
+class TestExplain:
+    def test_explain_produces_plan_text(self, mediator):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(LinkConstraint("GO", "include", via="AnnotationID"),),
+        )
+        text = mediator.explain(query)
+        assert "execution plan" in text
+        assert "LocusLink" in text

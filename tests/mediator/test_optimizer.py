@@ -1,0 +1,136 @@
+"""Tests for the multi-source optimizer."""
+
+import pytest
+
+from repro.mediator import (
+    GlobalQuery,
+    LinkConstraint,
+    Optimizer,
+    OptimizerOptions,
+    QueryDecomposer,
+)
+from repro.mediator.decompose import Condition
+
+
+def plan_for(mediator, query, **option_kwargs):
+    decomposer = QueryDecomposer(mediator.mapping_module)
+    optimizer = Optimizer(
+        {name: mediator.wrapper(name) for name in mediator.sources()},
+        OptimizerOptions(**option_kwargs),
+    )
+    return optimizer.plan(decomposer.decompose(query))
+
+
+def query_with_conditions():
+    return GlobalQuery(
+        anchor_source="LocusLink",
+        conditions=(
+            Condition("Species", "=", "Homo sapiens"),
+            Condition("Definition", "contains", "kinase"),
+        ),
+        links=(
+            LinkConstraint(
+                "GO",
+                "include",
+                via="AnnotationID",
+                conditions=(Condition("Aspect", "=", "molecular_function"),),
+            ),
+            LinkConstraint("OMIM", "exclude", via="DiseaseID"),
+        ),
+    )
+
+
+class TestPushdown:
+    def test_supported_conditions_pushed(self, mediator):
+        plan = plan_for(mediator, query_with_conditions())
+        assert ("Organism", "=", "Homo sapiens") in plan.anchor.pushed
+        assert ("Description", "contains", "kinase") in plan.anchor.pushed
+        assert plan.anchor.residual == []
+
+    def test_unsupported_condition_stays_residual(self, mediator):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            conditions=(Condition("Definition", "=", "exact text"),),
+        )
+        plan = plan_for(mediator, query)
+        assert plan.anchor.pushed == []
+        assert plan.anchor.residual == [("Description", "=", "exact text")]
+
+    def test_pushdown_disabled_makes_everything_residual(self, mediator):
+        plan = plan_for(
+            mediator, query_with_conditions(), enable_pushdown=False
+        )
+        assert plan.anchor.pushed == []
+        assert len(plan.anchor.residual) == 2
+
+
+class TestPruning:
+    def test_unconditional_link_pruned(self, mediator):
+        plan = plan_for(mediator, query_with_conditions())
+        omim_step = next(
+            step for step in plan.link_steps if step.source_name == "OMIM"
+        )
+        assert omim_step.pruned
+        assert omim_step.estimated_rows == 0
+
+    def test_conditioned_link_not_pruned(self, mediator):
+        plan = plan_for(mediator, query_with_conditions())
+        go_step = next(
+            step for step in plan.link_steps if step.source_name == "GO"
+        )
+        assert not go_step.pruned
+
+    def test_symbol_join_prevents_pruning(self, mediator):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "OMIM", "exclude", via="DiseaseID", symbol_join=True
+                ),
+            ),
+        )
+        plan = plan_for(mediator, query)
+        assert not plan.link_steps[0].pruned
+
+    def test_pruning_disabled(self, mediator):
+        plan = plan_for(
+            mediator, query_with_conditions(), enable_pruning=False
+        )
+        assert all(not step.pruned for step in plan.link_steps)
+
+
+class TestOrderingAndCost:
+    def test_links_ordered_by_estimated_rows(self, mediator):
+        plan = plan_for(
+            mediator, query_with_conditions(), enable_pruning=False
+        )
+        estimates = [step.estimated_rows for step in plan.link_steps]
+        assert estimates == sorted(estimates)
+
+    def test_cost_reflects_pruning(self, mediator):
+        optimized = plan_for(mediator, query_with_conditions())
+        unoptimized = plan_for(
+            mediator,
+            query_with_conditions(),
+            enable_pruning=False,
+            enable_pushdown=False,
+        )
+        assert optimized.estimated_cost < unoptimized.estimated_cost
+
+    def test_explain_mentions_decisions(self, mediator):
+        plan = plan_for(mediator, query_with_conditions())
+        text = plan.explain()
+        assert "push down" in text
+        assert "PRUNED" in text
+        assert "LocusLink" in text
+
+
+class TestValidation:
+    def test_missing_anchor_rejected(self, mediator):
+        from repro.util.errors import ConfigurationError
+
+        optimizer = Optimizer(
+            {name: mediator.wrapper(name) for name in mediator.sources()}
+        )
+        with pytest.raises(ConfigurationError):
+            optimizer.plan([])

@@ -1,0 +1,90 @@
+"""Tests for the version-keyed query result cache."""
+
+import pytest
+
+from repro.mediator import GlobalQuery, LinkConstraint, Mediator
+from repro.mediator.decompose import Condition
+from repro.sources.locuslink import LocusRecord
+from repro.wrappers import default_wrappers
+
+
+def disease_query():
+    return GlobalQuery(
+        anchor_source="LocusLink",
+        links=(LinkConstraint("OMIM", "include", via="DiseaseID"),),
+    )
+
+
+@pytest.fixture()
+def cached_mediator(corpus):
+    mediator = Mediator()
+    for wrapper in default_wrappers(corpus):
+        mediator.register_wrapper(wrapper)
+    return mediator
+
+
+class TestCacheHits:
+    def test_repeat_query_returns_cached_object(self, cached_mediator):
+        first = cached_mediator.query(disease_query(), enrich_links=False)
+        second = cached_mediator.query(disease_query(), enrich_links=False)
+        assert second is first
+
+    def test_different_query_misses(self, cached_mediator):
+        first = cached_mediator.query(disease_query(), enrich_links=False)
+        other = cached_mediator.query(
+            GlobalQuery(
+                anchor_source="LocusLink",
+                conditions=(Condition("Species", "=", "Homo sapiens"),),
+            ),
+            enrich_links=False,
+        )
+        assert other is not first
+
+    def test_enrichment_flag_is_part_of_the_key(self, cached_mediator):
+        lean = cached_mediator.query(disease_query(), enrich_links=False)
+        rich = cached_mediator.query(disease_query(), enrich_links=True)
+        assert rich is not lean
+
+    def test_use_cache_false_bypasses(self, cached_mediator):
+        first = cached_mediator.query(disease_query(), enrich_links=False)
+        fresh = cached_mediator.query(
+            disease_query(), enrich_links=False, use_cache=False
+        )
+        assert fresh is not first
+
+
+class TestFreshness:
+    def test_source_update_invalidates(self, cached_mediator, corpus):
+        first = cached_mediator.query(disease_query(), enrich_links=False)
+        mim = corpus.omim.mim_numbers()[0]
+        new_locus = LocusRecord(
+            locus_id=955555,
+            organism="Homo sapiens",
+            symbol="CACHE1",
+            omim_ids=[mim],
+        )
+        corpus.locuslink.add(new_locus)
+        try:
+            second = cached_mediator.query(
+                disease_query(), enrich_links=False
+            )
+            assert second is not first
+            assert 955555 in second.gene_ids()
+        finally:
+            corpus.locuslink.remove(955555)
+        third = cached_mediator.query(disease_query(), enrich_links=False)
+        assert 955555 not in third.gene_ids()
+
+    def test_cache_bounded(self, cached_mediator):
+        for cutoff in range(Mediator.RESULT_CACHE_SIZE + 8):
+            cached_mediator.query(
+                GlobalQuery(
+                    anchor_source="LocusLink",
+                    conditions=(Condition("GeneID", ">", cutoff),),
+                ),
+                enrich_links=False,
+            )
+        assert (
+            len(cached_mediator._result_cache)
+            <= Mediator.RESULT_CACHE_SIZE
+        )

@@ -1,0 +1,226 @@
+"""Tests for reverse joins through the SwissProt-like protein source."""
+
+import pytest
+
+from repro.mediator import GlobalQuery, LinkConstraint, Mediator
+from repro.mediator.decompose import Condition
+from repro.wrappers import SwissProtLikeWrapper, default_wrappers
+
+
+@pytest.fixture()
+def five_source_setup(corpus):
+    proteins = corpus.make_protein_store(coverage=0.5, uncurated_rate=0.4)
+    mediator = Mediator()
+    for wrapper in default_wrappers(corpus):
+        mediator.register_wrapper(wrapper)
+    mediator.register_wrapper(SwissProtLikeWrapper(proteins))
+    return mediator, proteins
+
+
+def protein_link(mode="include", conditions=(), symbol_join=False):
+    return LinkConstraint(
+        "SwissProt",
+        mode,
+        via="ProteinID",
+        conditions=conditions,
+        symbol_join=symbol_join,
+        reverse_join=True,
+    )
+
+
+class TestMdsmMapping:
+    def test_protein_correspondences(self, five_source_setup):
+        mediator, _proteins = five_source_setup
+        found = {
+            c.local_name: c.global_name
+            for c in mediator.correspondences("SwissProt")
+        }
+        assert found == {
+            "Accession": "ProteinID",
+            "ProteinName": "Title",
+            "Organism": "Species",
+            "GeneSymbol": "GeneSymbol",
+            "LocusID": "GeneID",
+            "SequenceLength": "SequenceLength",
+            "Keyword": "Keyword",
+        }
+
+
+class TestReverseJoinExecution:
+    def test_curated_back_references_found(self, five_source_setup):
+        mediator, proteins = five_source_setup
+        query = GlobalQuery(
+            anchor_source="LocusLink", links=(protein_link(),)
+        )
+        result = mediator.query(query, enrich_links=False)
+        expected = {
+            record.locus_id
+            for record in proteins.all_records()
+            if record.locus_id
+        }
+        assert set(result.gene_ids()) == expected
+
+    def test_symbol_join_recovers_uncurated(self, five_source_setup,
+                                            corpus):
+        mediator, proteins = five_source_setup
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(protein_link(symbol_join=True),),
+        )
+        result = mediator.query(query, enrich_links=False)
+        symbol_to_locus = {
+            record.symbol: record.locus_id
+            for record in corpus.locuslink.all_records()
+        }
+        expected = {
+            symbol_to_locus[record.gene_symbol]
+            for record in proteins.all_records()
+            if record.gene_symbol in symbol_to_locus
+        }
+        assert set(result.gene_ids()) == expected
+        # Strictly more than the curated-only join.
+        curated_only = {
+            record.locus_id
+            for record in proteins.all_records()
+            if record.locus_id
+        }
+        assert expected > curated_only
+
+    def test_exclude_mode(self, five_source_setup, corpus):
+        mediator, proteins = five_source_setup
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(protein_link(mode="exclude", symbol_join=True),),
+        )
+        result = mediator.query(query, enrich_links=False)
+        included = mediator.query(
+            GlobalQuery(
+                anchor_source="LocusLink",
+                links=(protein_link(symbol_join=True),),
+            ),
+            enrich_links=False,
+        )
+        all_loci = set(corpus.locuslink.locus_ids())
+        assert set(result.gene_ids()) == all_loci - set(
+            included.gene_ids()
+        )
+
+    def test_conditions_bound_reverse_and_symbol_matches(
+        self, five_source_setup, corpus
+    ):
+        mediator, proteins = five_source_setup
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                protein_link(
+                    symbol_join=True,
+                    conditions=(
+                        Condition("Keyword", "=", "Kinase"),
+                    ),
+                ),
+            ),
+        )
+        result = mediator.query(query, enrich_links=False)
+        kinase_accessions = {
+            record.accession
+            for record in proteins.all_records()
+            if "Kinase" in record.keywords
+        }
+        for gene in result.genes:
+            matched = set(gene["_links"]["SwissProt"])
+            assert matched
+            assert matched <= kinase_accessions
+
+    def test_view_carries_protein_children(self, five_source_setup):
+        mediator, _proteins = five_source_setup
+        query = GlobalQuery(
+            anchor_source="LocusLink", links=(protein_link(),)
+        )
+        result = mediator.query(query)
+        graph = result.graph
+        gene = graph.children(result.root, "Gene")[0]
+        protein_children = graph.children(gene, "Protein")
+        assert protein_children
+        child = protein_children[0]
+        assert graph.child_value(child, "ProteinID").startswith(
+            ("O", "P", "Q")
+        )
+        assert graph.child_value(child, "Title") is not None
+        assert graph.child_value(child, "SequenceLength") > 0
+
+    def test_navigation_to_protein_view(self, five_source_setup):
+        from repro.navigation import Navigator
+
+        mediator, proteins = five_source_setup
+        navigator = Navigator(mediator)
+        accession = proteins.all_records()[0].accession
+        view = navigator.follow_url(
+            f"http://www.expasy.org/cgi-bin/niceprot.pl?{accession}"
+        )
+        assert view.source_name == "SwissProt"
+        fields = dict(view.field_items())
+        assert fields["Accession"] == accession
+
+
+class TestPlanning:
+    def test_reverse_step_never_pruned(self, five_source_setup):
+        mediator, _ = five_source_setup
+        plan = mediator.plan(
+            GlobalQuery(
+                anchor_source="LocusLink", links=(protein_link(),)
+            )
+        )
+        assert not plan.link_steps[0].pruned
+
+    def test_keyword_condition_pushed_down(self, five_source_setup):
+        mediator, _ = five_source_setup
+        plan = mediator.plan(
+            GlobalQuery(
+                anchor_source="LocusLink",
+                links=(
+                    protein_link(
+                        conditions=(Condition("Keyword", "=", "Kinase"),)
+                    ),
+                ),
+            )
+        )
+        assert ("Keyword", "=", "Kinase") in plan.link_steps[0].pushed
+
+    def test_render_mentions_reverse(self):
+        assert "(reverse join)" in protein_link().render()
+
+
+class TestQuestionBuilderIntegration:
+    def test_builder_defaults_for_swissprot(self):
+        from repro.questions import QuestionBuilder
+
+        question = (
+            QuestionBuilder("genes with a kinase protein")
+            .include("SwissProt")
+            .where_linked("Keyword", "=", "Kinase")
+            .build()
+        )
+        link = question.links[0]
+        assert link.reverse_join
+        assert link.symbol_join
+        assert link.via == "ProteinID"
+
+    def test_five_source_question(self, five_source_setup):
+        from repro.questions import QuestionBuilder
+
+        mediator, _ = five_source_setup
+        question = (
+            QuestionBuilder(
+                "genes with a long protein and some GO annotation"
+            )
+            .include("GO")
+            .include("SwissProt")
+            .where_linked("SequenceLength", ">=", 1000)
+            .build()
+        )
+        result = mediator.query(
+            question.to_global_query(), enrich_links=False
+        )
+        for gene in result.genes:
+            assert gene["_links"]["GO"]
+            assert gene["_links"]["SwissProt"]

@@ -1,0 +1,177 @@
+"""Tests for the semijoin optimization (the future-work optimizer)."""
+
+import pytest
+
+from repro.mediator import (
+    GlobalQuery,
+    LinkConstraint,
+    Mediator,
+    OptimizerOptions,
+)
+from repro.mediator.decompose import Condition
+from repro.wrappers import default_wrappers
+
+
+def selective_query():
+    """Anchor unconditioned; the GO link is highly selective."""
+    return GlobalQuery(
+        anchor_source="LocusLink",
+        links=(
+            LinkConstraint(
+                "GO",
+                "include",
+                via="AnnotationID",
+                conditions=(
+                    Condition("Title", "contains", "kinase"),
+                ),
+            ),
+        ),
+    )
+
+
+def build_mediator(corpus, **options):
+    mediator = Mediator(
+        optimizer_options=OptimizerOptions(**options)
+    )
+    for wrapper in default_wrappers(corpus):
+        mediator.register_wrapper(wrapper)
+    return mediator
+
+
+class TestPlanning:
+    def test_selective_link_drives_anchor(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        plan = mediator.plan(selective_query())
+        assert plan.anchor.semijoin == ("GO", "GoID")
+
+    def test_disabled_by_default(self, corpus):
+        mediator = build_mediator(corpus)
+        plan = mediator.plan(selective_query())
+        assert plan.anchor.semijoin is None
+
+    def test_unselective_link_does_not_drive(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "GO",
+                    "include",
+                    via="AnnotationID",
+                    conditions=(Condition("Obsolete", "=", False),),
+                ),
+            ),
+        )
+        plan = mediator.plan(query)
+        # 'Obsolete = False' matches ~everything: not selective enough.
+        assert plan.anchor.semijoin is None
+
+    def test_exclude_link_never_drives(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "GO",
+                    "exclude",
+                    via="AnnotationID",
+                    conditions=(Condition("Title", "contains", "kinase"),),
+                ),
+            ),
+        )
+        plan = mediator.plan(query)
+        assert plan.anchor.semijoin is None
+
+    def test_symbol_join_never_drives(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "OMIM",
+                    "include",
+                    via="DiseaseID",
+                    symbol_join=True,
+                    conditions=(Condition("Title", "contains", "A"),),
+                ),
+            ),
+        )
+        plan = mediator.plan(query)
+        assert plan.anchor.semijoin is None
+
+    def test_explain_mentions_semijoin(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        assert "SEMIJOIN" in mediator.plan(selective_query()).explain()
+
+
+class TestExecution:
+    def test_same_answer_as_scan_plan(self, corpus):
+        semijoin = build_mediator(corpus, enable_semijoin=True)
+        scan = build_mediator(corpus)
+        fast = semijoin.query(selective_query(), enrich_links=False)
+        slow = scan.query(selective_query(), enrich_links=False)
+        assert set(fast.gene_ids()) == set(slow.gene_ids())
+        assert len(fast) > 0
+
+    def test_ships_fewer_anchor_rows(self, corpus):
+        semijoin = build_mediator(corpus, enable_semijoin=True)
+        scan = build_mediator(corpus)
+        fast = semijoin.query(selective_query(), enrich_links=False)
+        slow = scan.query(selective_query(), enrich_links=False)
+        assert (
+            fast.stats.rows_fetched["LocusLink"]
+            < slow.stats.rows_fetched["LocusLink"]
+        )
+
+    def test_respects_anchor_conditions(self, corpus):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            conditions=(Condition("Species", "=", "Homo sapiens"),),
+            links=selective_query().links,
+        )
+        semijoin = build_mediator(corpus, enable_semijoin=True)
+        scan = build_mediator(corpus)
+        fast = semijoin.query(query, enrich_links=False)
+        slow = scan.query(query, enrich_links=False)
+        assert set(fast.gene_ids()) == set(slow.gene_ids())
+        for gene in fast.genes:
+            assert gene["Species"] == "Homo sapiens"
+
+    def test_respects_residual_conditions(self, corpus):
+        sample = corpus.locuslink.all_records()[0]
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            conditions=(
+                # '=' on Description is not native: residual predicate.
+                Condition("Definition", "!=", sample.description),
+            ),
+            links=selective_query().links,
+        )
+        semijoin = build_mediator(corpus, enable_semijoin=True)
+        scan = build_mediator(corpus)
+        fast = semijoin.query(query, enrich_links=False)
+        slow = scan.query(query, enrich_links=False)
+        assert set(fast.gene_ids()) == set(slow.gene_ids())
+
+    def test_multi_link_query_equivalent(self, corpus):
+        query = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "GO",
+                    "include",
+                    via="AnnotationID",
+                    conditions=(
+                        Condition("Title", "contains", "kinase"),
+                    ),
+                ),
+                LinkConstraint(
+                    "OMIM", "exclude", via="DiseaseID", symbol_join=True
+                ),
+            ),
+        )
+        semijoin = build_mediator(corpus, enable_semijoin=True)
+        scan = build_mediator(corpus)
+        fast = semijoin.query(query, enrich_links=False)
+        slow = scan.query(query, enrich_links=False)
+        assert set(fast.gene_ids()) == set(slow.gene_ids())

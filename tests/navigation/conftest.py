@@ -1,0 +1,19 @@
+"""Shared navigation test fixtures."""
+
+import pytest
+
+from repro.core import Annoda
+from repro.sources.corpus import CorpusParameters
+
+
+@pytest.fixture(scope="module")
+def annoda():
+    return Annoda.with_default_sources(
+        seed=17,
+        parameters=CorpusParameters(loci=100, go_terms=60, omim_entries=30),
+    )
+
+
+@pytest.fixture(scope="module")
+def figure5b_result(annoda):
+    return annoda.ask(annoda.catalog.figure5b())

@@ -1,0 +1,93 @@
+"""Tests for URL resolution and link extraction."""
+
+import pytest
+
+from repro.navigation import WebLink, extract_links, resolve_url
+from repro.oem import OEMGraph, OEMType
+from repro.util.errors import QueryError
+
+
+class TestResolveUrl:
+    @pytest.mark.parametrize(
+        "url, expected",
+        [
+            (
+                "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l=2354",
+                ("LocusLink", 2354),
+            ),
+            (
+                "http://godatabase.org/cgi-bin/go.cgi?query=GO:0003700",
+                ("GO", "GO:0003700"),
+            ),
+            (
+                "http://www.ncbi.nlm.nih.gov/entrez/dispomim.cgi?id=164772",
+                ("OMIM", 164772),
+            ),
+            (
+                "http://www.ncbi.nlm.nih.gov/entrez/query.fcgi"
+                "?cmd=Retrieve&db=PubMed&list_uids=8889548",
+                ("PubMed", 8889548),
+            ),
+        ],
+    )
+    def test_known_schemes(self, url, expected):
+        assert resolve_url(url) == expected
+
+    def test_unknown_url_rejected(self):
+        with pytest.raises(QueryError):
+            resolve_url("http://www.geneontology.org/")
+
+    def test_malformed_go_id_rejected(self):
+        with pytest.raises(QueryError):
+            resolve_url("http://godatabase.org/cgi-bin/go.cgi?query=GO:42")
+
+
+class TestExtractLinks:
+    def test_links_extracted_with_targets(self):
+        graph = OEMGraph()
+        entry = graph.new_complex()
+        links = graph.new_complex()
+        graph.add_edge(entry, "Links", links)
+        graph.add_edge(
+            links,
+            "Self",
+            graph.new_atomic(
+                "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l=7",
+                OEMType.URL,
+            ),
+        )
+        graph.add_edge(
+            links,
+            "GO",
+            graph.new_atomic(
+                "http://godatabase.org/cgi-bin/go.cgi?query=GO:0000002",
+                OEMType.URL,
+            ),
+        )
+        extracted = extract_links(graph, entry)
+        assert [link.target_source for link in extracted] == [
+            "LocusLink",
+            "GO",
+        ]
+        assert extracted[0].target_id == 7
+
+    def test_unresolvable_urls_skipped(self):
+        graph = OEMGraph()
+        entry = graph.new_complex()
+        links = graph.new_complex()
+        graph.add_edge(entry, "Links", links)
+        graph.add_edge(
+            links,
+            "Homepage",
+            graph.new_atomic("http://www.geneontology.org/", OEMType.URL),
+        )
+        assert extract_links(graph, entry) == []
+
+    def test_no_links_object(self):
+        graph = OEMGraph()
+        entry = graph.new_complex()
+        assert extract_links(graph, entry) == []
+
+    def test_render(self):
+        link = WebLink("GO", "http://x", "GO", "GO:0000002")
+        assert "GO:GO:0000002" in link.render()

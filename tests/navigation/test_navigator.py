@@ -1,0 +1,112 @@
+"""Tests for the navigator and browsing sessions (Figure 5c behaviour)."""
+
+import pytest
+
+from repro.util.errors import IntegrationError, QueryError
+
+
+class TestFollow:
+    def test_follow_locus_url(self, annoda):
+        locus_id = annoda.corpus.locuslink.locus_ids()[0]
+        url = f"http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_id}"
+        view = annoda.navigate(url)
+        assert view.source_name == "LocusLink"
+        assert view.target_id == locus_id
+        fields = dict(view.field_items())
+        assert fields["LocusID"] == locus_id
+
+    def test_follow_from_integrated_view(self, annoda, figure5b_result):
+        graph = figure5b_result.graph
+        gene = graph.children(figure5b_result.root, "Gene")[0]
+        links = annoda.navigator.links_of(graph, gene)
+        go_links = [l for l in links if l.target_source == "GO"]
+        assert go_links
+        view = annoda.navigator.follow(go_links[0])
+        assert view.source_name == "GO"
+        fields = dict(view.field_items())
+        assert fields["GoID"] == go_links[0].target_id
+
+    def test_onward_links_present(self, annoda, figure5b_result):
+        graph = figure5b_result.graph
+        gene = graph.children(figure5b_result.root, "Gene")[0]
+        self_link = next(
+            l
+            for l in annoda.navigator.links_of(graph, gene)
+            if l.label == "Self"
+        )
+        view = annoda.navigator.follow(self_link)
+        # The locus view links onward to its GO annotations.
+        assert any(l.target_source == "GO" for l in view.links)
+
+    def test_dangling_link_reported(self, annoda):
+        url = "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l=999999999"
+        with pytest.raises(IntegrationError):
+            annoda.navigate(url)
+
+    def test_unregistered_source_reported(self, annoda):
+        annoda_local = annoda  # PubMed is not registered on this fixture
+        url = (
+            "http://www.ncbi.nlm.nih.gov/entrez/query.fcgi"
+            "?cmd=Retrieve&db=PubMed&list_uids=1"
+        )
+        with pytest.raises(IntegrationError):
+            annoda_local.navigate(url)
+
+
+class TestSession:
+    def test_history_and_back(self, annoda):
+        locus_ids = annoda.corpus.locuslink.locus_ids()
+        session = annoda.navigation_session()
+        first = session.visit_url(
+            f"http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_ids[0]}"
+        )
+        session.visit_url(
+            f"http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_ids[1]}"
+        )
+        assert session.trail() == [
+            ("LocusLink", locus_ids[0]),
+            ("LocusLink", locus_ids[1]),
+        ]
+        assert session.back() is first
+
+    def test_forward_after_back(self, annoda):
+        locus_ids = annoda.corpus.locuslink.locus_ids()
+        session = annoda.navigation_session()
+        session.visit_url(
+            f"http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_ids[0]}"
+        )
+        second = session.visit_url(
+            f"http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_ids[1]}"
+        )
+        session.back()
+        assert session.forward() is second
+
+    def test_visit_truncates_forward_history(self, annoda):
+        locus_ids = annoda.corpus.locuslink.locus_ids()
+
+        def url(index):
+            return (
+                "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l="
+                f"{locus_ids[index]}"
+            )
+
+        session = annoda.navigation_session()
+        session.visit_url(url(0))
+        session.visit_url(url(1))
+        session.back()
+        session.visit_url(url(2))
+        with pytest.raises(QueryError):
+            session.forward()
+        assert session.trail() == [
+            ("LocusLink", locus_ids[0]),
+            ("LocusLink", locus_ids[2]),
+        ]
+
+    def test_back_at_start_rejected(self, annoda):
+        session = annoda.navigation_session()
+        with pytest.raises(QueryError):
+            session.back()
+
+    def test_empty_session_has_no_current(self, annoda):
+        session = annoda.navigation_session()
+        assert session.current is None

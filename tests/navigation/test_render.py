@@ -1,0 +1,92 @@
+"""Tests for the Figure-5 renderers."""
+
+from repro.navigation import (
+    render_integrated_view,
+    render_integrated_view_html,
+    render_object_view,
+    render_query_form,
+)
+
+
+class TestQueryForm:
+    def test_figure5a_content(self, annoda):
+        question = annoda.catalog.figure5b()
+        form = annoda.render_query_form(question)
+        assert "ANNODA query interface" in form
+        assert "[anchor] LocusLink" in form
+        assert "[include] GO" in form
+        assert "[exclude] OMIM" in form
+        assert "combination method: and" in form
+
+    def test_conditions_listed(self, annoda):
+        question = annoda.catalog.genes_by_annotation_keyword("kinase")
+        form = annoda.render_query_form(question)
+        assert "kinase" in form
+
+    def test_no_conditions_placeholder(self, annoda):
+        form = annoda.render_query_form(annoda.catalog.figure5b())
+        assert "(none)" in form
+
+
+class TestIntegratedView:
+    def test_figure5b_table(self, annoda, figure5b_result):
+        view = render_integrated_view(figure5b_result)
+        assert "Annotation integrated view" in view
+        assert "GeneID" in view and "Annotations" in view
+        # Every answer row shows at least one GO accession.
+        assert "GO:" in view
+
+    def test_limit_shows_remainder(self, figure5b_result):
+        view = render_integrated_view(figure5b_result, limit=2)
+        assert "more" in view
+
+    def test_html_has_anchor_tags(self, figure5b_result):
+        html_view = render_integrated_view_html(figure5b_result, limit=5)
+        assert html_view.startswith("<html>")
+        assert "<a href='http://www.ncbi.nlm.nih.gov" in html_view
+
+    def test_gene_count_in_header(self, figure5b_result):
+        view = render_integrated_view(figure5b_result)
+        assert str(len(figure5b_result.genes)) in view
+
+    def test_extra_sources_get_columns(self, annoda):
+        from repro.mediator import GlobalQuery, LinkConstraint
+        from repro.wrappers import SwissProtLikeWrapper
+
+        proteins = annoda.corpus.make_protein_store()
+        annoda.add_source(SwissProtLikeWrapper(proteins))
+        try:
+            result = annoda.ask(
+                GlobalQuery(
+                    anchor_source="LocusLink",
+                    links=(
+                        LinkConstraint(
+                            "SwissProt",
+                            "include",
+                            via="ProteinID",
+                            reverse_join=True,
+                        ),
+                    ),
+                )
+            )
+            view = render_integrated_view(result, limit=5)
+            assert "SwissProt" in view.splitlines()[1]
+        finally:
+            annoda.remove_source("SwissProt")
+
+    def test_no_extra_columns_without_matches(self, figure5b_result):
+        header = render_integrated_view(figure5b_result).splitlines()[1]
+        assert "SwissProt" not in header
+        assert "PubMed" not in header
+
+
+class TestObjectView:
+    def test_figure5c_content(self, annoda):
+        locus_id = annoda.corpus.locuslink.locus_ids()[0]
+        view = annoda.navigate(
+            f"http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={locus_id}"
+        )
+        rendered = render_object_view(view)
+        assert f"LocusLink object {locus_id}" in rendered
+        assert "Organism" in rendered
+        assert "Web links" in rendered

@@ -1,0 +1,234 @@
+"""Tests for the OEM graph store."""
+
+import pytest
+
+from repro.oem import OEMGraph, OEMType, graph_signature
+from repro.util.errors import DataFormatError
+
+
+@pytest.fixture
+def locus_graph():
+    """A small LocusLink-shaped graph mirroring the paper's Figure 3."""
+    graph = OEMGraph("locuslink")
+    root = graph.build(
+        {
+            "LocusID": 2354,
+            "Organism": "Homo sapiens",
+            "Symbol": "FOSB",
+            "Description": "FBJ murine osteosarcoma viral oncogene homolog B",
+            "Position": "19q13.32",
+            "Links": {
+                "GO": "http://godatabase.org/GO:0003700",
+                "OMIM": "http://www.ncbi.nlm.nih.gov/omim/164772",
+            },
+        },
+        label_order=[
+            "LocusID",
+            "Organism",
+            "Symbol",
+            "Description",
+            "Position",
+            "Links",
+        ],
+    )
+    graph.set_root("LocusLink", root)
+    return graph
+
+
+class TestConstruction:
+    def test_figure3_oid_numbering(self, locus_graph):
+        # The root complex object allocates first, like &1 in Figure 3.
+        root = locus_graph.root("LocusLink")
+        assert root.oid == 1
+        assert root.is_complex
+
+    def test_atomic_children_hold_values(self, locus_graph):
+        root = locus_graph.root("LocusLink")
+        assert locus_graph.child_value(root, "LocusID") == 2354
+        assert locus_graph.child_value(root, "Symbol") == "FOSB"
+
+    def test_labels_in_declared_order(self, locus_graph):
+        root = locus_graph.root("LocusLink")
+        assert root.labels() == [
+            "LocusID",
+            "Organism",
+            "Symbol",
+            "Description",
+            "Position",
+            "Links",
+        ]
+
+    def test_list_fans_out_label(self):
+        graph = OEMGraph()
+        root = graph.build({"GoID": ["GO:1", "GO:2", "GO:3"]})
+        assert [
+            child.value for child in graph.children(root, "GoID")
+        ] == ["GO:1", "GO:2", "GO:3"]
+
+    def test_duplicate_reference_is_set_semantics(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.new_atomic("x")
+        graph.add_edge(parent, "label", child)
+        graph.add_edge(parent, "label", child)
+        assert len(parent.references) == 1
+
+    def test_edge_endpoints_must_be_local(self):
+        graph_a = OEMGraph("a")
+        graph_b = OEMGraph("b")
+        parent = graph_a.new_complex()
+        foreign = graph_b.new_atomic(1)
+        with pytest.raises(DataFormatError):
+            graph_a.add_edge(parent, "x", foreign)
+
+
+class TestRoots:
+    def test_set_root_rejects_overwrite(self, locus_graph):
+        other = locus_graph.new_complex()
+        with pytest.raises(DataFormatError):
+            locus_graph.set_root("LocusLink", other)
+
+    def test_rebind_root_allows_overwrite(self, locus_graph):
+        other = locus_graph.new_complex()
+        locus_graph.rebind_root("LocusLink", other)
+        assert locus_graph.root("LocusLink") is other
+
+    def test_unique_root_name_renames(self, locus_graph):
+        assert locus_graph.unique_root_name("LocusLink") == "LocusLink2"
+        assert locus_graph.unique_root_name("answer") == "answer"
+
+    def test_missing_root_raises(self, locus_graph):
+        with pytest.raises(DataFormatError):
+            locus_graph.root("GO")
+
+
+class TestTraversal:
+    def test_children_filter_by_label(self, locus_graph):
+        root = locus_graph.root("LocusLink")
+        links = locus_graph.children(root, "Links")
+        assert len(links) == 1 and links[0].is_complex
+
+    def test_parents(self, locus_graph):
+        root = locus_graph.root("LocusLink")
+        links = locus_graph.children(root, "Links")[0]
+        parent_pairs = locus_graph.parents(links.oid)
+        assert (root, "Links") in parent_pairs
+
+    def test_reachable_covers_whole_tree(self, locus_graph):
+        root = locus_graph.root("LocusLink")
+        assert locus_graph.reachable(root) == {
+            obj.oid for obj in locus_graph.objects()
+        }
+
+    def test_walk_yields_paths(self, locus_graph):
+        root = locus_graph.root("LocusLink")
+        paths = {path for path, _ in locus_graph.walk(root)}
+        assert ("Links", "GO") in paths
+        assert () in paths
+
+    def test_walk_terminates_on_cycles(self):
+        graph = OEMGraph()
+        a = graph.new_complex()
+        b = graph.new_complex()
+        graph.add_edge(a, "next", b)
+        graph.add_edge(b, "back", a)
+        visited = list(graph.walk(a))
+        assert len(visited) == 2
+
+    def test_reachable_terminates_on_self_loop(self):
+        graph = OEMGraph()
+        a = graph.new_complex()
+        graph.add_edge(a, "self", a)
+        assert graph.reachable(a) == {a.oid}
+
+
+class TestValidation:
+    def test_well_formed_graph_validates(self, locus_graph):
+        assert locus_graph.validate() == []
+
+    def test_dangling_reference_detected(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.new_atomic(1)
+        graph.add_edge(parent, "x", child)
+        del graph._objects[child.oid]
+        problems = graph.validate()
+        assert any("missing object" in problem for problem in problems)
+
+
+class TestImportSubgraph:
+    def test_copy_preserves_structure(self, locus_graph):
+        target = OEMGraph("combined")
+        source_root = locus_graph.root("LocusLink")
+        copied = target.import_subgraph(locus_graph, source_root)
+        assert target.equal_structure(copied, locus_graph, source_root)
+
+    def test_copy_remaps_oids(self, locus_graph):
+        target = OEMGraph("combined")
+        target.new_complex()  # occupy oid 1 so remapping is observable
+        copied = target.import_subgraph(
+            locus_graph, locus_graph.root("LocusLink")
+        )
+        assert copied.oid != locus_graph.root("LocusLink").oid
+
+    def test_label_map_renames_edges(self, locus_graph):
+        target = OEMGraph("combined")
+        copied = target.import_subgraph(
+            locus_graph,
+            locus_graph.root("LocusLink"),
+            label_map={"Symbol": "GeneSymbol"},
+        )
+        assert target.child_value(copied, "GeneSymbol") == "FOSB"
+        assert target.child_value(copied, "Symbol") is None
+
+    def test_shared_substructure_stays_shared(self):
+        source = OEMGraph()
+        top = source.new_complex()
+        shared = source.new_atomic("shared")
+        a = source.new_complex()
+        b = source.new_complex()
+        source.add_edge(top, "a", a)
+        source.add_edge(top, "b", b)
+        source.add_edge(a, "value", shared)
+        source.add_edge(b, "value", shared)
+
+        target = OEMGraph()
+        copied = target.import_subgraph(source, top)
+        value_a = target.children(target.children(copied, "a")[0], "value")[0]
+        value_b = target.children(target.children(copied, "b")[0], "value")[0]
+        assert value_a.oid == value_b.oid
+
+    def test_cyclic_subgraph_copies(self):
+        source = OEMGraph()
+        a = source.new_complex()
+        b = source.new_complex()
+        source.add_edge(a, "next", b)
+        source.add_edge(b, "back", a)
+        target = OEMGraph()
+        copied = target.import_subgraph(source, a)
+        back = target.children(target.children(copied, "next")[0], "back")[0]
+        assert back.oid == copied.oid
+
+
+class TestSignatures:
+    def test_equal_structures_share_signature(self):
+        graph_a = OEMGraph()
+        graph_b = OEMGraph()
+        root_a = graph_a.build({"x": 1, "y": ["a", "b"]})
+        graph_b.new_atomic(99)  # shift oids
+        root_b = graph_b.build({"y": ["a", "b"], "x": 1})
+        assert graph_signature(graph_a, root_a) == graph_signature(
+            graph_b, root_b
+        )
+
+    def test_value_difference_changes_signature(self):
+        graph = OEMGraph()
+        a = graph.build({"x": 1})
+        b = graph.build({"x": 2})
+        assert graph_signature(graph, a) != graph_signature(graph, b)
+
+    def test_type_difference_changes_signature(self):
+        graph = OEMGraph()
+        a = graph.build({"x": 1})
+        b = graph.build({"x": 1.0})
+        assert graph_signature(graph, a) != graph_signature(graph, b)

@@ -1,0 +1,107 @@
+"""Direct tests of less-traveled OEM model APIs."""
+
+import pytest
+
+from repro.oem import OEMGraph, OEMType
+from repro.oem.model import OEMObject, atomic_from_python
+from repro.util.errors import DataFormatError
+
+
+class TestAtomicFromPython:
+    def test_inferred_type(self):
+        obj = atomic_from_python(1, 42)
+        assert obj.type is OEMType.INTEGER
+        assert obj.value == 42
+
+    def test_explicit_type(self):
+        obj = atomic_from_python(1, "http://x", OEMType.URL)
+        assert obj.type is OEMType.URL
+
+
+class TestReferenceMutation:
+    def test_remove_reference(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.new_atomic("x")
+        graph.add_edge(parent, "label", child)
+        parent.remove_reference("label", child.oid)
+        assert parent.references == ()
+
+    def test_remove_missing_reference_raises(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        with pytest.raises(DataFormatError):
+            parent.remove_reference("label", 99)
+
+    def test_atomic_objects_reject_reference_ops(self):
+        graph = OEMGraph()
+        atom = graph.new_atomic(1)
+        with pytest.raises(DataFormatError):
+            atom.add_reference("x", atom)
+        with pytest.raises(DataFormatError):
+            atom.remove_reference("x", 1)
+        with pytest.raises(DataFormatError):
+            atom.references
+        with pytest.raises(DataFormatError):
+            atom.sort_references(lambda ref: 0)
+        with pytest.raises(DataFormatError):
+            atom.reverse_references()
+
+    def test_complex_with_value_rejected(self):
+        with pytest.raises(DataFormatError):
+            OEMObject(1, OEMType.COMPLEX, "value")
+
+    def test_reverse_references(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        for value in (1, 2, 3):
+            graph.add_edge(parent, "n", graph.new_atomic(value))
+        parent.reverse_references()
+        assert [
+            graph.get(ref.oid).value for ref in parent.references
+        ] == [3, 2, 1]
+
+    def test_ref_render(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.new_atomic("FOSB")
+        ref = graph.add_edge(parent, "Symbol", child)
+        assert ref.render() == f"(Symbol, &{child.oid}, String)"
+
+
+class TestGraphEdges:
+    def test_adopt_rejects_duplicate_oid(self):
+        graph = OEMGraph()
+        first = graph.new_atomic(1)
+        with pytest.raises(DataFormatError):
+            graph.adopt(OEMObject(first.oid, OEMType.INTEGER, 2))
+
+    def test_reserve_oid_prevents_collision(self):
+        graph = OEMGraph()
+        graph.reserve_oid(50)
+        assert graph.new_atomic(1).oid == 51
+
+    def test_root_names_and_has_root(self):
+        graph = OEMGraph()
+        obj = graph.new_complex()
+        graph.set_root("A", obj)
+        graph.set_root("B", obj)
+        assert graph.root_names() == ["A", "B"]
+        assert graph.has_root("A") and not graph.has_root("C")
+
+    def test_atomic_and_complex_partitions(self):
+        graph = OEMGraph()
+        graph.new_atomic(1)
+        graph.new_complex()
+        graph.new_atomic("x")
+        assert len(graph.atomic_objects()) == 2
+        assert len(graph.complex_objects()) == 1
+        assert len(graph) == 3
+
+    def test_repr_forms(self):
+        graph = OEMGraph("g")
+        atom = graph.new_atomic(5)
+        box = graph.new_complex()
+        assert "value=5" in repr(atom)
+        assert "Complex" in repr(box)
+        assert "g" in repr(graph)

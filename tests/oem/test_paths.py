@@ -1,0 +1,118 @@
+"""Tests for Lorel-style path expressions over OEM graphs."""
+
+import pytest
+
+from repro.oem import OEMGraph, PathExpression
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def gml_like_graph():
+    graph = OEMGraph("gml")
+    root = graph.build(
+        {
+            "Source": [
+                {"Name": "LocusLink", "Content": {"Entry": [1, 2]}},
+                {"Name": "GO", "Content": {"Term": ["GO:1"]}},
+            ],
+            "Version": "2005.1",
+        }
+    )
+    graph.set_root("ANNODA-GML", root)
+    return graph, root
+
+
+class TestParsing:
+    def test_simple_path(self):
+        path = PathExpression.parse("Source.Name")
+        assert len(path) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            PathExpression.parse("   ")
+
+    def test_rejects_empty_segment(self):
+        with pytest.raises(QueryError):
+            PathExpression.parse("Source..Name")
+
+    def test_repr_keeps_text(self):
+        assert "Source.Name" in repr(PathExpression.parse("Source.Name"))
+
+
+class TestExactMatching:
+    def test_two_step_path(self, gml_like_graph):
+        graph, root = gml_like_graph
+        names = PathExpression.parse("Source.Name").terminals(graph, root)
+        assert sorted(obj.value for obj in names) == ["GO", "LocusLink"]
+
+    def test_no_match_returns_empty(self, gml_like_graph):
+        graph, root = gml_like_graph
+        assert PathExpression.parse("Missing.Name").terminals(graph, root) == []
+
+    def test_case_sensitive(self, gml_like_graph):
+        graph, root = gml_like_graph
+        assert PathExpression.parse("source.name").terminals(graph, root) == []
+
+    def test_first_helper(self, gml_like_graph):
+        graph, root = gml_like_graph
+        first = PathExpression.parse("Source.Name").first(graph, root)
+        assert first.value == "LocusLink"
+        assert PathExpression.parse("Nope").first(graph, root) is None
+
+
+class TestWildcards:
+    def test_percent_matches_substring(self, gml_like_graph):
+        graph, root = gml_like_graph
+        terminals = PathExpression.parse("Sou%.Name").terminals(graph, root)
+        assert len(terminals) == 2
+
+    def test_percent_alone_matches_any_label(self, gml_like_graph):
+        graph, root = gml_like_graph
+        terminals = PathExpression.parse("%").terminals(graph, root)
+        # Two Source children plus Version.
+        assert len(terminals) == 3
+
+    def test_hash_matches_any_depth(self, gml_like_graph):
+        graph, root = gml_like_graph
+        terminals = PathExpression.parse("#.Name").terminals(graph, root)
+        assert sorted(obj.value for obj in terminals) == ["GO", "LocusLink"]
+
+    def test_hash_matches_empty_path(self, gml_like_graph):
+        graph, root = gml_like_graph
+        terminals = PathExpression.parse("#").terminals(graph, root)
+        assert root in terminals
+
+    def test_hash_on_cyclic_graph_terminates(self):
+        graph = OEMGraph()
+        a = graph.new_complex()
+        b = graph.new_complex()
+        leaf = graph.new_atomic("leaf")
+        graph.add_edge(a, "next", b)
+        graph.add_edge(b, "back", a)
+        graph.add_edge(b, "value", leaf)
+        terminals = PathExpression.parse("#.value").terminals(graph, a)
+        assert [obj.value for obj in terminals] == ["leaf"]
+
+
+class TestTrails:
+    def test_trails_record_labels(self, gml_like_graph):
+        graph, root = gml_like_graph
+        trails = PathExpression.parse("Source.Content").trails(graph, root)
+        assert all(
+            [label for label, _ in trail] == ["Source", "Content"]
+            for trail in trails
+        )
+        assert len(trails) == 2
+
+    def test_terminals_deduplicate_by_oid(self):
+        graph = OEMGraph()
+        root = graph.new_complex()
+        shared = graph.new_atomic("v")
+        a = graph.new_complex()
+        b = graph.new_complex()
+        graph.add_edge(root, "x", a)
+        graph.add_edge(root, "x", b)
+        graph.add_edge(a, "v", shared)
+        graph.add_edge(b, "v", shared)
+        terminals = PathExpression.parse("x.v").terminals(graph, root)
+        assert len(terminals) == 1

@@ -1,0 +1,184 @@
+"""Tests for Figure-3 text serialization and the JSON object table."""
+
+import pytest
+
+from repro.oem import (
+    OEMGraph,
+    OEMType,
+    from_json_table,
+    read_figure3,
+    to_json_table,
+    to_python,
+    write_figure3,
+)
+from repro.util.errors import DataFormatError
+
+
+@pytest.fixture
+def locus_graph():
+    graph = OEMGraph("locuslink")
+    root = graph.build(
+        {
+            "LocusID": 2354,
+            "Organism": "Homo sapiens",
+            "Symbol": "FOSB",
+            "Links": {"GO": "http://godatabase.org/GO:0003700"},
+        },
+        label_order=["LocusID", "Organism", "Symbol", "Links"],
+    )
+    graph.set_root("LocusLink", root)
+    return graph
+
+
+class TestFigure3Writer:
+    def test_layout_matches_paper_description(self, locus_graph):
+        text = write_figure3(
+            locus_graph, "LocusLink", locus_graph.root("LocusLink")
+        )
+        lines = text.splitlines()
+        # "LocusLink is a Complex object with oid &1"
+        assert lines[0] == "LocusLink &1 Complex"
+        # "LocusID is an atomic object of type Integer with oid &2"
+        assert lines[1] == "  LocusID &2 Integer '2354'"
+
+    def test_complex_children_indent_further(self, locus_graph):
+        text = write_figure3(
+            locus_graph, "LocusLink", locus_graph.root("LocusLink")
+        )
+        go_lines = [l for l in text.splitlines() if l.lstrip().startswith("GO ")]
+        assert go_lines and go_lines[0].startswith("    ")
+
+    def test_shared_object_described_once(self):
+        graph = OEMGraph()
+        root = graph.new_complex()
+        shared = graph.new_complex()
+        leaf = graph.new_atomic(1)
+        graph.add_edge(shared, "value", leaf)
+        graph.add_edge(root, "first", shared)
+        graph.add_edge(root, "second", shared)
+        text = write_figure3(graph, "Root", root)
+        # 'value' expansion appears once; the second reference is bare.
+        assert text.count("value") == 1
+        assert text.count(f"&{shared.oid} Complex") == 2
+
+    def test_quotes_escaped(self):
+        graph = OEMGraph()
+        root = graph.build({"Description": "5'-flanking region"})
+        text = write_figure3(graph, "Entry", root)
+        assert "'5''-flanking region'" in text
+
+
+class TestFigure3Reader:
+    def test_round_trip_preserves_text(self, locus_graph):
+        text = write_figure3(
+            locus_graph, "LocusLink", locus_graph.root("LocusLink")
+        )
+        parsed, label, root = read_figure3(text)
+        assert label == "LocusLink"
+        assert write_figure3(parsed, label, root) == text
+
+    def test_round_trip_preserves_oids(self, locus_graph):
+        text = write_figure3(
+            locus_graph, "LocusLink", locus_graph.root("LocusLink")
+        )
+        parsed, _, root = read_figure3(text)
+        assert root.oid == locus_graph.root("LocusLink").oid
+
+    def test_shared_object_reconnected(self):
+        text = (
+            "Root &1 Complex\n"
+            "  first &2 Complex\n"
+            "    value &3 Integer '1'\n"
+            "  second &2 Complex\n"
+        )
+        graph, _, root = read_figure3(text)
+        children = graph.children(root)
+        assert children[0].oid == children[1].oid == 2
+
+    def test_blank_lines_ignored(self):
+        text = "Root &1 Complex\n\n  x &2 Integer '5'\n"
+        graph, _, root = read_figure3(text)
+        assert graph.child_value(root, "x") == 5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Root &1",  # too few fields
+            "Root one Complex",  # bad oid
+            "Root &1 Blob 'x'",  # unknown type
+            "Root &1 Integer 5",  # unquoted value
+            "  Root &1 Complex",  # indented line without parent
+            "Root &1 Complex 'v'",  # complex with value
+            "Root &1 Integer",  # atomic missing value
+        ],
+    )
+    def test_malformed_documents_rejected(self, bad):
+        with pytest.raises(DataFormatError):
+            read_figure3(bad)
+
+    def test_two_top_level_objects_rejected(self):
+        with pytest.raises(DataFormatError):
+            read_figure3("A &1 Integer '1'\nB &2 Integer '2'\n")
+
+    def test_odd_indentation_rejected(self):
+        with pytest.raises(DataFormatError):
+            read_figure3("Root &1 Complex\n   x &2 Integer '1'\n")
+
+    def test_type_conflict_on_redescription_rejected(self):
+        text = (
+            "Root &1 Complex\n"
+            "  a &2 Complex\n"
+            "  b &2 Integer '1'\n"
+        )
+        with pytest.raises(DataFormatError):
+            read_figure3(text)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(DataFormatError):
+            read_figure3("\n\n")
+
+
+class TestJsonTable:
+    def test_round_trip(self, locus_graph):
+        table = to_json_table(locus_graph)
+        rebuilt = from_json_table(table)
+        assert rebuilt.equal_structure(
+            rebuilt.root("LocusLink"),
+            locus_graph,
+            locus_graph.root("LocusLink"),
+        )
+
+    def test_rejects_dangling_reference(self, locus_graph):
+        table = to_json_table(locus_graph)
+        table["objects"][0]["references"].append({"label": "bad", "oid": 999})
+        with pytest.raises(DataFormatError):
+            from_json_table(table)
+
+    def test_gif_values_round_trip(self):
+        graph = OEMGraph()
+        root = graph.new_complex()
+        image = graph.new_atomic(b"\x89PNGdata", OEMType.GIF)
+        graph.add_edge(root, "thumbnail", image)
+        graph.rebind_root("Entry", root)
+        rebuilt = from_json_table(to_json_table(graph))
+        value = rebuilt.child_value(rebuilt.root("Entry"), "thumbnail")
+        assert value == b"\x89PNGdata"
+
+
+class TestToPython:
+    def test_simple_tree(self, locus_graph):
+        data = to_python(locus_graph, locus_graph.root("LocusLink"))
+        assert data["Symbol"] == "FOSB"
+        assert data["Links"]["GO"].startswith("http://")
+
+    def test_fan_out_becomes_list(self):
+        graph = OEMGraph()
+        root = graph.build({"GoID": ["GO:1", "GO:2"]})
+        assert to_python(graph, root) == {"GoID": ["GO:1", "GO:2"]}
+
+    def test_cycles_cut_with_sentinel(self):
+        graph = OEMGraph()
+        a = graph.new_complex()
+        graph.add_edge(a, "self", a)
+        data = to_python(graph, a)
+        assert data == {"self": f"<cycle &{a.oid}>"}

@@ -1,0 +1,104 @@
+"""Tests for the extended OEM atomic type system."""
+
+import pytest
+
+from repro.oem.types import (
+    ATOMIC_TYPES,
+    OEMType,
+    infer_type,
+    parse_value,
+    render_value,
+    type_from_name,
+    validate_value,
+)
+from repro.util.errors import DataFormatError
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (7, OEMType.INTEGER),
+            (3.5, OEMType.REAL),
+            ("BRCA2", OEMType.STRING),
+            (True, OEMType.BOOLEAN),
+            (b"\x89GIF", OEMType.GIF),
+        ],
+    )
+    def test_basic_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_bool_not_mistaken_for_int(self):
+        assert infer_type(True) is OEMType.BOOLEAN
+
+    def test_urls_are_not_inferred(self):
+        # URL requires explicit tagging; inference stays STRING.
+        assert infer_type("http://www.ncbi.nlm.nih.gov") is OEMType.STRING
+
+    def test_unrepresentable_value_rejected(self):
+        with pytest.raises(DataFormatError):
+            infer_type(object())
+
+
+class TestValidation:
+    def test_int_widened_to_real(self):
+        assert validate_value(4, OEMType.REAL) == 4.0
+        assert isinstance(validate_value(4, OEMType.REAL), float)
+
+    def test_bytearray_frozen(self):
+        frozen = validate_value(bytearray(b"ab"), OEMType.GIF)
+        assert frozen == b"ab" and isinstance(frozen, bytes)
+
+    def test_bool_cannot_carry_integer(self):
+        with pytest.raises(DataFormatError):
+            validate_value(True, OEMType.INTEGER)
+
+    def test_complex_carries_no_value(self):
+        with pytest.raises(DataFormatError):
+            validate_value("x", OEMType.COMPLEX)
+
+    def test_url_requires_string(self):
+        assert validate_value("http://x", OEMType.URL) == "http://x"
+        with pytest.raises(DataFormatError):
+            validate_value(7, OEMType.URL)
+
+
+class TestNames:
+    def test_round_trip_all_tags(self):
+        for oem_type in OEMType:
+            assert type_from_name(oem_type.value) is oem_type
+
+    def test_case_tolerance(self):
+        assert type_from_name("integer") is OEMType.INTEGER
+        assert type_from_name("INTEGER") is OEMType.INTEGER
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DataFormatError):
+            type_from_name("Blob")
+
+    def test_atomic_tuple_excludes_complex(self):
+        assert OEMType.COMPLEX not in ATOMIC_TYPES
+        assert len(ATOMIC_TYPES) == len(OEMType) - 1
+
+
+class TestSerializedValues:
+    @pytest.mark.parametrize(
+        "value, oem_type",
+        [
+            (42, OEMType.INTEGER),
+            (-3, OEMType.INTEGER),
+            (2.75, OEMType.REAL),
+            ("LocusID Value", OEMType.STRING),
+            (True, OEMType.BOOLEAN),
+            (False, OEMType.BOOLEAN),
+            (b"\x00\xffGIF", OEMType.GIF),
+            ("http://go/term", OEMType.URL),
+        ],
+    )
+    def test_render_parse_round_trip(self, value, oem_type):
+        text = render_value(value, oem_type)
+        assert parse_value(text, oem_type) == value
+
+    def test_bad_boolean_literal(self):
+        with pytest.raises(DataFormatError):
+            parse_value("maybe", OEMType.BOOLEAN)

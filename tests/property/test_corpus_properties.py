@@ -1,0 +1,121 @@
+"""Property tests: corpus invariants across random generation parameters."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sources import AnnotationCorpus, CorpusParameters
+
+
+@st.composite
+def parameter_sets(draw):
+    return CorpusParameters(
+        loci=draw(st.integers(min_value=10, max_value=120)),
+        go_terms=draw(st.integers(min_value=5, max_value=80)),
+        omim_entries=draw(st.integers(min_value=3, max_value=40)),
+        go_annotation_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        omim_link_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        omim_only_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        conflict_rate=draw(st.floats(min_value=0.0, max_value=0.8)),
+    )
+
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+class TestCorpusInvariants:
+    @given(seeds, parameter_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_ontology_always_valid(self, seed, parameters):
+        corpus = AnnotationCorpus.generate(seed=seed, parameters=parameters)
+        assert corpus.go.validate() == []
+
+    @given(seeds, parameter_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_truth_covers_locus_side_links(self, seed, parameters):
+        """Locus-side references never exceed ground truth, except the
+        dangling ones conflict injection planted (and recorded)."""
+        corpus = AnnotationCorpus.generate(seed=seed, parameters=parameters)
+        truth = corpus.ground_truth
+        dangling_loci = {
+            conflict.locus_id
+            for conflict in truth.conflicts
+            if conflict.kind == "dangling_omim"
+        }
+        stale_loci = {
+            conflict.locus_id
+            for conflict in truth.conflicts
+            if conflict.kind == "stale_go"
+        }
+        for record in corpus.locuslink.all_records():
+            extra_omim = set(record.omim_ids) - truth.omim_by_locus[
+                record.locus_id
+            ]
+            if extra_omim:
+                assert record.locus_id in dangling_loci
+            extra_go = set(record.go_ids) - truth.go_by_locus[
+                record.locus_id
+            ]
+            if extra_go:
+                assert record.locus_id in stale_loci
+
+    @given(seeds, parameter_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_true_associations_reachable_some_way(self, seed, parameters):
+        """Every ground-truth association is reachable by id or by
+        (possibly mangled) symbol — conflicts hide, never delete."""
+        corpus = AnnotationCorpus.generate(seed=seed, parameters=parameters)
+        truth = corpus.ground_truth
+        for record in corpus.locuslink.all_records():
+            for mim in truth.omim_by_locus[record.locus_id]:
+                entry = corpus.omim.get(mim)
+                assert entry is not None
+                by_id = mim in record.omim_ids
+                candidates = {record.symbol, record.symbol.lower()}
+                candidates.update(record.aliases)
+                candidates.update(
+                    alias.lower() for alias in record.aliases
+                )
+                by_symbol = bool(candidates & set(entry.gene_symbols))
+                assert by_id or by_symbol
+
+    @given(seeds, parameter_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_integrity_audit_accounts_for_every_injection(
+        self, seed, parameters
+    ):
+        """The cross-source auditor finds at least every conflict the
+        corpus injected, under the right finding kind."""
+        from repro.sources.integrity import IntegrityAuditor
+
+        corpus = AnnotationCorpus.generate(seed=seed, parameters=parameters)
+        report = IntegrityAuditor(
+            {
+                "LocusLink": corpus.locuslink,
+                "GO": corpus.go,
+                "OMIM": corpus.omim,
+            }
+        ).audit()
+        injected = {}
+        for conflict in corpus.ground_truth.conflicts:
+            injected[conflict.kind] = injected.get(conflict.kind, 0) + 1
+        kind_map = {
+            "stale_go": "obsolete_go_annotation",
+            "dangling_omim": "dangling_omim_reference",
+            "symbol_case": "case_variant_symbol",
+            "symbol_alias": "alias_symbol",
+        }
+        for conflict_kind, finding_kind in kind_map.items():
+            assert report.count(finding_kind) >= injected.get(
+                conflict_kind, 0
+            )
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_corpus(self, seed):
+        parameters = CorpusParameters(
+            loci=30, go_terms=15, omim_entries=8, conflict_rate=0.3
+        )
+        a = AnnotationCorpus.generate(seed=seed, parameters=parameters)
+        b = AnnotationCorpus.generate(seed=seed, parameters=parameters)
+        assert a.locuslink.dump() == b.locuslink.dump()
+        assert a.omim.dump() == b.omim.dump()
+        assert a.ground_truth.conflicts == b.ground_truth.conflicts

@@ -1,0 +1,68 @@
+"""Property-based tests of the Hungarian solver, cross-checked against
+scipy's reference implementation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.matching import solve_assignment, solve_max_assignment
+
+costs = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def matrices(draw, min_side=1, max_side=8):
+    rows = draw(st.integers(min_value=min_side, max_value=max_side))
+    cols = draw(st.integers(min_value=min_side, max_value=max_side))
+    return [
+        [draw(costs) for _ in range(cols)] for _ in range(rows)
+    ]
+
+
+class TestOptimality:
+    @given(matrices())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scipy_optimum(self, matrix):
+        _assignment, total = solve_assignment(matrix)
+        array = np.array(matrix, dtype=float)
+        row_indices, col_indices = linear_sum_assignment(array)
+        reference = float(array[row_indices, col_indices].sum())
+        assert abs(total - reference) < 1e-9
+
+    @given(matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_max_assignment_matches_scipy(self, matrix):
+        _assignment, total = solve_max_assignment(matrix)
+        array = np.array(matrix, dtype=float)
+        row_indices, col_indices = linear_sum_assignment(
+            array, maximize=True
+        )
+        reference = float(array[row_indices, col_indices].sum())
+        assert abs(total - reference) < 1e-9
+
+
+class TestAssignmentValidity:
+    @given(matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_one_to_one_and_complete(self, matrix):
+        assignment, total = solve_assignment(matrix)
+        rows = [row for row, _col in assignment]
+        cols = [col for _row, col in assignment]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+        assert len(assignment) == min(len(matrix), len(matrix[0]))
+        assert abs(
+            total - sum(matrix[row][col] for row, col in assignment)
+        ) < 1e-9
+
+    @given(matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_cost_shift_invariance(self, matrix):
+        """Adding a constant to every cell shifts the optimum by
+        k * assignment size but never changes which total is optimal
+        relative to scipy."""
+        shifted = [[value + 1000 for value in row] for row in matrix]
+        _, total = solve_assignment(matrix)
+        _, shifted_total = solve_assignment(shifted)
+        size = min(len(matrix), len(matrix[0]))
+        assert abs(shifted_total - (total + 1000 * size)) < 1e-9

@@ -1,0 +1,87 @@
+"""Property-based tests of the Lorel language layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lorel import parse
+from repro.lorel.coerce import comparable_pair, compare, like
+from repro.lorel.lexer import KEYWORDS
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda name: name.lower() not in KEYWORDS
+)
+string_literals = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"), blacklist_characters='"'
+    ),
+    max_size=15,
+)
+scalars = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    string_literals,
+    st.booleans(),
+)
+
+
+@st.composite
+def queries(draw):
+    """Generate simple but varied select-from-where query text."""
+    database = draw(names)
+    variable = draw(names)
+    select_path = f"{variable}.{draw(names)}"
+    text = f"select {select_path} from {database}.{draw(names)} {variable}"
+    if draw(st.booleans()):
+        attribute = draw(names)
+        literal = draw(st.integers(min_value=0, max_value=999))
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        text += f" where {variable}.{attribute} {op} {literal}"
+    return text
+
+
+class TestParserProperties:
+    @given(queries())
+    @settings(max_examples=150, deadline=None)
+    def test_unparse_is_fixpoint(self, text):
+        once = parse(text).unparse()
+        assert parse(once).unparse() == once
+
+    @given(queries())
+    @settings(max_examples=100, deadline=None)
+    def test_parse_is_deterministic(self, text):
+        assert parse(text) == parse(text)
+
+
+class TestCoercionProperties:
+    @given(scalars, scalars)
+    @settings(max_examples=200, deadline=None)
+    def test_equality_is_symmetric(self, a, b):
+        assert compare("=", a, b) == compare("=", b, a)
+
+    @given(scalars, scalars)
+    @settings(max_examples=200, deadline=None)
+    def test_inequality_negates_equality_when_coercible(self, a, b):
+        if comparable_pair(a, b) is not None:
+            assert compare("!=", a, b) == (not compare("=", a, b))
+
+    @given(scalars)
+    @settings(max_examples=100, deadline=None)
+    def test_equality_is_reflexive(self, a):
+        assert compare("=", a, a)
+
+    @given(scalars, scalars)
+    @settings(max_examples=200, deadline=None)
+    def test_ordering_is_antisymmetric(self, a, b):
+        if compare("<", a, b):
+            assert not compare(">", a, b)
+            assert not compare("=", a, b)
+
+    @given(string_literals)
+    @settings(max_examples=100, deadline=None)
+    def test_like_without_wildcards_is_equality(self, text):
+        if "%" not in text and "_" not in text:
+            assert like(text, text)
+
+    @given(string_literals)
+    @settings(max_examples=100, deadline=None)
+    def test_percent_matches_everything(self, text):
+        assert like(text, "%")

@@ -1,0 +1,135 @@
+"""Property-based tests of the OEM substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oem import (
+    OEMGraph,
+    from_json_table,
+    graph_signature,
+    read_figure3,
+    to_json_table,
+    to_python,
+    write_figure3,
+)
+
+# Labels: identifier-ish, no whitespace (labels are space-delimited in
+# the Figure-3 line format).
+labels = st.from_regex(r"[A-Za-z][A-Za-z0-9_-]{0,10}", fullmatch=True)
+
+# Atomic values across every inferable type; text may contain quotes
+# and unicode but no newlines (values are line-scoped in Figure 3).
+atoms = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=30,
+    ),
+    st.booleans(),
+    st.binary(max_size=12),
+)
+
+trees = st.recursive(
+    atoms,
+    lambda children: st.dictionaries(
+        labels,
+        st.one_of(children, st.lists(children, min_size=1, max_size=3)),
+        min_size=1,
+        max_size=4,
+    ),
+    max_leaves=12,
+)
+
+
+def build_graph(tree):
+    graph = OEMGraph()
+    root = graph.build(tree if isinstance(tree, dict) else {"value": tree})
+    graph.set_root("Root", root)
+    return graph, root
+
+
+class TestFigure3RoundTrip:
+    @given(trees)
+    @settings(max_examples=120, deadline=None)
+    def test_write_read_write_is_identity(self, tree):
+        graph, root = build_graph(tree)
+        text = write_figure3(graph, "Root", root)
+        parsed, label, parsed_root = read_figure3(text)
+        assert label == "Root"
+        assert write_figure3(parsed, label, parsed_root) == text
+
+    @given(trees)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_preserves_structure(self, tree):
+        graph, root = build_graph(tree)
+        text = write_figure3(graph, "Root", root)
+        parsed, _, parsed_root = read_figure3(text)
+        assert graph_signature(graph, root) == graph_signature(
+            parsed, parsed_root
+        )
+
+
+class TestJsonRoundTrip:
+    @given(trees)
+    @settings(max_examples=80, deadline=None)
+    def test_json_table_round_trip(self, tree):
+        graph, root = build_graph(tree)
+        rebuilt = from_json_table(to_json_table(graph))
+        assert graph_signature(graph, root) == graph_signature(
+            rebuilt, rebuilt.root("Root")
+        )
+
+    @given(trees)
+    @settings(max_examples=60, deadline=None)
+    def test_rebuilt_graph_validates(self, tree):
+        graph, _ = build_graph(tree)
+        rebuilt = from_json_table(to_json_table(graph))
+        assert rebuilt.validate() == []
+
+
+class TestImportSubgraph:
+    @given(trees)
+    @settings(max_examples=80, deadline=None)
+    def test_import_preserves_signature(self, tree):
+        graph, root = build_graph(tree)
+        target = OEMGraph("target")
+        target.new_atomic(0)  # shift oids so remapping is exercised
+        copied = target.import_subgraph(graph, root)
+        assert graph_signature(graph, root) == graph_signature(
+            target, copied
+        )
+
+    @given(trees)
+    @settings(max_examples=60, deadline=None)
+    def test_imported_graph_validates(self, tree):
+        graph, root = build_graph(tree)
+        target = OEMGraph("target")
+        target.import_subgraph(graph, root)
+        assert target.validate() == []
+
+
+class TestGraphInvariants:
+    @given(trees)
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_covers_walk(self, tree):
+        graph, root = build_graph(tree)
+        walked = {obj.oid for _path, obj in graph.walk(root)}
+        assert walked == graph.reachable(root)
+
+    @given(trees)
+    @settings(max_examples=60, deadline=None)
+    def test_built_graph_validates(self, tree):
+        graph, _ = build_graph(tree)
+        assert graph.validate() == []
+
+    @given(trees)
+    @settings(max_examples=60, deadline=None)
+    def test_to_python_round_trips_through_build(self, tree):
+        # build(to_python(build(tree))) has the same OEM signature.
+        graph, root = build_graph(tree)
+        data = to_python(graph, root)
+        second = OEMGraph()
+        second_root = second.build(data)
+        assert graph_signature(graph, root) == graph_signature(
+            second, second_root
+        )

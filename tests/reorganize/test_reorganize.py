@@ -1,0 +1,163 @@
+"""Tests for result re-organization (pivoting, matrices, exports)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import Annoda
+from repro.lorel import LorelEngine
+from repro.mediator import GlobalQuery, LinkConstraint
+from repro.reorganize import Reorganizer, to_csv, to_json_records
+from repro.reorganize.pivot import require_nonempty
+from repro.sources.corpus import CorpusParameters
+from repro.util.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def annoda():
+    return Annoda.with_default_sources(
+        seed=51,
+        parameters=CorpusParameters(loci=120, go_terms=70, omim_entries=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(annoda):
+    return annoda.ask(
+        GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint("GO", "include", via="AnnotationID"),
+                LinkConstraint(
+                    "OMIM", "include", via="DiseaseID", symbol_join=True
+                ),
+            ),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def reorganizer(result):
+    return Reorganizer(result)
+
+
+class TestGrouping:
+    def test_by_annotation_covers_all_matches(self, reorganizer, result):
+        groups = reorganizer.by_annotation()
+        grouped_pairs = {
+            (gene_id, go_id)
+            for go_id, group in groups.items()
+            for gene_id in group["genes"]
+        }
+        expected_pairs = {
+            (gene["GeneID"], go_id)
+            for gene in result.genes
+            for go_id in gene["_links"]["GO"]
+        }
+        assert grouped_pairs == expected_pairs
+
+    def test_annotation_titles_from_enrichment(self, reorganizer, annoda):
+        groups = reorganizer.by_annotation()
+        for go_id, group in groups.items():
+            term = annoda.corpus.go.get(go_id)
+            assert group["title"] == term.name
+
+    def test_by_disease(self, reorganizer, result):
+        groups = reorganizer.by_disease()
+        assert groups
+        for mim, group in groups.items():
+            assert group["genes"]
+            for gene_id in group["genes"]:
+                assert mim in result.gene(gene_id)["_links"]["OMIM"]
+
+    def test_by_species_partitions_genes(self, reorganizer, result):
+        groups = reorganizer.by_species()
+        total = sum(len(genes) for genes in groups.values())
+        assert total == len(result.genes)
+
+    def test_summary(self, reorganizer, result):
+        summary = reorganizer.summary()
+        assert summary["genes"] == len(result.genes)
+        assert summary["annotation_groups"] > 0
+        assert sum(summary["species"].values()) == len(result.genes)
+
+
+class TestIncidenceMatrix:
+    def test_matrix_shape_and_content(self, reorganizer, result):
+        gene_ids, go_ids, rows = reorganizer.incidence_matrix("GO")
+        assert len(gene_ids) == len(result.genes)
+        assert len(rows) == len(gene_ids)
+        assert all(len(row) == len(go_ids) for row in rows)
+        for i, gene_id in enumerate(gene_ids):
+            gene = result.gene(gene_id)
+            for j, go_id in enumerate(go_ids):
+                expected = 1 if go_id in gene["_links"]["GO"] else 0
+                assert rows[i][j] == expected
+
+    def test_row_sums_match_link_counts(self, reorganizer, result):
+        gene_ids, _go_ids, rows = reorganizer.incidence_matrix("GO")
+        for gene_id, row in zip(gene_ids, rows):
+            assert sum(row) == len(result.gene(gene_id)["_links"]["GO"])
+
+
+class TestPivotView:
+    def test_pivot_is_queryable_oem(self, reorganizer):
+        graph, root = reorganizer.pivot_view("GO")
+        assert graph.validate() == []
+        engine = LorelEngine()
+        engine.register("PivotView", graph, root)
+        answer = engine.query(
+            "select G.Key from PivotView.Group G"
+        )
+        assert len(answer) == len(reorganizer.by_annotation())
+
+    def test_group_members_match(self, reorganizer):
+        graph, root = reorganizer.pivot_view("GO")
+        groups = reorganizer.by_annotation()
+        for group_object in graph.children(root, "Group"):
+            key = graph.child_value(group_object, "Key")
+            members = [
+                child.value
+                for child in graph.children(group_object, "GeneID")
+            ]
+            assert members == groups[key]["genes"]
+
+
+class TestExports:
+    def test_csv_round_trips_through_reader(self, result):
+        text = to_csv(result)
+        rows = list(csv.reader(io.StringIO(text)))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "GeneID"
+        assert "LinkedGO" in header
+        assert len(data) == len(result.genes)
+        go_column = header.index("LinkedGO")
+        first = result.genes[0]
+        assert data[0][go_column] == "|".join(first["_links"]["GO"])
+
+    def test_json_records(self, result):
+        records = json.loads(to_json_records(result))
+        assert len(records) == len(result.genes)
+        assert records[0]["GeneID"] == result.genes[0]["GeneID"]
+        assert records[0]["links"]["GO"] == list(
+            result.genes[0]["_links"]["GO"]
+        )
+        assert "_links" not in records[0]
+
+    def test_empty_guard(self, annoda):
+        empty = annoda.ask(
+            GlobalQuery(
+                anchor_source="LocusLink",
+                conditions=(),
+                links=(
+                    LinkConstraint("GO", "include", via="AnnotationID"),
+                    LinkConstraint("GO", "exclude", via="AnnotationID"),
+                ),
+            ),
+            enrich_links=False,
+        )
+        assert len(empty) == 0
+        with pytest.raises(QueryError):
+            require_nonempty(empty)

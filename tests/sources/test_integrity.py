@@ -1,0 +1,118 @@
+"""Tests for cross-source integrity auditing."""
+
+import pytest
+
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.sources.integrity import IntegrityAuditor
+
+
+@pytest.fixture(scope="module")
+def clean_corpus():
+    return AnnotationCorpus.generate(
+        seed=101,
+        parameters=CorpusParameters(loci=100, go_terms=60, omim_entries=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def conflicted_corpus():
+    return AnnotationCorpus.generate(
+        seed=103,
+        parameters=CorpusParameters(
+            loci=250, go_terms=120, omim_entries=80, conflict_rate=0.5
+        ),
+    )
+
+
+def stores_of(corpus, citations=None, proteins=None):
+    stores = {
+        "LocusLink": corpus.locuslink,
+        "GO": corpus.go,
+        "OMIM": corpus.omim,
+    }
+    if citations is not None:
+        stores["PubMed"] = citations
+    if proteins is not None:
+        stores["SwissProt"] = proteins
+    return stores
+
+
+class TestCleanCorpus:
+    def test_no_findings(self, clean_corpus):
+        report = IntegrityAuditor(stores_of(clean_corpus)).audit()
+        assert report.count() == 0
+        assert report.checked_references > 0
+
+    def test_five_source_clean(self, clean_corpus):
+        citations = clean_corpus.make_citation_store(count=40)
+        proteins = clean_corpus.make_protein_store()
+        report = IntegrityAuditor(
+            stores_of(clean_corpus, citations, proteins)
+        ).audit()
+        assert report.count() == 0
+
+    def test_render_mentions_counts(self, clean_corpus):
+        report = IntegrityAuditor(stores_of(clean_corpus)).audit()
+        assert "0 findings" in report.render()
+
+
+class TestConflictedCorpus:
+    def test_injected_conflicts_detected(self, conflicted_corpus):
+        report = IntegrityAuditor(stores_of(conflicted_corpus)).audit()
+        truth_kinds = {
+            conflict.kind
+            for conflict in conflicted_corpus.ground_truth.conflicts
+        }
+        finding_kinds = set(report.kinds())
+        if "stale_go" in truth_kinds:
+            assert "obsolete_go_annotation" in finding_kinds
+        if "dangling_omim" in truth_kinds:
+            assert "dangling_omim_reference" in finding_kinds
+        if "symbol_case" in truth_kinds:
+            assert "case_variant_symbol" in finding_kinds
+        if "symbol_alias" in truth_kinds:
+            assert "alias_symbol" in finding_kinds
+
+    def test_finding_counts_match_injections(self, conflicted_corpus):
+        report = IntegrityAuditor(stores_of(conflicted_corpus)).audit()
+        truth = conflicted_corpus.ground_truth
+        injected_dangling = sum(
+            1 for c in truth.conflicts if c.kind == "dangling_omim"
+        )
+        assert report.count("dangling_omim_reference") == injected_dangling
+        injected_case = sum(
+            1 for c in truth.conflicts if c.kind == "symbol_case"
+        )
+        assert report.count("case_variant_symbol") >= injected_case
+
+    def test_render_limit(self, conflicted_corpus):
+        report = IntegrityAuditor(stores_of(conflicted_corpus)).audit()
+        rendered = report.render(limit=3)
+        if report.count() > 3:
+            assert "more" in rendered
+
+
+class TestPartialFederations:
+    def test_missing_sources_skip_their_audits(self, conflicted_corpus):
+        report = IntegrityAuditor(
+            {"LocusLink": conflicted_corpus.locuslink}
+        ).audit()
+        assert report.count() == 0
+        assert report.checked_references == 0
+
+    def test_symbol_disagreement_detected(self, clean_corpus):
+        proteins = clean_corpus.make_protein_store()
+        curated = next(
+            record
+            for record in proteins.all_records()
+            if record.locus_id
+        )
+        curated.gene_symbol = "WRONG99"
+        try:
+            report = IntegrityAuditor(
+                stores_of(clean_corpus, proteins=proteins)
+            ).audit()
+            assert report.count("symbol_disagreement") == 1
+        finally:
+            locus = clean_corpus.locuslink.get(curated.locus_id)
+            curated.gene_symbol = locus.symbol

@@ -1,0 +1,142 @@
+"""Tests for flat-file federation persistence."""
+
+import json
+
+import pytest
+
+from repro.core import Annoda
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.sources.persistence import (
+    MANIFEST_NAME,
+    load_manifest,
+    load_stores,
+    save_corpus,
+    save_stores,
+    wrappers_for,
+)
+from repro.util.errors import DataFormatError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return AnnotationCorpus.generate(
+        seed=71,
+        parameters=CorpusParameters(loci=60, go_terms=40, omim_entries=20),
+    )
+
+
+class TestSaveLoad:
+    def test_three_source_round_trip(self, corpus, tmp_path):
+        manifest = save_corpus(corpus, tmp_path)
+        assert set(manifest["sources"]) == {"LocusLink", "GO", "OMIM"}
+        stores = load_stores(tmp_path)
+        assert stores["LocusLink"].dump() == corpus.locuslink.dump()
+        assert stores["GO"].dump() == corpus.go.dump()
+        assert stores["OMIM"].dump() == corpus.omim.dump()
+
+    def test_five_source_round_trip(self, corpus, tmp_path):
+        citations = corpus.make_citation_store(count=30)
+        proteins = corpus.make_protein_store()
+        save_corpus(
+            corpus, tmp_path, citations=citations, proteins=proteins
+        )
+        stores = load_stores(tmp_path)
+        assert stores["PubMed"].dump() == citations.dump()
+        assert stores["SwissProt"].dump() == proteins.dump()
+
+    def test_files_use_native_formats(self, corpus, tmp_path):
+        save_corpus(corpus, tmp_path)
+        assert (tmp_path / "locuslink.ll_tmpl").read_text().startswith(">>")
+        assert (tmp_path / "gene_ontology.obo").read_text().startswith(
+            "format-version"
+        )
+        assert (tmp_path / "omim.txt").read_text().startswith("*RECORD*")
+
+    def test_manifest_metadata(self, corpus, tmp_path):
+        save_corpus(corpus, tmp_path, metadata={"release": "2005.1"})
+        manifest = load_manifest(tmp_path)
+        assert manifest["metadata"]["seed"] == 71
+        assert manifest["metadata"]["release"] == "2005.1"
+
+    def test_wrappers_for_canonical_order(self, corpus, tmp_path):
+        save_corpus(
+            corpus, tmp_path, proteins=corpus.make_protein_store()
+        )
+        wrappers = wrappers_for(load_stores(tmp_path))
+        assert [wrapper.name for wrapper in wrappers] == [
+            "LocusLink",
+            "GO",
+            "OMIM",
+            "SwissProt",
+        ]
+
+
+class TestCorruptionHandling:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": "annoda-federation/99", "sources": {}})
+        )
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+    def test_missing_listed_file(self, corpus, tmp_path):
+        save_corpus(corpus, tmp_path)
+        (tmp_path / "omim.txt").unlink()
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+    def test_record_count_mismatch(self, corpus, tmp_path):
+        save_corpus(corpus, tmp_path)
+        manifest = load_manifest(tmp_path)
+        manifest["sources"]["OMIM"]["records"] = 999
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+    def test_corrupt_source_file(self, corpus, tmp_path):
+        save_corpus(corpus, tmp_path)
+        (tmp_path / "locuslink.ll_tmpl").write_text(">>abc\nbroken\n")
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+
+class TestAnnodaIntegration:
+    def test_save_then_from_directory(self, tmp_path):
+        original = Annoda.with_default_sources(
+            seed=73,
+            parameters=CorpusParameters(
+                loci=50, go_terms=30, omim_entries=15
+            ),
+        )
+        original.save(tmp_path / "federation")
+        reloaded = Annoda.from_directory(tmp_path / "federation")
+        assert reloaded.sources() == original.sources()
+        question = "find genes associated with some OMIM disease"
+        assert set(
+            reloaded.ask(question, enrich_links=False).gene_ids()
+        ) == set(original.ask(question, enrich_links=False).gene_ids())
+
+    def test_reloaded_federation_navigates(self, tmp_path):
+        original = Annoda.with_default_sources(
+            seed=73,
+            parameters=CorpusParameters(
+                loci=50, go_terms=30, omim_entries=15
+            ),
+        )
+        original.save(tmp_path / "federation")
+        reloaded = Annoda.from_directory(tmp_path / "federation")
+        locus_id = original.corpus.locuslink.locus_ids()[0]
+        view = reloaded.navigate(
+            "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi"
+            f"?l={locus_id}"
+        )
+        assert dict(view.field_items())["LocusID"] == locus_id

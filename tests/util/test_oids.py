@@ -1,0 +1,57 @@
+"""Tests for oid allocation and the &N notation."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.oids import OidAllocator
+
+
+class TestAllocation:
+    def test_starts_at_one_like_figure_3(self):
+        allocator = OidAllocator()
+        assert allocator.allocate() == 1
+        assert allocator.allocate() == 2
+
+    def test_custom_start(self):
+        allocator = OidAllocator(start=442)
+        assert allocator.allocate() == 442
+
+    def test_start_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OidAllocator(start=0)
+
+    def test_reserve_skips_taken_range(self):
+        allocator = OidAllocator()
+        allocator.reserve(10)
+        assert allocator.allocate() == 11
+
+    def test_reserve_below_next_is_noop(self):
+        allocator = OidAllocator(start=100)
+        allocator.reserve(5)
+        assert allocator.allocate() == 100
+
+    def test_next_oid_does_not_consume(self):
+        allocator = OidAllocator()
+        assert allocator.next_oid == 1
+        assert allocator.next_oid == 1
+        assert allocator.allocate() == 1
+
+
+class TestNotation:
+    def test_render(self):
+        assert OidAllocator.render(442) == "&442"
+
+    def test_parse(self):
+        assert OidAllocator.parse("&442") == 442
+
+    def test_parse_tolerates_whitespace(self):
+        assert OidAllocator.parse("  &7 ") == 7
+
+    @pytest.mark.parametrize("bad", ["442", "&", "&x1", "& 2", "&-3"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            OidAllocator.parse(bad)
+
+    def test_round_trip(self):
+        for oid in (1, 2, 99, 442, 10**9):
+            assert OidAllocator.parse(OidAllocator.render(oid)) == oid

@@ -1,0 +1,69 @@
+"""Tests for the deterministic random streams behind synthetic corpora."""
+
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**6) for _ in range(5)] != [
+            b.randint(0, 10**6) for _ in range(5)
+        ]
+
+    def test_substream_is_order_independent(self):
+        first = DeterministicRng(3)
+        locus_stream = first.substream("locuslink")
+        go_stream = first.substream("go")
+
+        second = DeterministicRng(3)
+        go_stream_again = second.substream("go")
+        locus_stream_again = second.substream("locuslink")
+
+        assert locus_stream.randint(0, 10**6) == locus_stream_again.randint(
+            0, 10**6
+        )
+        assert go_stream.randint(0, 10**6) == go_stream_again.randint(
+            0, 10**6
+        )
+
+    def test_substreams_are_independent_of_each_other(self):
+        root = DeterministicRng(3)
+        a = root.substream("a")
+        b = root.substream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestDomainDraws:
+    def test_gene_symbol_shape(self):
+        rng = DeterministicRng(11)
+        for _ in range(100):
+            symbol = rng.gene_symbol()
+            assert symbol[0].isalpha() and symbol[0].isupper()
+            assert any(ch.isdigit() for ch in symbol)
+            assert 3 <= len(symbol) <= 8
+
+    def test_map_position_shape(self):
+        rng = DeterministicRng(11)
+        for _ in range(100):
+            position = rng.map_position()
+            assert "p" in position or "q" in position
+
+    def test_sentence_uses_word_pool(self):
+        rng = DeterministicRng(5)
+        words = ["kinase", "binding", "protein"]
+        sentence = rng.sentence(words)
+        for word in sentence.lower().split():
+            assert word in words
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(0)
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+        assert not any(rng.bernoulli(0.0) for _ in range(20))

@@ -1,0 +1,42 @@
+"""Tests for the text-rendering helpers."""
+
+from repro.util.text import box, indent_block, table
+
+
+class TestIndentBlock:
+    def test_indents_each_line(self):
+        assert indent_block("a\nb", 2) == "  a\n  b"
+
+    def test_leaves_blank_lines_bare(self):
+        assert indent_block("a\n\nb", 2) == "  a\n\n  b"
+
+
+class TestBox:
+    def test_contains_title_and_body(self):
+        rendered = box("Query interface", ["Sources: LocusLink, GO"])
+        assert "Query interface" in rendered
+        assert "Sources: LocusLink, GO" in rendered
+
+    def test_all_lines_same_width(self):
+        rendered = box("T", ["short", "x" * 200], width=40)
+        widths = {len(line) for line in rendered.splitlines()}
+        assert widths == {40}
+
+    def test_long_word_is_hard_wrapped(self):
+        rendered = box("T", ["y" * 150], width=30)
+        assert "y" * 26 in rendered
+
+
+class TestTable:
+    def test_alignment(self):
+        rendered = table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # Columns align: 'value' header starts where values start.
+        header_col = lines[0].index("value")
+        assert lines[2][header_col] == "1"
+
+    def test_short_rows_padded(self):
+        rendered = table(["a", "b"], [["only"]])
+        assert "only" in rendered

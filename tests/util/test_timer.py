@@ -1,0 +1,23 @@
+"""Tests for the wall-clock timer."""
+
+import time
+
+from repro.util import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_does_not_swallow_exceptions(self):
+        try:
+            with Timer() as timer:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert timer.elapsed >= 0.0

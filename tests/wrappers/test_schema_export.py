@@ -1,0 +1,48 @@
+"""Direct tests of schema-element extraction helpers."""
+
+from repro.oem import OEMType
+from repro.wrappers.schema import SchemaElement, elements_from_mapping
+
+
+class TestElementsFromMapping:
+    SPECS = {
+        "Name": ("name", OEMType.STRING, False, "a name"),
+        "Tags": ("tags", OEMType.STRING, True, "some tags"),
+        "Score": ("score", OEMType.REAL, False, "a score"),
+    }
+
+    def test_samples_respect_limit(self):
+        records = [{"name": f"n{i}", "tags": ["a", "b"]} for i in range(9)]
+        elements = {
+            element.name: element
+            for element in elements_from_mapping(
+                self.SPECS, records, sample_limit=3
+            )
+        }
+        assert len(elements["Name"].samples) == 3
+        assert len(elements["Tags"].samples) <= 3
+
+    def test_empty_values_skipped(self):
+        records = [
+            {"name": "", "tags": [], "score": None},
+            {"name": "real", "tags": ["t"], "score": 0.5},
+        ]
+        elements = {
+            element.name: element
+            for element in elements_from_mapping(self.SPECS, records)
+        }
+        assert elements["Name"].samples == ("real",)
+        assert elements["Score"].samples == (0.5,)
+
+    def test_order_follows_specs(self):
+        names = [
+            element.name
+            for element in elements_from_mapping(self.SPECS, [])
+        ]
+        assert names == ["Name", "Tags", "Score"]
+
+    def test_render(self):
+        element = SchemaElement("Tags", OEMType.STRING, True)
+        assert element.render() == "Tags[*]: String"
+        single = SchemaElement("Name", OEMType.STRING, False)
+        assert single.render() == "Name[1]: String"
