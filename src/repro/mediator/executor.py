@@ -25,6 +25,16 @@ class ExecutionStats:
     anchors_considered: int = 0
     anchors_returned: int = 0
     wall_seconds: float = 0.0
+    #: Source-level fetch-path accounting for this execution: native
+    #: queries answered from an equality index vs by scanning.
+    index_hits: int = 0
+    scan_fetches: int = 0
+    #: Batched ``in`` fetches the executor issued instead of per-id
+    #: fetch loops (semijoin anchors, enrichment detail).
+    batched_fetches: int = 0
+    #: Link-source enrichment indexes served entirely from the
+    #: mediator's version-keyed cache (no source fetch at all).
+    enrichment_cache_hits: int = 0
 
     def total_rows_fetched(self):
         return sum(self.rows_fetched.values())
@@ -45,6 +55,11 @@ class IntegratedResult:
         self.report = report
         self.stats = stats
         self.plan = plan
+        # GeneID -> gene dict, first occurrence winning, so lookups are
+        # O(1) instead of a scan per call.
+        self._genes_by_id = {}
+        for gene in genes:
+            self._genes_by_id.setdefault(gene["GeneID"], gene)
 
     def __len__(self):
         return len(self.genes)
@@ -53,10 +68,12 @@ class IntegratedResult:
         return [gene["GeneID"] for gene in self.genes]
 
     def gene(self, gene_id):
-        for gene in self.genes:
-            if gene["GeneID"] == gene_id:
-                return gene
-        raise IntegrationError(f"no gene {gene_id} in this result")
+        try:
+            return self._genes_by_id[gene_id]
+        except KeyError:
+            raise IntegrationError(
+                f"no gene {gene_id} in this result"
+            ) from None
 
     def __repr__(self):
         return (
@@ -66,18 +83,72 @@ class IntegratedResult:
 
 
 class Executor:
-    """Run :class:`~repro.mediator.optimizer.ExecutionPlan` objects."""
+    """Run :class:`~repro.mediator.optimizer.ExecutionPlan` objects.
 
-    def __init__(self, wrappers_by_name, mapping_module, reconciler):
+    ``enrichment_cache`` is a dict the owning mediator shares across
+    executions; entries are keyed on the source *and its version
+    counter*, so a cache hit is always as fresh as a re-fetch and any
+    source mutation invalidates automatically.  ``batch_fetch=False``
+    restores the per-id (N+1) fetch loops — the benchmarks measure the
+    batched path against it.
+    """
+
+    #: Upper bound on shared-cache entries (stale versions are evicted
+    #: eagerly; this bounds distinct live sources x index kinds).
+    CACHE_MAX_ENTRIES = 64
+
+    def __init__(self, wrappers_by_name, mapping_module, reconciler,
+                 enrichment_cache=None, batch_fetch=True):
         self.wrappers = wrappers_by_name
         self.mapping_module = mapping_module
         self.reconciler = reconciler
+        self.batch_fetch = batch_fetch
+        self._shared_cache = (
+            enrichment_cache if enrichment_cache is not None else {}
+        )
+
+    # -- shared version-keyed cache ---------------------------------------------
+
+    def _cache_entry(self, key):
+        return self._shared_cache.get(key)
+
+    def _cache_store(self, key, value):
+        """Insert one cache entry, evicting stale versions of the same
+        source/kind first and bounding the total entry count."""
+        kind, source_name = key[0], key[1]
+        stale = [
+            existing
+            for existing in self._shared_cache
+            if existing[0] == kind
+            and existing[1] == source_name
+            and existing != key
+        ]
+        for existing in stale:
+            del self._shared_cache[existing]
+        while len(self._shared_cache) >= self.CACHE_MAX_ENTRIES:
+            oldest = next(iter(self._shared_cache))
+            del self._shared_cache[oldest]
+        self._shared_cache[key] = value
+
+    def _fetchpath_snapshot(self):
+        """Cumulative per-source index/scan counters, summed over the
+        federation (executions compute deltas against it)."""
+        totals = {"index_hits": 0, "scan_queries": 0}
+        for wrapper in self.wrappers.values():
+            source = getattr(wrapper, "source", None)
+            fetch_stats = getattr(source, "fetch_stats", None)
+            if fetch_stats is None:
+                continue
+            for counter, value in fetch_stats().items():
+                totals[counter] = totals.get(counter, 0) + value
+        return totals
 
     # -- entry point ------------------------------------------------------------
 
     def execute(self, plan, query, enrich_links=True):
         started = time.perf_counter()
         stats = ExecutionStats()
+        counters_before = self._fetchpath_snapshot()
         from repro.mediator.reconcile import ReconciliationReport
 
         report = ReconciliationReport()
@@ -113,13 +184,22 @@ class Executor:
                     key_label = self.mapping_module.to_local_label(
                         step.source_name, step.link.via
                     )
-                    self._symbol_indexes[step.source_name] = (
-                        SymbolIndex.from_wrapper(
+                    cache_key = (
+                        "symbols",
+                        step.source_name,
+                        wrapper.version,
+                        key_label,
+                        symbol_local,
+                    )
+                    symbol_index = self._cache_entry(cache_key)
+                    if symbol_index is None:
+                        symbol_index = SymbolIndex.from_wrapper(
                             wrapper,
                             key_label=key_label,
                             symbol_label=symbol_local,
                         )
-                    )
+                        self._cache_store(cache_key, symbol_index)
+                    self._symbol_indexes[step.source_name] = symbol_index
 
         if plan.anchor.semijoin is not None:
             anchor_records = self._semijoin_fetch(
@@ -154,6 +234,13 @@ class Executor:
         genes, graph, root = self._combine(
             plan, query, anchor_wrapper, surviving, matched_links,
             enrich_links, stats,
+        )
+        counters_after = self._fetchpath_snapshot()
+        stats.index_hits = (
+            counters_after["index_hits"] - counters_before["index_hits"]
+        )
+        stats.scan_fetches = (
+            counters_after["scan_queries"] - counters_before["scan_queries"]
         )
         stats.wall_seconds = time.perf_counter() - started
         return IntegratedResult(graph, root, genes, report, stats, plan)
@@ -211,10 +298,12 @@ class Executor:
     def _semijoin_fetch(self, plan, allowed_by_step, stats):
         """Retrieve the anchor by link-id equality instead of scanning.
 
-        The driving link's allowed-id set is already computed; for each
-        id, anchors carrying it are fetched with the anchor's pushed
-        conditions plus one id-equality predicate, then de-duplicated
-        by identity key and residual-filtered.
+        The driving link's allowed-id set is already computed; one
+        batched ``in`` fetch retrieves every anchor carrying any of its
+        ids alongside the anchor's pushed conditions (the N+1-free
+        path).  Wrappers that cannot push ``in`` down fall back to the
+        per-id equality loop.  Either way the results are de-duplicated
+        by identity key and residual-filtered identically.
         """
         driver_source, via_label = plan.anchor.semijoin
         driver_step = next(
@@ -228,16 +317,30 @@ class Executor:
             wrapper.name, "GeneID"
         )
         key_field = wrapper.source_field(key_local)
-        seen = set()
-        records = []
-        # Ensure the anchor source appears in the fetch accounting even
-        # when the driving link matched nothing.
+        # Ensure the anchor source appears in the fetch accounting
+        # exactly once even when the driving link matched nothing.
         stats.add_fetch(wrapper.name, 0)
-        for link_id in sorted(allowed, key=str):
+        ordered_ids = sorted(allowed, key=str)
+        batches = []
+        if not ordered_ids:
+            batches = []
+        elif self.batch_fetch and wrapper.supports(via_label, "in"):
             fetched = wrapper.fetch(
-                plan.anchor.pushed + [(via_label, "=", link_id)]
+                plan.anchor.pushed + [(via_label, "in", tuple(ordered_ids))]
             )
             stats.add_fetch(wrapper.name, len(fetched))
+            stats.batched_fetches += 1
+            batches.append(fetched)
+        else:
+            for link_id in ordered_ids:
+                fetched = wrapper.fetch(
+                    plan.anchor.pushed + [(via_label, "=", link_id)]
+                )
+                stats.add_fetch(wrapper.name, len(fetched))
+                batches.append(fetched)
+        seen = set()
+        records = []
+        for fetched in batches:
             for record in fetched:
                 key = record[key_field]
                 if key in seen:
@@ -372,7 +475,9 @@ class Executor:
 
         enrichment = {}
         if enrich_links:
-            enrichment = self._enrichment_indexes(plan, stats)
+            enrichment = self._enrichment_indexes(
+                plan, matched_links, stats
+            )
 
         genes = []
         for record, links_for_record in zip(records, matched_links):
@@ -394,8 +499,17 @@ class Executor:
             graph.add_edge(root, "Gene", gene_object)
         return genes, graph, root
 
-    def _enrichment_indexes(self, plan, stats):
-        """Per link source: id -> translated record, for view detail."""
+    def _enrichment_indexes(self, plan, matched_links, stats):
+        """Per link source: id -> translated record, for view detail.
+
+        Only the ids the surviving anchors actually matched are needed,
+        so the fetch is a single batched ``in`` over that set (full
+        fetch for wrappers without ``in``), and the translated index is
+        cached on the mediator keyed ``(source, wrapper.version)`` —
+        a repeat query over unchanged sources never re-fetches or
+        re-translates, while any source mutation bumps the version and
+        misses the cache.
+        """
         indexes = {}
         for step in plan.link_steps:
             wrapper = self.wrappers[step.source_name]
@@ -403,15 +517,44 @@ class Executor:
                 step.source_name, step.link.via
             )
             key_field = wrapper.source_field(key_local)
-            index = {}
-            records = wrapper.fetch(())
-            stats.add_fetch(step.source_name, len(records))
-            for record in records:
-                translated = self.mapping_module.translate_record(
-                    step.source_name, record, wrapper
-                )
-                index[record[key_field]] = (translated, record)
-            indexes[step.source_name] = index
+            needed = set()
+            for links_for_record in matched_links:
+                needed.update(links_for_record.get(step.source_name, ()))
+            cache_key = ("enrichment", step.source_name, wrapper.version)
+            cached = self._cache_entry(cache_key)
+            if cached is None:
+                cached = {"index": {}, "known": set(), "complete": False}
+                self._cache_store(cache_key, cached)
+            missing = (
+                set()
+                if cached["complete"]
+                else {
+                    link_id
+                    for link_id in needed
+                    if link_id not in cached["known"]
+                }
+            )
+            if not missing:
+                stats.enrichment_cache_hits += 1
+            else:
+                ordered = tuple(sorted(missing, key=str))
+                if self.batch_fetch and wrapper.supports(key_local, "in"):
+                    records = wrapper.fetch(((key_local, "in", ordered),))
+                    stats.batched_fetches += 1
+                else:
+                    records = wrapper.fetch(())
+                    cached["complete"] = True
+                stats.add_fetch(step.source_name, len(records))
+                for record in records:
+                    translated = self.mapping_module.translate_record(
+                        step.source_name, record, wrapper
+                    )
+                    cached["index"][record[key_field]] = (translated, record)
+                # Ids probed but absent from the source are remembered
+                # too, so dangling references never re-fetch.
+                cached["known"].update(missing)
+                cached["known"].update(cached["index"])
+            indexes[step.source_name] = cached["index"]
         return indexes
 
     def _build_gene(self, graph, gene_dict, record, anchor_wrapper,

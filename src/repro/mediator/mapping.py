@@ -62,6 +62,11 @@ class MappingModule:
         self._correspondences = {}
         self._transform_rules = {}
         self._descriptions = {}
+        # (source, global label) -> local label memo; the executor
+        # resolves the same handful of labels per record per condition,
+        # so each resolution after the first is one dict hit.  Entries
+        # are dropped when their source unregisters.
+        self._local_label_memo = {}
 
     # -- registration -----------------------------------------------------------
 
@@ -90,6 +95,11 @@ class MappingModule:
         self._correspondences.pop(source_name, None)
         self._descriptions.pop(source_name, None)
         self._transform_rules.pop(source_name, None)
+        self._local_label_memo = {
+            key: value
+            for key, value in self._local_label_memo.items()
+            if key[0] != source_name
+        }
 
     def add_transform_rule(self, source_name, global_name, transform_name):
         """Attach a named transformation to one global attribute of one
@@ -127,12 +137,16 @@ class MappingModule:
     # -- translation ----------------------------------------------------------------
 
     def to_local_label(self, source_name, global_name):
-        local = self.correspondences(source_name).to_local(global_name)
+        memo_key = (source_name, global_name)
+        local = self._local_label_memo.get(memo_key)
         if local is None:
-            raise IntegrationError(
-                f"source {source_name!r} has no element for global "
-                f"attribute {global_name!r}"
-            )
+            local = self.correspondences(source_name).to_local(global_name)
+            if local is None:
+                raise IntegrationError(
+                    f"source {source_name!r} has no element for global "
+                    f"attribute {global_name!r}"
+                )
+            self._local_label_memo[memo_key] = local
         return local
 
     def to_global_label(self, source_name, local_name):
@@ -146,7 +160,10 @@ class MappingModule:
         tolerance of irregular structure).
         """
         correspondence_set = self.correspondences(source_name)
-        specs = wrapper.field_specs()
+        # Prefer the wrapper's memoized specs; plain field_specs() keeps
+        # duck-typed test doubles working.
+        specs_accessor = getattr(wrapper, "_specs", wrapper.field_specs)
+        specs = specs_accessor()
         rules = self._transform_rules.get(source_name, {})
         translated = {}
         for label, (source_field, _type, _multi, _desc) in specs.items():

@@ -36,6 +36,10 @@ class Mediator:
         self._registration_order = []
         self._gml_cache = None
         self._result_cache = {}
+        # Version-keyed fetch-path caches shared across executions:
+        # enrichment indexes and symbol indexes, keyed on (kind, source,
+        # wrapper.version, ...), so freshness is never traded away.
+        self._fetch_cache = {}
 
     # -- source registration (paper section 3.1, two-step plug-in) -------------
 
@@ -66,6 +70,13 @@ class Mediator:
         self._registration_order.remove(source_name)
         self.mapping_module.unregister(source_name)
         self._gml_cache = None
+        # A later re-registration under the same name may reuse version
+        # numbers, so its cache entries must not survive it.
+        self._fetch_cache = {
+            key: value
+            for key, value in self._fetch_cache.items()
+            if key[1] != source_name
+        }
 
     def sources(self):
         """Registered source names in registration order."""
@@ -134,7 +145,8 @@ class Mediator:
                 return cached
         plan = self.plan(query)
         executor = Executor(
-            self._wrappers, self.mapping_module, self.reconciler
+            self._wrappers, self.mapping_module, self.reconciler,
+            enrichment_cache=self._fetch_cache,
         )
         result = executor.execute(plan, query, enrich_links=enrich_links)
         if cache_key is not None:

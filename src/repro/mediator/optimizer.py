@@ -121,6 +121,8 @@ _SELECTIVITY = {
     ">=": 0.4,
     "like": 0.2,
     "contains": 0.25,
+    # Batched key lookup: a handful of needles out of the extent.
+    "in": 0.1,
 }
 
 

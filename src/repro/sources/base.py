@@ -4,6 +4,22 @@ Wrappers (and the warehouse baseline's extractors) talk to sources only
 through this interface, so plugging a new source in means implementing
 one class — requirement 2 of section 3.1: *"a new relevant data source
 should be wrapped and plugged in as it comes into existence"*.
+
+Beyond enumeration and native filtering, the contract now carries the
+fetch-path machinery the mediator's hot loop depends on:
+
+- **equality indexes** — version-keyed hash indexes built lazily per
+  field, so ``=`` (and batched ``in``) predicates answer by dict
+  lookup instead of scanning the extent.  A mutation bumps ``version``
+  and the stale index is discarded wholesale, preserving the federated
+  freshness guarantee: an indexed answer is always identical to a
+  fresh scan.
+- **the ``in`` operator** — one native call fetching many keys at
+  once, which the executor uses to collapse N+1 per-id fetches into a
+  single batched fetch.
+- **fetch counters** — cumulative ``index_hits``/``scan_queries``
+  accounting the executor snapshots into
+  :class:`~repro.mediator.executor.ExecutionStats`.
 """
 
 import abc
@@ -11,8 +27,10 @@ from dataclasses import dataclass
 
 from repro.util.errors import QueryError
 
-#: Comparison operators a source may support natively.
-NATIVE_OPS = ("=", "!=", "<", "<=", ">", ">=", "like", "contains")
+#: Comparison operators a source may support natively.  ``in`` is the
+#: batched form of ``=``: any source that evaluates ``field = value``
+#: natively also evaluates ``field in (v1, v2, ...)`` natively.
+NATIVE_OPS = ("=", "!=", "<", "<=", ">", ">=", "like", "contains", "in")
 
 
 @dataclass(frozen=True)
@@ -20,9 +38,10 @@ class NativeCondition:
     """A predicate a source evaluates natively: ``field op value``.
 
     ``contains`` is case-insensitive substring match (flat-file grep
-    style); ``like`` uses SQL wildcards.  The mediator's optimizer
-    pushes a condition down only when the source's capabilities include
-    its (field, op) pair.
+    style); ``like`` uses SQL wildcards; ``in`` matches when the field
+    equals *any* of an iterable of candidate values (batched key
+    lookup).  The mediator's optimizer pushes a condition down only
+    when the source's capabilities include its (field, op) pair.
     """
 
     field: str
@@ -32,6 +51,14 @@ class NativeCondition:
     def __post_init__(self):
         if self.op not in NATIVE_OPS:
             raise QueryError(f"unsupported native operator {self.op!r}")
+        if self.op == "in":
+            if isinstance(self.value, (str, bytes)) or not hasattr(
+                self.value, "__iter__"
+            ):
+                raise QueryError(
+                    "'in' needs an iterable of candidate values"
+                )
+            object.__setattr__(self, "value", tuple(self.value))
 
     def render(self):
         return f"{self.field} {self.op} {self.value!r}"
@@ -47,6 +74,11 @@ class DataSource(abc.ABC):
 
     #: Stable source name ("LocusLink", "GO", "OMIM", ...).
     name = "abstract"
+
+    #: Master switch for the equality-index fast path.  Benchmarks
+    #: flip this off to measure the bare scan path; production leaves
+    #: it on.
+    use_indexes = True
 
     @abc.abstractmethod
     def fields(self):
@@ -74,10 +106,32 @@ class DataSource(abc.ABC):
 
     def supports(self, condition):
         """True when ``condition`` can be evaluated natively here."""
+        if condition.op == "in":
+            return (condition.field, "=") in self.capabilities() or (
+                condition.field,
+                "in",
+            ) in self.capabilities()
         return (condition.field, condition.op) in self.capabilities()
 
-    def native_query(self, conditions=()):
+    def indexed_fields(self):
+        """Fields eligible for a hash equality index.
+
+        By default every field the source can test for ``=`` natively;
+        stores narrow or widen this to match their real storage layout.
+        """
+        return tuple(
+            sorted({field for field, op in self.capabilities() if op == "="})
+        )
+
+    def native_query(self, conditions=(), use_index=None):
         """Records satisfying every condition, evaluated at the source.
+
+        Equality and ``in`` predicates on indexed fields answer from
+        the version-keyed hash index (dict lookup); everything else
+        falls back to the linear scan.  Both paths return the same
+        record set in the same (``records()``) order.  ``use_index``
+        overrides :attr:`use_indexes` for one call — the equivalence
+        property tests and benchmarks pin it.
 
         Raises
         ------
@@ -85,20 +139,125 @@ class DataSource(abc.ABC):
             If any condition is outside this source's capabilities —
             the optimizer must not push it here.
         """
+        conditions = list(conditions)
         for condition in conditions:
             if not self.supports(condition):
                 raise QueryError(
                     f"source {self.name!r} cannot evaluate "
                     f"{condition.render()} natively"
                 )
+        counters = self._fetchpath_counters()
+        indexes_on = self.use_indexes if use_index is None else use_index
+        driver = None
+        if indexes_on:
+            indexable = set(self.indexed_fields())
+            driver = next(
+                (
+                    condition
+                    for condition in conditions
+                    if condition.op in ("=", "in")
+                    and condition.field in indexable
+                ),
+                None,
+            )
+        index = (
+            self.equality_index(driver.field) if driver is not None else None
+        )
+        if index is None:
+            counters["scan_queries"] += 1
+            matched = []
+            for record in self.records():
+                if all(
+                    _evaluate(record.get(condition.field), condition)
+                    for condition in conditions
+                ):
+                    matched.append(record)
+            return matched
+        counters["index_hits"] += 1
+        probe_values = driver.value if driver.op == "in" else (driver.value,)
+        positions = set()
+        for value in probe_values:
+            for key in _probe_keys(value):
+                positions.update(index.get(key, ()))
+        snapshot = self._index_snapshot()
+        rest = [condition for condition in conditions if condition is not driver]
         matched = []
-        for record in self.records():
+        for position in sorted(positions):
+            record = snapshot[position]
             if all(
                 _evaluate(record.get(condition.field), condition)
-                for condition in conditions
+                for condition in rest
             ):
-                matched.append(record)
+                # Callers receive copies: the snapshot backing the
+                # index must never alias records callers may mutate.
+                matched.append(dict(record))
         return matched
+
+    # -- equality indexes ----------------------------------------------------
+
+    def equality_index(self, field):
+        """The hash index of ``field``: normalized key -> positions.
+
+        Built lazily on first use, shared until the next mutation
+        (``version`` keys the whole index state), and ``None`` when the
+        field holds unhashable values — the caller scans instead.
+        """
+        state = self._index_state()
+        if field in state["unindexable"]:
+            return None
+        index = state["fields"].get(field)
+        if index is None:
+            index = {}
+            try:
+                for position, record in enumerate(self._index_snapshot()):
+                    value = record.get(field)
+                    if value is None:
+                        continue
+                    items = (
+                        value
+                        if isinstance(value, (list, tuple))
+                        else [value]
+                    )
+                    for item in items:
+                        for key in _index_keys(item):
+                            index.setdefault(key, []).append(position)
+            except TypeError:
+                state["unindexable"].add(field)
+                return None
+            state["fields"][field] = index
+        return index
+
+    def fetch_stats(self):
+        """Cumulative fetch-path counters: how many native queries were
+        answered from an equality index vs by scanning."""
+        return dict(self._fetchpath_counters())
+
+    def _index_state(self):
+        state = self.__dict__.get("_fetch_index_state")
+        if state is None or state["version"] != self.version:
+            state = {
+                "version": self.version,
+                "snapshot": None,
+                "fields": {},
+                "unindexable": set(),
+            }
+            self._fetch_index_state = state
+        return state
+
+    def _index_snapshot(self):
+        """One ``records()`` materialization per version, shared by all
+        field indexes (positions refer into it)."""
+        state = self._index_state()
+        if state["snapshot"] is None:
+            state["snapshot"] = self.records()
+        return state["snapshot"]
+
+    def _fetchpath_counters(self):
+        counters = self.__dict__.get("_fetchpath_counts")
+        if counters is None:
+            counters = {"index_hits": 0, "scan_queries": 0}
+            self._fetchpath_counts = counters
+        return counters
 
     def describe(self):
         """Human-readable source description used by the mediator's
@@ -125,4 +284,76 @@ def _evaluate(value, condition):
         return any(needle in str(item).lower() for item in values)
     if condition.op == "like":
         return any(like(str(item), str(condition.value)) for item in values)
+    if condition.op == "in":
+        return any(
+            compare("=", item, candidate)
+            for item in values
+            for candidate in condition.value
+        )
     return any(compare(condition.op, item, condition.value) for item in values)
+
+
+# -- index key normalization --------------------------------------------------
+#
+# Lorel's coercing equality (repro.lorel.coerce.compare) is not a plain
+# hash-equality: the string "2354" equals the integer 2354, True equals
+# 1 and "true", yet "01" does NOT equal "1" (string vs string compares
+# exactly).  Coerced equality is not even transitive, so one key per
+# value cannot reproduce it.  Instead each stored item is indexed under
+# a key per *type class* it participates in, and a lookup probes every
+# class its query value can coerce into.  `_index_keys`/`_probe_keys`
+# are exact mirrors of `comparable_pair`: for every stored item x and
+# query value q, probe_keys(q) ∩ index_keys(x) is nonempty iff
+# compare("=", x, q) is true.
+
+
+def _index_keys(value):
+    """The index keys one stored field item is filed under."""
+    from repro.lorel.coerce import _as_bool, _as_number
+
+    if isinstance(value, bool):
+        return [("bool", value)]
+    if isinstance(value, (int, float)):
+        keys = [("num", value)]
+        if value in (0, 1):
+            keys.append(("numbool", bool(value)))
+        return keys
+    if isinstance(value, str):
+        keys = [("str", value)]
+        number = _as_number(value)
+        if number is not None:
+            keys.append(("strnum", number))
+        as_bool = _as_bool(value)
+        if as_bool is not None:
+            keys.append(("strbool", as_bool))
+        return keys
+    if isinstance(value, (bytes, bytearray)):
+        return [("bytes", bytes(value))]
+    # Types coerced equality can never match positively (None, objects):
+    # not indexed, exactly as the scan path never matches them with "=".
+    return []
+
+
+def _probe_keys(value):
+    """The index keys a query value must probe."""
+    from repro.lorel.coerce import _as_bool, _as_number
+
+    if isinstance(value, bool):
+        return [("bool", value), ("numbool", value), ("strbool", value)]
+    if isinstance(value, (int, float)):
+        keys = [("num", value), ("strnum", value)]
+        if value in (0, 1):
+            keys.append(("bool", bool(value)))
+        return keys
+    if isinstance(value, str):
+        keys = [("str", value)]
+        number = _as_number(value)
+        if number is not None:
+            keys.append(("num", number))
+        as_bool = _as_bool(value)
+        if as_bool is not None:
+            keys.append(("bool", as_bool))
+        return keys
+    if isinstance(value, (bytes, bytearray)):
+        return [("bytes", bytes(value))]
+    return []

@@ -40,6 +40,15 @@ class GoOntology(DataSource):
         }
     )
 
+    #: Hash-indexed fields: accession (the mediator's batched link
+    #: fetches probe it), names, namespaces, and is_a back-references.
+    #: ``Obsolete`` is deliberately unindexed — a boolean splits the
+    #: extent in half, so the scan is as good as the index.
+    _INDEXED_FIELDS = ("GoID", "Name", "Namespace", "IsA")
+
+    def indexed_fields(self):
+        return self._INDEXED_FIELDS
+
     def __init__(self, terms=()):
         self._terms = {}
         self._children = {}

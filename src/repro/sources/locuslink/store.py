@@ -47,6 +47,21 @@ class LocusLinkStore(DataSource):
         }
     )
 
+    #: Fields backed by a version-keyed hash index: the primary key,
+    #: the symbol vocabulary, and the three cross-reference fields the
+    #: mediator's semijoin and link matching probe by equality.
+    _INDEXED_FIELDS = (
+        "LocusID",
+        "Organism",
+        "Symbol",
+        "GoIDs",
+        "OmimIDs",
+        "PubmedIDs",
+    )
+
+    def indexed_fields(self):
+        return self._INDEXED_FIELDS
+
     def __init__(self, records=()):
         self._by_id = {}
         self._by_symbol = {}

@@ -25,6 +25,13 @@ class OmimStore(DataSource):
         }
     )
 
+    #: Hash-indexed fields: the MIM number (batched link fetches), the
+    #: symbol vocabulary (symbol joins), and the inheritance mode.
+    _INDEXED_FIELDS = ("MimNumber", "GeneSymbols", "Inheritance")
+
+    def indexed_fields(self):
+        return self._INDEXED_FIELDS
+
     def __init__(self, records=()):
         self._by_mim = {}
         self._by_symbol = {}

@@ -121,6 +121,13 @@ class CitationStore(DataSource):
         }
     )
 
+    #: Hash-indexed fields: the PMID key, the locus back-references the
+    #: reverse join probes, plus the low-cardinality journal/year pair.
+    _INDEXED_FIELDS = ("Pmid", "Journal", "Year", "LocusIDs")
+
+    def indexed_fields(self):
+        return self._INDEXED_FIELDS
+
     def __init__(self, citations=()):
         self._by_pmid = {}
         self._by_locus = {}

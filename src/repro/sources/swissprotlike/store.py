@@ -186,6 +186,21 @@ class ProteinStore(DataSource):
         }
     )
 
+    #: Hash-indexed fields: the accession key, the locus back-reference
+    #: the reverse join probes, symbols, organisms, and keywords.
+    #: ``SequenceLength`` stays scan-only: it is queried by range, and
+    #: an equality index cannot serve range predicates.
+    _INDEXED_FIELDS = (
+        "Accession",
+        "Organism",
+        "GeneSymbol",
+        "LocusID",
+        "Keywords",
+    )
+
+    def indexed_fields(self):
+        return self._INDEXED_FIELDS
+
     def __init__(self, records=()):
         self._by_accession = {}
         self._by_locus = {}

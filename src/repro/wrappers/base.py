@@ -35,6 +35,13 @@ class Wrapper(abc.ABC):
     def __init__(self, source):
         self.source = source
         self._model_cache = None
+        # Label-resolution memos.  field_specs() is a per-class constant
+        # mapping, but the mediator resolves labels per record per
+        # condition in its hot loop — these memos make every resolution
+        # after the first a plain dict hit.
+        self._specs_memo = None
+        self._source_field_memo = {}
+        self._supports_memo = {}
 
     @property
     def name(self):
@@ -57,21 +64,50 @@ class Wrapper(abc.ABC):
 
     # -- capability translation ---------------------------------------------------
 
+    def _specs(self):
+        """Memoized :meth:`field_specs` — the mapping is a per-wrapper
+        constant, so one call resolves it for the wrapper's lifetime."""
+        if self._specs_memo is None:
+            self._specs_memo = self.field_specs()
+        return self._specs_memo
+
     def source_field(self, label):
-        """The source record field behind an OML label."""
-        specs = self.field_specs()
-        if label not in specs:
-            raise QueryError(
-                f"wrapper {self.name!r} has no OML label {label!r}"
-            )
-        return specs[label][0]
+        """The source record field behind an OML label (memoized)."""
+        field = self._source_field_memo.get(label)
+        if field is None:
+            specs = self._specs()
+            if label not in specs:
+                raise QueryError(
+                    f"wrapper {self.name!r} has no OML label {label!r}"
+                )
+            field = specs[label][0]
+            self._source_field_memo[label] = field
+        return field
 
     def supports(self, label, op):
-        """True when a ``label op value`` predicate can be pushed down."""
-        specs = self.field_specs()
-        if label not in specs:
-            return False
-        return (specs[label][0], op) in self.source.capabilities()
+        """True when a ``label op value`` predicate can be pushed down.
+
+        ``in`` is the batched form of ``=``: a source that evaluates
+        the equality natively evaluates the batch natively too.
+        """
+        memo_key = (label, op)
+        cached = self._supports_memo.get(memo_key)
+        if cached is None:
+            specs = self._specs()
+            if label not in specs:
+                cached = False
+            else:
+                capabilities = self.source.capabilities()
+                source_field = specs[label][0]
+                if op == "in":
+                    cached = (source_field, "=") in capabilities or (
+                        source_field,
+                        "in",
+                    ) in capabilities
+                else:
+                    cached = (source_field, op) in capabilities
+            self._supports_memo[memo_key] = cached
+        return cached
 
     def translate_conditions(self, conditions):
         """OML-label conditions -> source-native conditions.
@@ -113,7 +149,7 @@ class Wrapper(abc.ABC):
         """
         entry = graph.new_complex()
         for label, (source_field, oem_type, multivalued, _desc) in (
-            self.field_specs().items()
+            self._specs().items()
         ):
             value = record.get(source_field)
             if value in (None, "", []):

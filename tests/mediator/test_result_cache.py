@@ -1,10 +1,15 @@
-"""Tests for the version-keyed query result cache."""
+"""Tests for the version-keyed query result cache and the shared
+fetch-path caches (enrichment indexes, symbol indexes) that ride on the
+same invalidation scheme."""
 
 import pytest
 
 from repro.mediator import GlobalQuery, LinkConstraint, Mediator
 from repro.mediator.decompose import Condition
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.sources.base import NativeCondition
 from repro.sources.locuslink import LocusRecord
+from repro.sources.omim import OmimRecord
 from repro.wrappers import default_wrappers
 
 
@@ -87,4 +92,105 @@ class TestFreshness:
         assert (
             len(cached_mediator._result_cache)
             <= Mediator.RESULT_CACHE_SIZE
+        )
+
+
+@pytest.fixture()
+def private_federation():
+    """A corpus + mediator no other test shares, safe to mutate."""
+    corpus = AnnotationCorpus.generate(
+        seed=7,
+        parameters=CorpusParameters(loci=60, go_terms=40, omim_entries=20),
+    )
+    mediator = Mediator()
+    for wrapper in default_wrappers(corpus):
+        mediator.register_wrapper(wrapper)
+    return corpus, mediator
+
+
+class TestFetchPathFreshness:
+    """The enrichment/symbol caches and the source equality indexes are
+    keyed on source versions: a repeat query over unchanged sources is
+    served from cache, and any mutation invalidates everything."""
+
+    def test_repeat_enriched_query_hits_enrichment_cache(
+        self, private_federation
+    ):
+        _corpus, mediator = private_federation
+        first = mediator.query(
+            disease_query(), enrich_links=True, use_cache=False
+        )
+        repeat = mediator.query(
+            disease_query(), enrich_links=True, use_cache=False
+        )
+        assert first.gene_ids() == repeat.gene_ids()
+        assert repeat.stats.enrichment_cache_hits > 0
+        # The repeat needed no batched detail fetch: the translated
+        # index was served whole from the mediator's cache.
+        assert repeat.stats.batched_fetches == 0
+
+    def test_link_source_update_misses_enrichment_cache(
+        self, private_federation
+    ):
+        corpus, mediator = private_federation
+        mediator.query(disease_query(), enrich_links=True, use_cache=False)
+        warmed = mediator.query(
+            disease_query(), enrich_links=True, use_cache=False
+        )
+        assert warmed.stats.enrichment_cache_hits > 0
+        corpus.omim.add(
+            OmimRecord(mim_number=699001, title="Synthetic syndrome")
+        )
+        fresh = mediator.query(
+            disease_query(), enrich_links=True, use_cache=False
+        )
+        assert fresh.stats.enrichment_cache_hits == 0
+        rewarmed = mediator.query(
+            disease_query(), enrich_links=True, use_cache=False
+        )
+        assert rewarmed.stats.enrichment_cache_hits > 0
+
+    def test_anchor_update_visible_through_indexed_path(
+        self, private_federation
+    ):
+        corpus, mediator = private_federation
+        mim = corpus.omim.mim_numbers()[0]
+        first = mediator.query(disease_query(), enrich_links=True)
+        assert 91111 not in first.gene_ids()
+        corpus.locuslink.add(
+            LocusRecord(
+                locus_id=91111,
+                organism="Homo sapiens",
+                symbol="FRESH1",
+                omim_ids=[mim],
+            )
+        )
+        second = mediator.query(disease_query(), enrich_links=True)
+        assert second is not first
+        assert 91111 in second.gene_ids()
+
+    def test_source_index_invalidated_by_mutation(self, private_federation):
+        corpus, _mediator = private_federation
+        store = corpus.locuslink
+        condition = [NativeCondition("Symbol", "=", "FRESH2")]
+        assert store.native_query(condition, use_index=True) == []
+        store.add(
+            LocusRecord(
+                locus_id=92222, organism="Homo sapiens", symbol="FRESH2"
+            )
+        )
+        [record] = store.native_query(condition, use_index=True)
+        assert record["LocusID"] == 92222
+        store.remove(92222)
+        assert store.native_query(condition, use_index=True) == []
+
+    def test_unregister_purges_fetch_cache(self, private_federation):
+        _corpus, mediator = private_federation
+        mediator.query(disease_query(), enrich_links=True, use_cache=False)
+        assert any(
+            key[1] == "OMIM" for key in mediator._fetch_cache
+        )
+        mediator.unregister_source("OMIM")
+        assert not any(
+            key[1] == "OMIM" for key in mediator._fetch_cache
         )

@@ -9,6 +9,7 @@ from repro.mediator import (
     OptimizerOptions,
 )
 from repro.mediator.decompose import Condition
+from repro.mediator.executor import Executor
 from repro.wrappers import default_wrappers
 
 
@@ -153,6 +154,26 @@ class TestExecution:
         slow = scan.query(query, enrich_links=False)
         assert set(fast.gene_ids()) == set(slow.gene_ids())
 
+    def test_batched_matches_per_id_loop(self, corpus):
+        """The single ``in`` fetch and the N+1 equality loop are the
+        same semijoin, differently shipped."""
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = selective_query()
+        plan = mediator.plan(query)
+        assert plan.anchor.semijoin is not None
+        batched = _execute(mediator, plan, query, batch_fetch=True)
+        per_id = _execute(mediator, plan, query, batch_fetch=False)
+        assert batched.gene_ids() == per_id.gene_ids()
+        assert len(batched) > 0
+        assert batched.stats.batched_fetches > 0
+        assert per_id.stats.batched_fetches == 0
+        # The batched fetch never ships more: the per-id loop re-ships
+        # an anchor once per matching link id, the batch ships it once.
+        assert (
+            batched.stats.rows_fetched["LocusLink"]
+            <= per_id.stats.rows_fetched["LocusLink"]
+        )
+
     def test_multi_link_query_equivalent(self, corpus):
         query = GlobalQuery(
             anchor_source="LocusLink",
@@ -175,3 +196,64 @@ class TestExecution:
         fast = semijoin.query(query, enrich_links=False)
         slow = scan.query(query, enrich_links=False)
         assert set(fast.gene_ids()) == set(slow.gene_ids())
+
+
+def _execute(mediator, plan, query, batch_fetch):
+    executor = Executor(
+        mediator._wrappers,
+        mediator.mapping_module,
+        mediator.reconciler,
+        enrichment_cache={},
+        batch_fetch=batch_fetch,
+    )
+    return executor.execute(plan, query, enrich_links=False)
+
+
+def dead_end_query():
+    """A semijoin-shaped query whose driving link matches nothing."""
+    return GlobalQuery(
+        anchor_source="LocusLink",
+        links=(
+            LinkConstraint(
+                "GO",
+                "include",
+                via="AnnotationID",
+                conditions=(
+                    Condition("Title", "contains", "zz-no-such-term"),
+                ),
+            ),
+        ),
+    )
+
+
+class TestFetchAccounting:
+    """Regression: the anchor source must appear in the fetch
+    accounting exactly once even when the driving link's allowed set is
+    empty and no anchor fetch is issued at all."""
+
+    def test_empty_allowed_set_batched(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = dead_end_query()
+        plan = mediator.plan(query)
+        assert plan.anchor.semijoin is not None
+        result = _execute(mediator, plan, query, batch_fetch=True)
+        assert len(result) == 0
+        assert result.stats.rows_fetched["LocusLink"] == 0
+        assert result.stats.batched_fetches == 0
+
+    def test_empty_allowed_set_per_id(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = dead_end_query()
+        plan = mediator.plan(query)
+        result = _execute(mediator, plan, query, batch_fetch=False)
+        assert len(result) == 0
+        assert result.stats.rows_fetched["LocusLink"] == 0
+
+    def test_nonempty_allowed_set_single_entry(self, corpus):
+        mediator = build_mediator(corpus, enable_semijoin=True)
+        query = selective_query()
+        plan = mediator.plan(query)
+        result = _execute(mediator, plan, query, batch_fetch=True)
+        # One accounting entry per source, anchor included.
+        assert set(result.stats.rows_fetched) == {"LocusLink", "GO"}
+        assert result.stats.rows_fetched["LocusLink"] > 0
