@@ -96,8 +96,8 @@ def test_reconciliation_sweep_artifact(benchmark, results_dir):
                         f"{quality['recall']:.3f}",
                         f"{quality['precision']:.3f}",
                         quality["errors"],
-                        result.report.count(),
-                        result.report.repaired_count(),
+                        result.reconciliation.count(),
+                        result.reconciliation.repaired_count(),
                     ]
                 )
         return rows

@@ -57,8 +57,8 @@ def main():
     print()
 
     print("=== integration audit ===")
-    print(known_result.report.render())
-    repaired = known_result.report.repaired_count()
+    print(known_result.reconciliation.render())
+    repaired = known_result.reconciliation.repaired_count()
     print(f"conflicts repaired while joining: {repaired}")
     print()
 

@@ -51,7 +51,7 @@ def main():
     result = annoda.ask(question)
     print(annoda.render_integrated_view(result, limit=8))
     print()
-    print(result.report.render())
+    print(result.reconciliation.render())
     print()
 
     # Re-organize: which disease entries concentrate kinase genes?

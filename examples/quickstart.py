@@ -34,7 +34,7 @@ def main():
     result = annoda.ask(QUESTION)
     print(annoda.render_integrated_view(result, limit=10))
     print()
-    print(result.report.render())
+    print(result.reconciliation.render())
     print()
 
     # Interactive navigation: follow a web-link out of the answer.

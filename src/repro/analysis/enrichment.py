@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from scipy.stats import hypergeom
 
+from repro.mediator.fetch import FetchRequest
 from repro.util.errors import QueryError
 
 
@@ -65,7 +66,9 @@ class EnrichmentAnalyzer:
         """gene id -> set of annotating GO ids (ancestors included when
         ``propagate``), obsolete and dangling annotations dropped."""
         per_gene = {}
-        for record in self._locuslink.fetch(()):
+        for record in self._locuslink.fetch(
+            FetchRequest(purpose="annotation-gather")
+        ):
             terms = set()
             for go_id in record.get("GoIDs", ()):
                 if not self._go.exists(go_id) or self._go.is_obsolete(

@@ -14,6 +14,7 @@ view so the architecture benchmark can report the interaction cost.
 """
 
 from repro.baselines.interfaces import IntegrationSystem, SystemTraits
+from repro.mediator.fetch import FetchRequest
 from repro.navigation.links import resolve_url
 from repro.util.errors import QueryError
 
@@ -52,7 +53,9 @@ class HypertextNavigationSystem(IntegrationSystem):
     def _build_index(wrapper):
         """Token -> record positions, over every textual field."""
         index = {}
-        for position, record in enumerate(wrapper.fetch(())):
+        for position, record in enumerate(
+            wrapper.fetch(FetchRequest(purpose="index-build"))
+        ):
             tokens = set()
             for value in record.values():
                 values = value if isinstance(value, list) else [value]
@@ -73,7 +76,9 @@ class HypertextNavigationSystem(IntegrationSystem):
         if source_name not in self.wrappers:
             raise QueryError(f"unknown source {source_name!r}")
         positions = self._indexes[source_name].get(keyword.lower(), [])
-        records = self.wrappers[source_name].fetch(())
+        records = self.wrappers[source_name].fetch(
+            FetchRequest(purpose="page-view")
+        )
         return [records[position] for position in positions]
 
     def follow_link(self, url):
@@ -84,7 +89,9 @@ class HypertextNavigationSystem(IntegrationSystem):
             raise QueryError(f"link leaves the indexed sources: {url}")
         key_label = {"LocusLink": "LocusID", "GO": "GoID",
                      "OMIM": "MimNumber", "PubMed": "Pmid"}[source_name]
-        records = wrapper.fetch([(key_label, "=", target_id)])
+        records = wrapper.fetch(
+            FetchRequest(((key_label, "=", target_id),), purpose="follow-link")
+        )
         return records[0] if records else None
 
     # -- the benchmark workloads -------------------------------------------------
@@ -102,7 +109,7 @@ class HypertextNavigationSystem(IntegrationSystem):
         omim = self.wrappers["OMIM"]
         user_actions = 0
         answer = set()
-        for record in locuslink.fetch(()):
+        for record in locuslink.fetch(FetchRequest(purpose="browse")):
             user_actions += 1  # open the locus report page
             has_go = False
             for go_id in record.get("GoIDs", []):
@@ -123,7 +130,12 @@ class HypertextNavigationSystem(IntegrationSystem):
                 # A careful user also searches OMIM for the symbol
                 # (OMIM curation may be ahead of LocusLink).
                 user_actions += 1
-                if omim.fetch([("GeneSymbol", "=", record["Symbol"])]):
+                if omim.fetch(
+                    FetchRequest(
+                        (("GeneSymbol", "=", record["Symbol"]),),
+                        purpose="symbol-search",
+                    )
+                ):
                     has_omim = True
             if has_go and not has_omim:
                 answer.add(record["LocusID"])
@@ -138,14 +150,19 @@ class HypertextNavigationSystem(IntegrationSystem):
         omim = self.wrappers["OMIM"]
         user_actions = 0
         answer = set()
-        for record in locuslink.fetch(()):
+        for record in locuslink.fetch(FetchRequest(purpose="browse")):
             user_actions += 1
             if record.get("OmimIDs"):
                 answer.add(record["LocusID"])
                 continue
             # Search OMIM by exact symbol (no reconciliation possible).
             user_actions += 1
-            hits = omim.fetch([("GeneSymbol", "=", record["Symbol"])])
+            hits = omim.fetch(
+                FetchRequest(
+                    (("GeneSymbol", "=", record["Symbol"]),),
+                    purpose="symbol-search",
+                )
+            )
             if hits:
                 answer.add(record["LocusID"])
         return answer, {

@@ -16,6 +16,7 @@ reconciliation of results"* made quantitative.
 """
 
 from repro.baselines.interfaces import IntegrationSystem, SystemTraits
+from repro.mediator.fetch import FetchRequest
 
 
 class MultidatabaseSystem(IntegrationSystem):
@@ -30,7 +31,9 @@ class MultidatabaseSystem(IntegrationSystem):
     def query_source(self, source_name, conditions=()):
         """One source-specific query (the user supplies local labels —
         no schema transparency)."""
-        return self.wrappers[source_name].fetch(list(conditions))
+        return self.wrappers[source_name].fetch(
+            FetchRequest(tuple(conditions), purpose="multidatabase")
+        )
 
     # -- the benchmark workloads --------------------------------------------------
 

@@ -18,6 +18,7 @@ import time
 
 from repro.baselines.interfaces import IntegrationSystem, SystemTraits
 from repro.matching.mdsm import MdsmMatcher
+from repro.mediator.fetch import FetchRequest
 from repro.mediator.mapping import MappingModule
 from repro.util.errors import QueryError
 
@@ -68,7 +69,7 @@ class WarehouseSystem(IntegrationSystem):
         staging = {}
         for name, wrapper in self.wrappers.items():
             rows = []
-            for record in wrapper.fetch(()):
+            for record in wrapper.fetch(FetchRequest(purpose="etl-extract")):
                 rows.append(
                     self.mapping_module.translate_record(
                         name, record, wrapper

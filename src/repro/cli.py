@@ -155,7 +155,7 @@ def _command_ask(annoda, args, out):
         )
     if args.audit:
         print(file=out)
-        print(result.report.render(), file=out)
+        print(result.reconciliation.render(), file=out)
 
 
 def _command_lorel(annoda, args, out):

@@ -2,6 +2,7 @@
 
 from dataclasses import dataclass, field
 
+from repro.mediator.fetch import FederationPolicy
 from repro.mediator.mediator import Mediator
 from repro.mediator.optimizer import OptimizerOptions
 from repro.mediator.reconcile import ReconciliationPolicy, Reconciler
@@ -27,6 +28,10 @@ class AnnodaConfig:
     reconciliation: ReconciliationPolicy = field(
         default_factory=ReconciliationPolicy
     )
+    #: Wrapper-boundary concurrency and fault tolerance: worker count,
+    #: per-attempt timeout, retry budget/backoff, and whether a failed
+    #: source degrades the answer (partial result) or aborts the query.
+    federation: FederationPolicy = field(default_factory=FederationPolicy)
 
 
 class Annoda:
@@ -47,6 +52,7 @@ class Annoda:
         self.mediator = Mediator(
             optimizer_options=self.config.optimizer,
             reconciler=Reconciler(self.config.reconciliation),
+            federation=self.config.federation,
         )
         self.navigator = Navigator(self.mediator)
         self.parser = QuestionParser()

@@ -49,7 +49,7 @@ class AnnodaSystem(IntegrationSystem):
         return set(result.gene_ids()), {
             "rows_shipped": result.stats.total_rows_fetched(),
             "reconciled": True,
-            "conflicts_observed": result.report.count(),
+            "conflicts_observed": result.reconciliation.count(),
             "wall_seconds": result.stats.wall_seconds,
         }
 
@@ -68,6 +68,6 @@ class AnnodaSystem(IntegrationSystem):
         return set(result.gene_ids()), {
             "rows_shipped": result.stats.total_rows_fetched(),
             "reconciled": True,
-            "conflicts_observed": result.report.count(),
+            "conflicts_observed": result.reconciliation.count(),
             "wall_seconds": result.stats.wall_seconds,
         }

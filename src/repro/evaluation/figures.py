@@ -83,7 +83,9 @@ class FigureGenerator:
         from repro.oem.graph import OEMGraph
 
         wrapper = self.annoda.mediator.wrapper("LocusLink")
-        record = wrapper.fetch(())[0]
+        from repro.mediator.fetch import FetchRequest
+
+        record = wrapper.fetch(FetchRequest(purpose="figure-sample"))[0]
         graph = OEMGraph("figure2")
         entry = wrapper.build_entry(graph, record)
         graph.set_root("LocusLink", entry)

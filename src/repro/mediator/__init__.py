@@ -19,7 +19,20 @@ from repro.mediator.decompose import (
     QueryDecomposer,
     SubQuery,
 )
-from repro.mediator.executor import Executor, IntegratedResult
+from repro.mediator.executor import (
+    ExecutionReport,
+    ExecutionStats,
+    Executor,
+    IntegratedResult,
+    SourceReport,
+)
+from repro.mediator.fetch import (
+    FederatedFetcher,
+    FederationPolicy,
+    FetchReply,
+    FetchRequest,
+    FlakyWrapper,
+)
 from repro.mediator.global_schema import GlobalSchema
 from repro.mediator.gml import GmlBuilder
 from repro.mediator.mapping import MappingModule, TransformRegistry
@@ -33,7 +46,14 @@ from repro.mediator.reconcile import (
 
 __all__ = [
     "ExecutionPlan",
+    "ExecutionReport",
+    "ExecutionStats",
     "Executor",
+    "FederatedFetcher",
+    "FederationPolicy",
+    "FetchReply",
+    "FetchRequest",
+    "FlakyWrapper",
     "GlobalQuery",
     "GlobalSchema",
     "GmlBuilder",
@@ -47,6 +67,7 @@ __all__ = [
     "ReconciliationPolicy",
     "ReconciliationReport",
     "Reconciler",
+    "SourceReport",
     "SubQuery",
     "TransformRegistry",
 ]

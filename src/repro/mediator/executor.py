@@ -5,11 +5,25 @@ each plan step to the owning wrapper, evaluates residual predicates at
 the mediator, applies the reconciler while joining link constraints,
 and materializes one integrated OEM answer graph — *"their results
 combined before being returned to the user"*.
+
+Per-source fetches go through the :mod:`repro.mediator.fetch`
+protocol: independent steps (link-step anchor retrieval, enrichment
+detail) are issued concurrently by a :class:`FederatedFetcher`, and a
+failing or slow source either aborts the query (the default) or —
+under a degrading :class:`FederationPolicy` — yields a *partial*
+integrated answer whose :class:`ExecutionReport` marks the source
+degraded.
 """
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
+from repro.mediator.fetch import (
+    FederatedFetcher,
+    FederationPolicy,
+    FetchRequest,
+)
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
 from repro.sources.base import NativeCondition, _evaluate
@@ -17,8 +31,27 @@ from repro.util.errors import IntegrationError
 
 
 @dataclass
+class SourceReport:
+    """Per-source fetch accounting for one execution."""
+
+    source: str
+    fetches: int = 0
+    rows: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    seconds: float = 0.0
+    status: str = "ok"  # "ok" | "degraded"
+
+
+@dataclass
 class ExecutionStats:
-    """Work accounting used by the optimizer/architecture benchmarks."""
+    """Work accounting used by the optimizer/architecture benchmarks.
+
+    Prefer reading these counters through
+    :attr:`IntegratedResult.report` (an :class:`ExecutionReport`);
+    direct access remains for existing callers.
+    """
 
     rows_fetched: dict = field(default_factory=dict)
     residual_evaluations: int = 0
@@ -35,6 +68,16 @@ class ExecutionStats:
     #: Link-source enrichment indexes served entirely from the
     #: mediator's version-keyed cache (no source fetch at all).
     enrichment_cache_hits: int = 0
+    #: Fault-tolerance accounting: attempts beyond the first, attempts
+    #: abandoned on timeout, and fetch batches issued concurrently.
+    retries: int = 0
+    timeouts: int = 0
+    concurrent_batches: int = 0
+    #: Sources that failed but were tolerated (degrading policy): the
+    #: answer is partial with respect to them.
+    degraded_sources: list = field(default_factory=list)
+    #: Per-source fetch reports (name -> :class:`SourceReport`).
+    source_reports: dict = field(default_factory=dict)
 
     def total_rows_fetched(self):
         return sum(self.rows_fetched.values())
@@ -44,16 +87,150 @@ class ExecutionStats:
             self.rows_fetched.get(source_name, 0) + count
         )
 
+    def record_reply(self, reply):
+        """Fold one :class:`~repro.mediator.fetch.FetchReply` in."""
+        self.add_fetch(reply.source, len(reply.records))
+        self.retries += reply.retries
+        self.timeouts += reply.timeouts
+        report = self.source_reports.setdefault(
+            reply.source, SourceReport(reply.source)
+        )
+        report.fetches += 1
+        report.rows += len(reply.records)
+        report.attempts += len(reply.attempts)
+        report.retries += reply.retries
+        report.timeouts += reply.timeouts
+        report.seconds += reply.elapsed
+
+    def mark_degraded(self, source_name):
+        if source_name not in self.degraded_sources:
+            self.degraded_sources.append(source_name)
+        report = self.source_reports.setdefault(
+            source_name, SourceReport(source_name)
+        )
+        report.status = "degraded"
+
+
+class ExecutionReport:
+    """One unified view of everything an execution did.
+
+    Merges the split accounting of earlier revisions — the sources'
+    ``fetch_stats`` dicts, :class:`ExecutionStats` counters, and the
+    reconciliation report — behind a single object exposed as
+    :attr:`IntegratedResult.report`: sources queried with per-source
+    latency/status, index hits, batches, retries, timeouts, degraded
+    sources, plus the reconciliation outcome under
+    :attr:`reconciliation`.
+
+    Counter attributes (``index_hits``, ``batched_fetches``,
+    ``rows_fetched``, ...) delegate to the underlying
+    :class:`ExecutionStats`; the old reconciliation-report methods
+    (``count``/``repaired_count``/``render``) still work here but are
+    deprecated — use ``result.reconciliation`` directly.
+    """
+
+    def __init__(self, stats, reconciliation):
+        self._stats = stats
+        self.reconciliation = reconciliation
+
+    # -- unified accounting --------------------------------------------------
+
+    @property
+    def sources(self):
+        """Per-source fetch reports (name -> :class:`SourceReport`)."""
+        return dict(self._stats.source_reports)
+
+    @property
+    def degraded(self):
+        """Names of sources the answer is partial with respect to."""
+        return tuple(self._stats.degraded_sources)
+
+    @property
+    def ok(self):
+        """True when no source degraded (the answer is complete)."""
+        return not self._stats.degraded_sources
+
+    def __getattr__(self, name):
+        stats = self.__dict__.get("_stats")
+        if stats is None:
+            raise AttributeError(name)
+        try:
+            return getattr(stats, name)
+        except AttributeError:
+            raise AttributeError(
+                f"ExecutionReport has no attribute {name!r}"
+            ) from None
+
+    def describe(self):
+        """Multi-line human-readable execution summary."""
+        stats = self._stats
+        lines = [
+            f"execution report: {stats.total_rows_fetched()} rows from "
+            f"{len(stats.source_reports)} source(s) in "
+            f"{stats.wall_seconds * 1e3:.1f} ms",
+            f"  index hits {stats.index_hits} / scans "
+            f"{stats.scan_fetches} / batched fetches "
+            f"{stats.batched_fetches} / enrichment cache hits "
+            f"{stats.enrichment_cache_hits}",
+            f"  retries {stats.retries} / timeouts {stats.timeouts} / "
+            f"concurrent batches {stats.concurrent_batches}",
+        ]
+        for name in sorted(stats.source_reports):
+            report = stats.source_reports[name]
+            lines.append(
+                f"  {name}: {report.status}, {report.fetches} fetch(es), "
+                f"{report.rows} rows, {report.attempts} attempt(s), "
+                f"{report.seconds * 1e3:.1f} ms"
+            )
+        if stats.degraded_sources:
+            lines.append(
+                "  PARTIAL ANSWER — degraded: "
+                + ", ".join(sorted(stats.degraded_sources))
+            )
+        return "\n".join(lines)
+
+    # -- deprecated reconciliation delegation --------------------------------
+
+    def _reconciliation_deprecated(self, method):
+        warnings.warn(
+            f"IntegratedResult.report.{method}() now reports execution "
+            f"accounting; use result.reconciliation.{method}() for "
+            "reconciliation conflicts",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def count(self, kind=None):
+        self._reconciliation_deprecated("count")
+        return self.reconciliation.count(kind)
+
+    def repaired_count(self):
+        self._reconciliation_deprecated("repaired_count")
+        return self.reconciliation.repaired_count()
+
+    def render(self):
+        self._reconciliation_deprecated("render")
+        return self.reconciliation.render()
+
 
 class IntegratedResult:
-    """One integrated answer: OEM view + plain records + diagnostics."""
+    """One integrated answer: OEM view + plain records + diagnostics.
 
-    def __init__(self, graph, root, genes, report, stats, plan):
+    ``result.report`` is the unified :class:`ExecutionReport`;
+    ``result.reconciliation`` the
+    :class:`~repro.mediator.reconcile.ReconciliationReport`.
+    ``result.stats`` (the raw :class:`ExecutionStats`) remains as a
+    deprecated alias — everything it carries is reachable through
+    ``result.report``.
+    """
+
+    def __init__(self, graph, root, genes, reconciliation, stats, plan):
         self.graph = graph
         self.root = root
         self.genes = genes
-        self.report = report
+        self.reconciliation = reconciliation
         self.stats = stats
+        self.report = ExecutionReport(stats, reconciliation)
         self.plan = plan
         # GeneID -> gene dict, first occurrence winning, so lookups are
         # O(1) instead of a scan per call.
@@ -76,9 +253,14 @@ class IntegratedResult:
             ) from None
 
     def __repr__(self):
+        partial = (
+            f", degraded: {', '.join(self.report.degraded)}"
+            if self.report.degraded
+            else ""
+        )
         return (
             f"IntegratedResult({len(self.genes)} genes, "
-            f"{self.report.count()} conflicts observed)"
+            f"{self.reconciliation.count()} conflicts observed{partial})"
         )
 
 
@@ -91,6 +273,12 @@ class Executor:
     source mutation invalidates automatically.  ``batch_fetch=False``
     restores the per-id (N+1) fetch loops — the benchmarks measure the
     batched path against it.
+
+    ``fetcher`` (a :class:`~repro.mediator.fetch.FederatedFetcher`)
+    issues the plan's independent per-source fetches concurrently and
+    applies the ``policy``'s timeout/retry/degradation semantics; the
+    owning mediator shares one fetcher (and its thread pool) across
+    executions.
     """
 
     #: Upper bound on shared-cache entries (stale versions are evicted
@@ -98,11 +286,18 @@ class Executor:
     CACHE_MAX_ENTRIES = 64
 
     def __init__(self, wrappers_by_name, mapping_module, reconciler,
-                 enrichment_cache=None, batch_fetch=True):
+                 enrichment_cache=None, batch_fetch=True, fetcher=None,
+                 policy=None):
         self.wrappers = wrappers_by_name
         self.mapping_module = mapping_module
         self.reconciler = reconciler
         self.batch_fetch = batch_fetch
+        if fetcher is None:
+            self.policy = policy or FederationPolicy()
+            self.fetcher = FederatedFetcher(self.policy)
+        else:
+            self.fetcher = fetcher
+            self.policy = policy or fetcher.policy
         self._shared_cache = (
             enrichment_cache if enrichment_cache is not None else {}
         )
@@ -155,58 +350,70 @@ class Executor:
 
         anchor_wrapper = self.wrappers[plan.anchor.source_name]
 
-        # Per-step state computed once, not per anchor record: the
-        # allowed-id set of conditioned link steps, and the symbol
+        # -- concurrent prefetch batch -------------------------------------
+        # Every conditioned link-step fetch is independent of every
+        # other, and of the (non-semijoin) anchor fetch: one batch on
+        # the fetcher covers them all.  Replies are processed in job
+        # order on this thread, so the execution stays deterministic.
+        jobs = []
+        for step in plan.link_steps:
+            if step.link.reverse_join or not step.pruned:
+                jobs.append((step, self.wrappers[step.source_name]))
+        if plan.anchor.semijoin is None:
+            jobs.append((plan.anchor, anchor_wrapper))
+        replies = self.fetcher.fetch_all(
+            (wrapper, FetchRequest(tuple(step.pushed), purpose=step.purpose))
+            for step, wrapper in jobs
+        )
+        if len(jobs) > 1 and self.policy.max_workers > 1:
+            stats.concurrent_batches += 1
+
+        self._degraded_steps = set()
+        step_records = {}
+        anchor_records = None
+        for (step, wrapper), reply in zip(jobs, replies):
+            stats.record_reply(reply)
+            if not reply.ok:
+                self._degrade_or_raise(reply, stats)
+                if step is plan.anchor:
+                    anchor_records = []
+                else:
+                    self._degraded_steps.add(id(step))
+                continue
+            records = self._apply_residual(
+                wrapper, step, list(reply.records), stats
+            )
+            if step is plan.anchor:
+                anchor_records = records
+            else:
+                step_records[id(step)] = records
+
+        # -- per-step state computed once, not per anchor record ----------
+        # The allowed-id set of conditioned link steps, and the symbol
         # vocabulary index for symbol joins.
         allowed_by_step = {}
         self._symbol_indexes = {}
         self._reverse_indexes = {}
         for step in plan.link_steps:
-            if step.link.reverse_join:
-                # The reverse index is built from the conditioned fetch
-                # directly; the conditioned key set also bounds any
-                # symbol-join matches for this step.
-                index, conditioned_keys = self._reverse_index(step, stats)
+            degraded_step = id(step) in self._degraded_steps
+            if step.link.reverse_join and not degraded_step:
+                index, conditioned_keys = self._reverse_index(
+                    step, step_records[id(step)]
+                )
                 self._reverse_indexes[id(step)] = index
                 allowed_by_step[id(step)] = conditioned_keys
-            elif not step.pruned:
+            elif not step.pruned and not degraded_step:
                 allowed_by_step[id(step)] = self._allowed_ids(
-                    step, self.wrappers[step.source_name], stats
+                    step, self.wrappers[step.source_name],
+                    step_records[id(step)],
                 )
-            if step.link.symbol_join:
-                from repro.mediator.reconcile import SymbolIndex
+            if step.link.symbol_join and not degraded_step:
+                self._build_symbol_index(step, stats)
 
-                wrapper = self.wrappers[step.source_name]
-                symbol_local = self.mapping_module.correspondences(
-                    step.source_name
-                ).to_local("GeneSymbol")
-                if symbol_local is not None:
-                    key_label = self.mapping_module.to_local_label(
-                        step.source_name, step.link.via
-                    )
-                    cache_key = (
-                        "symbols",
-                        step.source_name,
-                        wrapper.version,
-                        key_label,
-                        symbol_local,
-                    )
-                    symbol_index = self._cache_entry(cache_key)
-                    if symbol_index is None:
-                        symbol_index = SymbolIndex.from_wrapper(
-                            wrapper,
-                            key_label=key_label,
-                            symbol_label=symbol_local,
-                        )
-                        self._cache_store(cache_key, symbol_index)
-                    self._symbol_indexes[step.source_name] = symbol_index
-
-        if plan.anchor.semijoin is not None:
-            anchor_records = self._semijoin_fetch(
+        if anchor_records is None:
+            anchor_records = self._semijoin_anchor(
                 plan, allowed_by_step, stats
             )
-        else:
-            anchor_records = self._run_fetch(plan.anchor, stats)
         stats.anchors_considered = len(anchor_records)
 
         surviving = []
@@ -215,6 +422,13 @@ class Executor:
             links_for_record = {}
             keep = True
             for step in plan.link_steps:
+                if id(step) in self._degraded_steps:
+                    # Degraded source: its constraint cannot be
+                    # evaluated, so it is skipped — the YeastMed-style
+                    # partial answer is computed from the sources that
+                    # responded, and the report marks the gap.
+                    links_for_record[step.source_name] = []
+                    continue
                 matched = self._match_link(
                     step, anchor_wrapper, record, stats, report,
                     allowed_by_step.get(id(step)),
@@ -247,23 +461,19 @@ class Executor:
 
     # -- fetching ---------------------------------------------------------------
 
-    def _run_fetch(self, step, stats):
-        """Fetch one step's records and apply its residual predicates.
+    def _degrade_or_raise(self, reply, stats):
+        """Handle one failed reply per the federation policy.
 
-        A member source failing mid-query is reported as an
-        :class:`IntegrationError` naming the source, so federated
-        callers see *which* member broke, not a bare traceback.
+        Raising reports an :class:`IntegrationError` naming the source,
+        so federated callers see *which* member broke, not a bare
+        traceback; degrading records the source as a gap in the answer.
         """
-        wrapper = self.wrappers[step.source_name]
-        try:
-            records = wrapper.fetch(step.pushed)
-        except IntegrationError:
-            raise
-        except Exception as exc:
-            raise IntegrationError(
-                f"source {step.source_name!r} failed during fetch: {exc}"
-            ) from exc
-        stats.add_fetch(step.source_name, len(records))
+        if not self.policy.degrades:
+            reply.raise_if_failed()
+        stats.mark_degraded(reply.source)
+
+    def _apply_residual(self, wrapper, step, records, stats):
+        """Mediator-side residual predicates over fetched records."""
         if not step.residual:
             return records
         kept = []
@@ -273,11 +483,50 @@ class Executor:
                 kept.append(record)
         return kept
 
-    def _reverse_index(self, step, stats):
+    def _build_symbol_index(self, step, stats):
+        """Version-keyed symbol-join index for one step (cached)."""
+        from repro.mediator.reconcile import SymbolIndex
+
+        wrapper = self.wrappers[step.source_name]
+        symbol_local = self.mapping_module.correspondences(
+            step.source_name
+        ).to_local("GeneSymbol")
+        if symbol_local is None:
+            return
+        key_label = self.mapping_module.to_local_label(
+            step.source_name, step.link.via
+        )
+        cache_key = (
+            "symbols",
+            step.source_name,
+            wrapper.version,
+            key_label,
+            symbol_local,
+        )
+        symbol_index = self._cache_entry(cache_key)
+        if symbol_index is None:
+            try:
+                symbol_index = SymbolIndex.from_wrapper(
+                    wrapper,
+                    key_label=key_label,
+                    symbol_label=symbol_local,
+                )
+            except Exception as exc:
+                if not self.policy.degrades:
+                    raise IntegrationError(
+                        f"source {step.source_name!r} failed during "
+                        f"fetch: {exc}"
+                    ) from exc
+                # Partial answer: the symbol join contributes nothing.
+                stats.mark_degraded(step.source_name)
+                return
+            self._cache_store(cache_key, symbol_index)
+        self._symbol_indexes[step.source_name] = symbol_index
+
+    def _reverse_index(self, step, records):
         """anchor GeneID -> set of link keys, from the linked source's
         back-references (conditioned records only)."""
         wrapper = self.wrappers[step.source_name]
-        records = self._run_fetch(step, stats)
         key_field = wrapper.source_field(
             self.mapping_module.to_local_label(
                 step.source_name, step.link.via
@@ -295,7 +544,7 @@ class Executor:
                 index.setdefault(anchor_ref, set()).add(record[key_field])
         return index, conditioned_keys
 
-    def _semijoin_fetch(self, plan, allowed_by_step, stats):
+    def _semijoin_anchor(self, plan, allowed_by_step, stats):
         """Retrieve the anchor by link-id equality instead of scanning.
 
         The driving link's allowed-id set is already computed; one
@@ -304,6 +553,10 @@ class Executor:
         path).  Wrappers that cannot push ``in`` down fall back to the
         per-id equality loop.  Either way the results are de-duplicated
         by identity key and residual-filtered identically.
+
+        A degraded driving link leaves no id set to join on, so the
+        anchor falls back to its own conditioned fetch (the constraint
+        is skipped — partial answer).
         """
         driver_source, via_label = plan.anchor.semijoin
         driver_step = next(
@@ -311,33 +564,66 @@ class Executor:
             for step in plan.link_steps
             if step.source_name == driver_source
         )
-        allowed = allowed_by_step[id(driver_step)]
         wrapper = self.wrappers[plan.anchor.source_name]
         key_local = self.mapping_module.to_local_label(
             wrapper.name, "GeneID"
         )
         key_field = wrapper.source_field(key_local)
+        if id(driver_step) in self._degraded_steps:
+            reply = self.fetcher.fetch(
+                wrapper,
+                FetchRequest(tuple(plan.anchor.pushed), purpose="anchor"),
+            )
+            stats.record_reply(reply)
+            if not reply.ok:
+                self._degrade_or_raise(reply, stats)
+                return []
+            return self._apply_residual(
+                wrapper, plan.anchor, list(reply.records), stats
+            )
+        allowed = allowed_by_step[id(driver_step)]
         # Ensure the anchor source appears in the fetch accounting
         # exactly once even when the driving link matched nothing.
         stats.add_fetch(wrapper.name, 0)
         ordered_ids = sorted(allowed, key=str)
         batches = []
+        anchor_failed = False
         if not ordered_ids:
             batches = []
         elif self.batch_fetch and wrapper.supports(via_label, "in"):
-            fetched = wrapper.fetch(
-                plan.anchor.pushed + [(via_label, "in", tuple(ordered_ids))]
+            reply = self.fetcher.fetch(
+                wrapper,
+                FetchRequest(
+                    tuple(plan.anchor.pushed)
+                    + ((via_label, "in", tuple(ordered_ids)),),
+                    purpose="anchor-semijoin",
+                ),
             )
-            stats.add_fetch(wrapper.name, len(fetched))
-            stats.batched_fetches += 1
-            batches.append(fetched)
+            stats.record_reply(reply)
+            if reply.ok:
+                stats.batched_fetches += 1
+                batches.append(reply.records)
+            else:
+                self._degrade_or_raise(reply, stats)
+                anchor_failed = True
         else:
             for link_id in ordered_ids:
-                fetched = wrapper.fetch(
-                    plan.anchor.pushed + [(via_label, "=", link_id)]
+                reply = self.fetcher.fetch(
+                    wrapper,
+                    FetchRequest(
+                        tuple(plan.anchor.pushed)
+                        + ((via_label, "=", link_id),),
+                        purpose="anchor-per-id",
+                    ),
                 )
-                stats.add_fetch(wrapper.name, len(fetched))
-                batches.append(fetched)
+                stats.record_reply(reply)
+                if not reply.ok:
+                    self._degrade_or_raise(reply, stats)
+                    anchor_failed = True
+                    break
+                batches.append(reply.records)
+        if anchor_failed:
+            return []
         seen = set()
         records = []
         for fetched in batches:
@@ -428,10 +714,9 @@ class Executor:
                     matched.append(mim)
         return matched
 
-    def _allowed_ids(self, step, link_wrapper, stats):
+    def _allowed_ids(self, step, link_wrapper, records):
         """Key ids of linked-source records satisfying the step's
         conditions (the un-pruned path)."""
-        records = self._run_fetch(step, stats)
         key_local = self.mapping_module.to_local_label(
             step.source_name, step.link.via
         )
@@ -508,10 +793,17 @@ class Executor:
         cached on the mediator keyed ``(source, wrapper.version)`` —
         a repeat query over unchanged sources never re-fetches or
         re-translates, while any source mutation bumps the version and
-        misses the cache.
+        misses the cache.  The per-source fetches are independent, so
+        they go out as one concurrent batch; a source failing here
+        degrades to id-only link children instead of killing the query
+        (under a degrading policy).
         """
         indexes = {}
+        pending = []
         for step in plan.link_steps:
+            if id(step) in self._degraded_steps:
+                indexes.setdefault(step.source_name, {})
+                continue
             wrapper = self.wrappers[step.source_name]
             key_local = self.mapping_module.to_local_label(
                 step.source_name, step.link.via
@@ -536,25 +828,49 @@ class Executor:
             )
             if not missing:
                 stats.enrichment_cache_hits += 1
-            else:
-                ordered = tuple(sorted(missing, key=str))
-                if self.batch_fetch and wrapper.supports(key_local, "in"):
-                    records = wrapper.fetch(((key_local, "in", ordered),))
-                    stats.batched_fetches += 1
-                else:
-                    records = wrapper.fetch(())
-                    cached["complete"] = True
-                stats.add_fetch(step.source_name, len(records))
-                for record in records:
-                    translated = self.mapping_module.translate_record(
-                        step.source_name, record, wrapper
-                    )
-                    cached["index"][record[key_field]] = (translated, record)
-                # Ids probed but absent from the source are remembered
-                # too, so dangling references never re-fetch.
-                cached["known"].update(missing)
-                cached["known"].update(cached["index"])
+                indexes[step.source_name] = cached["index"]
+                continue
+            ordered = tuple(sorted(missing, key=str))
+            batched = self.batch_fetch and wrapper.supports(key_local, "in")
+            request = FetchRequest(
+                ((key_local, "in", ordered),) if batched else (),
+                purpose="enrichment" if batched else "enrichment-full",
+            )
+            pending.append(
+                (step, wrapper, cached, missing, key_field, request,
+                 batched)
+            )
             indexes[step.source_name] = cached["index"]
+        if not pending:
+            return indexes
+        replies = self.fetcher.fetch_all(
+            (wrapper, request)
+            for _step, wrapper, _cached, _missing, _key, request, _b
+            in pending
+        )
+        if len(pending) > 1 and self.policy.max_workers > 1:
+            stats.concurrent_batches += 1
+        for (step, wrapper, cached, missing, key_field, _request,
+             batched), reply in zip(pending, replies):
+            stats.record_reply(reply)
+            if not reply.ok:
+                # Enrichment detail is decoration, not correctness: a
+                # degraded source leaves its link children id-only.
+                self._degrade_or_raise(reply, stats)
+                continue
+            if batched:
+                stats.batched_fetches += 1
+            else:
+                cached["complete"] = True
+            for record in reply.records:
+                translated = self.mapping_module.translate_record(
+                    step.source_name, record, wrapper
+                )
+                cached["index"][record[key_field]] = (translated, record)
+            # Ids probed but absent from the source are remembered
+            # too, so dangling references never re-fetch.
+            cached["known"].update(missing)
+            cached["known"].update(cached["index"])
         return indexes
 
     def _build_gene(self, graph, gene_dict, record, anchor_wrapper,

@@ -1,0 +1,464 @@
+"""The wrapper-boundary fetch protocol: FetchRequest/FetchReply.
+
+The paper's mediator queries three *live, remote* web databases, so
+the real system's bottleneck and failure mode is the wrapper boundary:
+per-source fetches are independent yet naturally sequential in naive
+code, and a single unavailable source would kill a whole query.
+Mediator peers handle this explicitly — YeastMed tolerates unavailable
+sources and returns partial integrated answers; BioThings Explorer
+runs federated sub-queries concurrently with per-API timeouts.  This
+module gives ANNODA both behaviours behind one explicit protocol:
+
+- :class:`FetchRequest` — what to fetch (OML-label conditions) plus
+  how hard to try (per-attempt timeout, overall deadline, retry
+  budget);
+- :class:`FetchReply` — what came back: records, per-attempt timings,
+  index/scan accounting, and a terminal status (``ok`` / ``error`` /
+  ``timeout``) instead of an exception;
+- :class:`FederationPolicy` — the federation-wide defaults a request
+  inherits (worker count, timeout, retries, backoff, and whether a
+  failing source degrades the answer or aborts it);
+- :class:`FederatedFetcher` — issues independent per-source requests
+  concurrently on a thread pool, retrying with exponential backoff;
+- :class:`FlakyWrapper` — fault injection (error rate, latency,
+  blackout windows) for tests and the concurrency benchmark.
+
+Nothing here imports the wrapper or executor layers, so the protocol
+sits cleanly between them (wrappers duck-type the request; the
+executor consumes replies).
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.util.errors import IntegrationError
+from repro.util.rng import DeterministicRng
+
+#: Reply statuses a fetch can terminate with.
+FETCH_STATUSES = ("ok", "error", "timeout")
+
+
+def _normalize_conditions(conditions):
+    """Conditions as a tuple of plain ``(label, op, value)`` triples.
+
+    Accepts any iterable of triple-unpackable items (plain tuples,
+    :class:`~repro.mediator.decompose.Condition` objects, lists); the
+    value of an ``in`` condition is frozen to a tuple so the request
+    stays immutable.
+    """
+    normalized = []
+    for condition in conditions:
+        if hasattr(condition, "attribute"):
+            label, op, value = (
+                condition.attribute, condition.op, condition.value
+            )
+        else:
+            label, op, value = condition
+        if op == "in" and not isinstance(value, tuple):
+            value = tuple(value)
+        normalized.append((label, op, value))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """One source fetch: what to retrieve and how hard to try.
+
+    ``conditions`` are OML-label triples (the wrapper translates them
+    to source-native fields).  ``timeout`` bounds one attempt,
+    ``deadline`` bounds the whole request (all attempts + backoff),
+    both in seconds; ``retries`` is the retry budget *beyond* the
+    first attempt.  ``None`` means "inherit from the federation
+    policy".  ``purpose`` is a diagnostic tag carried into the reply
+    and the execution report.
+    """
+
+    conditions: tuple = ()
+    purpose: str = "fetch"
+    timeout: float = None
+    deadline: float = None
+    retries: int = None
+    backoff: float = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "conditions", _normalize_conditions(self.conditions)
+        )
+
+    @classmethod
+    def where(cls, *conditions, **kwargs):
+        """``FetchRequest.where(("Symbol", "=", "BRCA1"))`` sugar."""
+        return cls(conditions=conditions, **kwargs)
+
+    def render(self):
+        rendered = (
+            " and ".join(
+                f"{label} {op} {value!r}"
+                for label, op, value in self.conditions
+            )
+            or "true"
+        )
+        return f"{self.purpose}: {rendered}"
+
+
+@dataclass(frozen=True)
+class FetchAttempt:
+    """One timed try at a source: number, wall seconds, outcome."""
+
+    number: int
+    elapsed: float
+    outcome: str  # "ok" | "error" | "timeout"
+    error: str = None
+
+
+@dataclass(frozen=True)
+class FetchReply:
+    """What one :class:`FetchRequest` produced.
+
+    A failed or timed-out fetch is a *reply*, not an exception — the
+    caller decides (per its federation policy) whether to degrade the
+    integrated answer or abort it via :meth:`raise_if_failed`.
+    """
+
+    source: str
+    request: FetchRequest
+    records: tuple = ()
+    status: str = "ok"
+    attempts: tuple = ()
+    elapsed: float = 0.0
+    #: Source-level fetch-path accounting observed across this reply's
+    #: attempts (best-effort under concurrency: counters are shared
+    #: per source, so overlapping fetches may attribute each other's
+    #: lookups).
+    index_hits: int = 0
+    scan_queries: int = 0
+    error: str = None
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    @property
+    def retries(self):
+        """Attempts beyond the first (the spent retry budget)."""
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def timeouts(self):
+        return sum(
+            1 for attempt in self.attempts if attempt.outcome == "timeout"
+        )
+
+    def raise_if_failed(self):
+        if not self.ok:
+            raise IntegrationError(
+                f"source {self.source!r} failed during fetch: {self.error}"
+            )
+        return self
+
+    def __len__(self):
+        return len(self.records)
+
+
+@dataclass(frozen=True)
+class FederationPolicy:
+    """Fault-tolerance and concurrency knobs of the wrapper boundary.
+
+    The defaults reproduce the seed's semantics exactly (no retries,
+    no timeouts, failures abort the query) while fetching independent
+    per-source steps concurrently; set ``on_failure="degrade"`` for
+    YeastMed-style partial answers and ``retries``/``timeout`` for
+    BioThings-style per-API resilience.
+    """
+
+    #: Thread-pool width for independent per-source fetches; 1 runs
+    #: the seed's sequential path.
+    max_workers: int = 4
+    #: Per-attempt timeout in seconds (None: wait forever).
+    timeout: float = None
+    #: Overall per-request deadline in seconds (None: unbounded).
+    deadline: float = None
+    #: Retry budget beyond the first attempt.
+    retries: int = 0
+    #: Base of the exponential backoff between attempts, in seconds
+    #: (attempt *n* sleeps ``backoff * 2**(n-1)``, capped).  Kept
+    #: jitter-free so retried executions stay deterministic.
+    backoff: float = 0.02
+    backoff_cap: float = 0.5
+    #: ``"raise"`` aborts the query on a failed source (seed
+    #: behaviour); ``"degrade"`` returns a partial integrated answer
+    #: whose report marks the source degraded.
+    on_failure: str = "raise"
+
+    def __post_init__(self):
+        if self.on_failure not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'degrade', "
+                f"not {self.on_failure!r}"
+            )
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    @property
+    def degrades(self):
+        return self.on_failure == "degrade"
+
+
+class FederatedFetcher:
+    """Concurrent, fault-tolerant fetch dispatch over wrappers.
+
+    One fetcher (and its thread pool) is shared by all executions of a
+    mediator; :meth:`fetch_all` issues a batch of independent
+    ``(wrapper, request)`` jobs concurrently and returns replies in
+    job order, so callers stay deterministic regardless of completion
+    order.  Each job retries with exponential backoff inside its
+    request's deadline; a per-attempt timeout abandons the attempt's
+    worker thread (the slow call keeps running in the background —
+    exactly the semantics of abandoning a slow HTTP request).
+    """
+
+    def __init__(self, policy=None):
+        self.policy = policy or FederationPolicy()
+        self._pool = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.policy.max_workers,
+                    thread_name_prefix="annoda-fetch",
+                )
+            return self._pool
+
+    def close(self):
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def fetch(self, wrapper, request):
+        """Run one request to completion (retries included)."""
+        return self._run_job(wrapper, request)
+
+    def fetch_all(self, jobs):
+        """Run ``(wrapper, request)`` jobs concurrently.
+
+        Replies come back in job order.  With ``max_workers=1`` (or a
+        single job) the jobs run sequentially on the calling thread —
+        the seed's exact execution order.
+        """
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.policy.max_workers <= 1:
+            return [self._run_job(wrapper, request)
+                    for wrapper, request in jobs]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._run_job, wrapper, request)
+            for wrapper, request in jobs
+        ]
+        return [future.result() for future in futures]
+
+    # -- one job -------------------------------------------------------------
+
+    def _run_job(self, wrapper, request):
+        policy = self.policy
+        timeout = (
+            request.timeout if request.timeout is not None else policy.timeout
+        )
+        deadline = (
+            request.deadline
+            if request.deadline is not None
+            else policy.deadline
+        )
+        budget = (
+            request.retries if request.retries is not None else policy.retries
+        )
+        backoff = (
+            request.backoff if request.backoff is not None else policy.backoff
+        )
+        started = time.perf_counter()
+        counters_before = self._source_counters(wrapper)
+        attempts = []
+        records = ()
+        status, error = "error", "no attempt made"
+        for number in range(budget + 1):
+            remaining = (
+                None
+                if deadline is None
+                else deadline - (time.perf_counter() - started)
+            )
+            if remaining is not None and remaining <= 0:
+                status, error = "timeout", (
+                    f"deadline of {deadline:.3f}s exhausted after "
+                    f"{len(attempts)} attempt(s)"
+                )
+                break
+            attempt_timeout = timeout
+            if remaining is not None:
+                attempt_timeout = (
+                    remaining
+                    if attempt_timeout is None
+                    else min(attempt_timeout, remaining)
+                )
+            outcome, result, attempt_error, elapsed = self._attempt(
+                wrapper, request, attempt_timeout
+            )
+            attempts.append(
+                FetchAttempt(number + 1, elapsed, outcome, attempt_error)
+            )
+            if outcome == "ok":
+                records, status, error = tuple(result), "ok", None
+                break
+            status, error = outcome, attempt_error
+            if number < budget:
+                delay = min(backoff * (2 ** number), policy.backoff_cap)
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining - elapsed))
+                if delay > 0:
+                    time.sleep(delay)
+        counters_after = self._source_counters(wrapper)
+        return FetchReply(
+            source=wrapper.name,
+            request=request,
+            records=records,
+            status=status,
+            attempts=tuple(attempts),
+            elapsed=time.perf_counter() - started,
+            index_hits=(
+                counters_after["index_hits"] - counters_before["index_hits"]
+            ),
+            scan_queries=(
+                counters_after["scan_queries"]
+                - counters_before["scan_queries"]
+            ),
+            error=error,
+        )
+
+    @staticmethod
+    def _source_counters(wrapper):
+        source = getattr(wrapper, "source", None)
+        fetch_stats = getattr(source, "fetch_stats", None)
+        if fetch_stats is None:
+            return {"index_hits": 0, "scan_queries": 0}
+        counters = fetch_stats()
+        return {
+            "index_hits": counters.get("index_hits", 0),
+            "scan_queries": counters.get("scan_queries", 0),
+        }
+
+    @staticmethod
+    def _attempt(wrapper, request, timeout):
+        started = time.perf_counter()
+        if timeout is None:
+            try:
+                records = wrapper.fetch(request)
+            except Exception as exc:
+                return (
+                    "error", None, str(exc) or type(exc).__name__,
+                    time.perf_counter() - started,
+                )
+            return "ok", records, None, time.perf_counter() - started
+        box = {}
+
+        def run():
+            try:
+                box["records"] = wrapper.fetch(request)
+            except Exception as exc:  # delivered to the waiting thread
+                box["error"] = exc
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout)
+        elapsed = time.perf_counter() - started
+        if thread.is_alive():
+            return (
+                "timeout", None,
+                f"no reply within {timeout:.3f}s", elapsed,
+            )
+        if "error" in box:
+            exc = box["error"]
+            return "error", None, str(exc) or type(exc).__name__, elapsed
+        return "ok", box.get("records", []), None, elapsed
+
+
+class FlakyWrapper:
+    """Fault-injection proxy around any wrapper.
+
+    Delegates everything to the wrapped wrapper but makes ``fetch``
+    misbehave on demand:
+
+    - ``error_rate`` — deterministic (seeded) fraction of calls that
+      raise :class:`ConnectionError`;
+    - ``latency`` — seconds slept before every call (simulated network
+      round-trip);
+    - ``fail_first`` — the first N calls fail regardless of rate
+      (recovers afterwards: the retry-success scenario);
+    - ``blackout`` — while True every call fails (toggle it to
+      simulate an outage window);
+    - ``blackout_windows`` — ``(first_call, last_call)`` inclusive
+      call-count ranges during which calls fail.
+
+    Counters (``calls``, ``failures``) and the RNG are lock-protected
+    so concurrent fetches inject faults consistently.
+    """
+
+    def __init__(self, wrapper, error_rate=0.0, latency=0.0, fail_first=0,
+                 blackout=False, blackout_windows=(), seed=0):
+        self._wrapped = wrapper
+        self.error_rate = error_rate
+        self.latency = latency
+        self.fail_first = fail_first
+        self.blackout = blackout
+        self.blackout_windows = tuple(blackout_windows)
+        self.calls = 0
+        self.failures = 0
+        self._rng = DeterministicRng(seed)
+        self._mutex = threading.Lock()
+
+    def __getattr__(self, name):
+        return getattr(self._wrapped, name)
+
+    @property
+    def wrapped(self):
+        return self._wrapped
+
+    def fetch(self, request=()):
+        with self._mutex:
+            self.calls += 1
+            number = self.calls
+            fail = self._should_fail(number)
+            if fail:
+                self.failures += 1
+        if self.latency > 0:
+            time.sleep(self.latency)
+        if fail:
+            raise ConnectionError(
+                f"injected fault on {self._wrapped.name} "
+                f"(call {number})"
+            )
+        return self._wrapped.fetch(request)
+
+    def _should_fail(self, number):
+        if self.blackout:
+            return True
+        for first, last in self.blackout_windows:
+            if first <= number <= last:
+                return True
+        if number <= self.fail_first:
+            return True
+        if self.error_rate > 0 and self._rng.random() < self.error_rate:
+            return True
+        return False

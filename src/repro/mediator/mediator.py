@@ -9,6 +9,7 @@ from repro.lorel.engine import LorelEngine
 from repro.matching.mdsm import MdsmMatcher
 from repro.mediator.decompose import QueryDecomposer
 from repro.mediator.executor import Executor
+from repro.mediator.fetch import FederatedFetcher, FederationPolicy
 from repro.mediator.global_schema import GlobalSchema
 from repro.mediator.gml import ROOT_NAME, GmlBuilder
 from repro.mediator.mapping import MappingModule
@@ -24,7 +25,7 @@ class Mediator:
     RESULT_CACHE_SIZE = 32
 
     def __init__(self, global_schema=None, matcher=None,
-                 optimizer_options=None, reconciler=None):
+                 optimizer_options=None, reconciler=None, federation=None):
         self.global_schema = global_schema or GlobalSchema()
         self.mapping_module = MappingModule(
             global_schema=self.global_schema,
@@ -32,6 +33,11 @@ class Mediator:
         )
         self.optimizer_options = optimizer_options or OptimizerOptions()
         self.reconciler = reconciler or Reconciler()
+        #: Concurrency and fault-tolerance knobs of the wrapper
+        #: boundary; one fetcher (and its thread pool) is shared by
+        #: every executor this mediator builds.
+        self.federation = federation or FederationPolicy()
+        self._fetcher = FederatedFetcher(self.federation)
         self._wrappers = {}
         self._registration_order = []
         self._gml_cache = None
@@ -71,11 +77,19 @@ class Mediator:
         self.mapping_module.unregister(source_name)
         self._gml_cache = None
         # A later re-registration under the same name may reuse version
-        # numbers, so its cache entries must not survive it.
+        # numbers, so its cache entries must not survive it — neither
+        # the enrichment/symbol indexes nor whole cached results (both
+        # are keyed on (source name, version), which a different store
+        # registered under the same name can collide with).
         self._fetch_cache = {
             key: value
             for key, value in self._fetch_cache.items()
             if key[1] != source_name
+        }
+        self._result_cache = {
+            key: value
+            for key, value in self._result_cache.items()
+            if all(name != source_name for name, _version in key[2])
         }
 
     def sources(self):
@@ -147,6 +161,7 @@ class Mediator:
         executor = Executor(
             self._wrappers, self.mapping_module, self.reconciler,
             enrichment_cache=self._fetch_cache,
+            fetcher=self._fetcher, policy=self.federation,
         )
         result = executor.execute(plan, query, enrich_links=enrich_links)
         if cache_key is not None:
@@ -168,6 +183,7 @@ class Mediator:
             versions,
             self.optimizer_options,
             self.reconciler.policy,
+            self.federation,
         )
 
     def explain(self, query):

@@ -112,7 +112,9 @@ class SymbolIndex:
         index = cls()
         symbol_field = wrapper.source_field(symbol_label)
         key_field = wrapper.source_field(key_label)
-        for record in wrapper.fetch(()):
+        from repro.mediator.fetch import FetchRequest
+
+        for record in wrapper.fetch(FetchRequest(purpose="symbol-index")):
             entry_id = record[key_field]
             value = record.get(symbol_field)
             symbols = value if isinstance(value, list) else [value]

@@ -1,5 +1,6 @@
 """Following web-links to live records across the federation."""
 
+from repro.mediator.fetch import FetchRequest
 from repro.navigation.links import extract_links, make_web_link, resolve_url
 from repro.oem.graph import OEMGraph
 from repro.util.errors import IntegrationError, QueryError
@@ -72,7 +73,11 @@ class Navigator:
             raise QueryError(
                 f"source {source_name!r} has no navigation key configured"
             )
-        records = wrapper.fetch([(key_label, "=", target_id)])
+        records = wrapper.fetch(
+            FetchRequest(
+                ((key_label, "=", target_id),), purpose="object-view"
+            )
+        )
         if not records:
             raise IntegrationError(
                 f"{source_name} has no record {target_id!r} "

@@ -93,7 +93,7 @@ def render_integrated_view(result, limit=None):
         rows.append(row)
     header = (
         f"Annotation integrated view - {len(result.genes)} genes "
-        f"({result.report.count()} conflicts reconciled)"
+        f"({result.reconciliation.count()} conflicts reconciled)"
     )
     shown = table(headers, rows)
     if limit is not None and len(result.genes) > limit:

@@ -23,6 +23,7 @@ fetch-path machinery the mediator's hot loop depends on:
 """
 
 import abc
+import threading
 from dataclasses import dataclass
 
 from repro.util.errors import QueryError
@@ -164,7 +165,8 @@ class DataSource(abc.ABC):
             self.equality_index(driver.field) if driver is not None else None
         )
         if index is None:
-            counters["scan_queries"] += 1
+            with self._fetch_mutex():
+                counters["scan_queries"] += 1
             matched = []
             for record in self.records():
                 if all(
@@ -173,7 +175,8 @@ class DataSource(abc.ABC):
                 ):
                     matched.append(record)
             return matched
-        counters["index_hits"] += 1
+        with self._fetch_mutex():
+            counters["index_hits"] += 1
         probe_values = driver.value if driver.op == "in" else (driver.value,)
         positions = set()
         for value in probe_values:
@@ -201,7 +204,14 @@ class DataSource(abc.ABC):
         Built lazily on first use, shared until the next mutation
         (``version`` keys the whole index state), and ``None`` when the
         field holds unhashable values — the caller scans instead.
+        Serialized under the per-source fetch mutex: the executor's
+        federated fetcher may probe one source from several worker
+        threads at once.
         """
+        with self._fetch_mutex():
+            return self._equality_index_locked(field)
+
+    def _equality_index_locked(self, field):
         state = self._index_state()
         if field in state["unindexable"]:
             return None
@@ -255,9 +265,19 @@ class DataSource(abc.ABC):
     def _fetchpath_counters(self):
         counters = self.__dict__.get("_fetchpath_counts")
         if counters is None:
-            counters = {"index_hits": 0, "scan_queries": 0}
-            self._fetchpath_counts = counters
+            counters = self.__dict__.setdefault(
+                "_fetchpath_counts", {"index_hits": 0, "scan_queries": 0}
+            )
         return counters
+
+    def _fetch_mutex(self):
+        """Per-source lock guarding index construction and the fetch
+        counters (``__dict__.setdefault`` is atomic, so lazy creation
+        is itself race-free)."""
+        lock = self.__dict__.get("_fetch_lock")
+        if lock is None:
+            lock = self.__dict__.setdefault("_fetch_lock", threading.Lock())
+        return lock
 
     def describe(self):
         """Human-readable source description used by the mediator's

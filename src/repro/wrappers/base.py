@@ -7,6 +7,7 @@ shared here.
 """
 
 import abc
+import warnings
 
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
@@ -131,8 +132,29 @@ class Wrapper(abc.ABC):
 
     # -- fetching -------------------------------------------------------------------
 
-    def fetch(self, conditions=()):
-        """Records satisfying pushed-down conditions, as plain dicts."""
+    def fetch(self, request=()):
+        """Records satisfying a :class:`~repro.mediator.fetch.FetchRequest`.
+
+        The canonical argument is a ``FetchRequest`` (anything exposing
+        a ``conditions`` attribute of ``(label, op, value)`` triples —
+        duck-typed so this module never imports the mediator layer).
+        Passing a raw condition sequence still works but is deprecated;
+        the shim exists only for pre-FetchRequest callers.
+        """
+        conditions = getattr(request, "conditions", None)
+        if conditions is None:
+            warnings.warn(
+                "passing raw condition sequences to Wrapper.fetch() is "
+                "deprecated; pass a repro.mediator.fetch.FetchRequest",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            conditions = tuple(request)
+        return self._fetch_native(conditions)
+
+    def _fetch_native(self, conditions):
+        """The pushdown fetch behind :meth:`fetch` (no shim, no
+        deprecation — internal callers pass condition triples)."""
         return self.source.native_query(self.translate_conditions(conditions))
 
     def count(self):
@@ -178,7 +200,9 @@ class Wrapper(abc.ABC):
         """
         graph = graph if graph is not None else OEMGraph(self.name.lower())
         root = graph.new_complex()
-        records = self.fetch(conditions)
+        records = self._fetch_native(
+            getattr(conditions, "conditions", conditions)
+        )
         if limit is not None:
             records = records[:limit]
         for record in records:

@@ -38,7 +38,7 @@ def test_figure5b_exact_under_conflicts(conflict_rate):
     assert set(result.gene_ids()) == (
         annoda.corpus.ground_truth.figure5b_expected()
     )
-    assert result.report.count() > 0
+    assert result.reconciliation.count() > 0
 
 
 class TestCompoundQueries:

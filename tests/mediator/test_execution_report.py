@@ -1,0 +1,84 @@
+"""The unified ExecutionReport exposed as ``IntegratedResult.report``."""
+
+import pytest
+
+from repro.mediator import GlobalQuery, LinkConstraint
+from repro.mediator.decompose import Condition
+from repro.mediator.executor import ExecutionReport, SourceReport
+
+QUERY = GlobalQuery(
+    anchor_source="LocusLink",
+    links=(
+        LinkConstraint(
+            "GO",
+            "include",
+            via="AnnotationID",
+            conditions=(Condition("Aspect", "=", "molecular_function"),),
+        ),
+    ),
+)
+
+
+@pytest.fixture()
+def result(mediator):
+    return mediator.query(QUERY)
+
+
+class TestUnifiedAccounting:
+    def test_report_is_an_execution_report(self, result):
+        assert isinstance(result.report, ExecutionReport)
+
+    def test_counters_reachable_through_the_report(self, result):
+        report = result.report
+        assert report.total_rows_fetched() > 0
+        assert report.index_hits + report.scan_fetches > 0
+        assert report.wall_seconds > 0
+        assert report.retries == 0
+        assert report.timeouts == 0
+
+    def test_per_source_reports(self, result):
+        sources = result.report.sources
+        assert "LocusLink" in sources
+        assert "GO" in sources
+        for report in sources.values():
+            assert isinstance(report, SourceReport)
+            assert report.status == "ok"
+            assert report.fetches >= 1
+            assert report.attempts >= report.fetches
+            assert report.seconds >= 0
+
+    def test_clean_run_is_ok_with_no_degradation(self, result):
+        assert result.report.ok
+        assert result.report.degraded == ()
+
+    def test_reconciliation_nested_under_the_report(self, result):
+        assert result.report.reconciliation is result.reconciliation
+
+    def test_describe_renders_every_source(self, result):
+        text = result.report.describe()
+        assert "execution report:" in text
+        assert "LocusLink" in text and "GO" in text
+        assert "retries 0" in text
+
+    def test_unknown_attribute_still_raises(self, result):
+        with pytest.raises(AttributeError):
+            result.report.no_such_counter
+
+
+class TestDeprecatedAccess:
+    def test_stats_alias_still_works(self, result):
+        assert result.stats.total_rows_fetched() == (
+            result.report.total_rows_fetched()
+        )
+
+    def test_reconciliation_methods_delegate_with_warning(self, result):
+        with pytest.warns(DeprecationWarning):
+            assert result.report.count() == result.reconciliation.count()
+        with pytest.warns(DeprecationWarning):
+            assert result.report.repaired_count() == (
+                result.reconciliation.repaired_count()
+            )
+        with pytest.warns(DeprecationWarning):
+            assert result.report.render() == (
+                result.reconciliation.render()
+            )

@@ -240,7 +240,7 @@ class TestReconciliationInExecution:
         }
         for gene in result.genes:
             assert not set(gene["_links"]["GO"]) & obsolete
-        assert result.report.count("obsolete_annotation") > 0
+        assert result.reconciliation.count("obsolete_annotation") > 0
 
     def test_dangling_references_reported(self, conflicted_mediator):
         query = GlobalQuery(
@@ -250,7 +250,7 @@ class TestReconciliationInExecution:
             ),
         )
         result = conflicted_mediator.query(query, enrich_links=False)
-        assert result.report.count("dangling_disease") > 0
+        assert result.reconciliation.count("dangling_disease") > 0
 
 
 class TestStats:
