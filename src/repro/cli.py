@@ -52,6 +52,14 @@ def build_parser():
             "(see 'snapshot') instead of generating a corpus"
         ),
     )
+    parser.add_argument(
+        "--snapshot-dir",
+        help=(
+            "like --data-dir, but also adopt the snapshot's persisted "
+            "equality indexes for a cheap cold start (invalid index "
+            "files fall back to lazy rebuild with a warning)"
+        ),
+    )
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -96,9 +104,17 @@ def build_parser():
 
     snapshot = commands.add_parser(
         "snapshot",
-        help="write the federation's data to flat files on disk",
+        help=(
+            "write the federation's data to flat files on disk, plus "
+            "persisted equality indexes for cheap cold starts"
+        ),
     )
     snapshot.add_argument("directory")
+    snapshot.add_argument(
+        "--no-indexes",
+        action="store_true",
+        help="skip the per-source index snapshots (data files only)",
+    )
 
     validate = commands.add_parser(
         "validate",
@@ -113,8 +129,10 @@ def build_parser():
 
 
 def _build_annoda(args):
+    if args.snapshot_dir:
+        return Annoda.from_directory(args.snapshot_dir, adopt_indexes=True)
     if args.data_dir:
-        return Annoda.from_directory(args.data_dir)
+        return Annoda.from_directory(args.data_dir, adopt_indexes=False)
     parameters = CorpusParameters(
         loci=args.loci,
         go_terms=args.go_terms,
@@ -217,11 +235,18 @@ def main(argv=None, out=None):
         elif args.command == "figures":
             _command_figures(annoda, args, out)
         elif args.command == "snapshot":
-            manifest = annoda.save(args.directory)
+            manifest = annoda.save(
+                args.directory, indexes=not args.no_indexes
+            )
             for name, entry in sorted(manifest["sources"].items()):
+                suffix = (
+                    f" + index snapshot {entry['index']['file']}"
+                    if "index" in entry
+                    else ""
+                )
                 print(
                     f"wrote {entry['file']} ({entry['records']} "
-                    f"{name} records)",
+                    f"{name} records){suffix}",
                     file=out,
                 )
         elif args.command == "validate":

@@ -75,25 +75,32 @@ class Annoda:
         return annoda
 
     @classmethod
-    def from_directory(cls, directory, config=None):
+    def from_directory(cls, directory, config=None, adopt_indexes=True):
         """An instance federating the flat-file sources persisted in
-        ``directory`` (see :mod:`repro.sources.persistence`)."""
+        ``directory`` (see :mod:`repro.sources.persistence`).
+
+        ``adopt_indexes`` (default on) installs any valid persisted
+        equality-index snapshots, making the cold start cheap; an
+        invalid snapshot warns and rebuilds lazily instead.
+        """
         from repro.sources.persistence import load_stores, wrappers_for
 
         annoda = cls(config=config)
-        for wrapper in wrappers_for(load_stores(directory)):
+        stores = load_stores(directory, adopt_indexes=adopt_indexes)
+        for wrapper in wrappers_for(stores):
             annoda.add_source(wrapper)
         return annoda
 
-    def save(self, directory):
+    def save(self, directory, indexes=True):
         """Persist every registered source's data to ``directory`` as
-        flat files in its native format."""
+        flat files in its native format, plus (by default) each
+        store's equality-index snapshot for cheap cold starts."""
         from repro.sources.persistence import save_stores
 
         stores = [
             self.mediator.wrapper(name).source for name in self.sources()
         ]
-        return save_stores(stores, directory)
+        return save_stores(stores, directory, indexes=indexes)
 
     # -- source management -----------------------------------------------------------
 

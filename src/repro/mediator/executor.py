@@ -62,6 +62,12 @@ class ExecutionStats:
     #: queries answered from an equality index vs by scanning.
     index_hits: int = 0
     scan_fetches: int = 0
+    #: Cold-start accounting: equality indexes this execution had to
+    #: (re)build by scanning an extent vs indexes the sources adopted
+    #: from a persisted snapshot (``repro.sources.persistence``) while
+    #: this execution ran.  A warm federation shows 0/0.
+    indexes_rebuilt: int = 0
+    indexes_adopted: int = 0
     #: Batched ``in`` fetches the executor issued instead of per-id
     #: fetch loops (semijoin anchors, enrichment detail).
     batched_fetches: int = 0
@@ -172,6 +178,8 @@ class ExecutionReport:
             f"{stats.scan_fetches} / batched fetches "
             f"{stats.batched_fetches} / enrichment cache hits "
             f"{stats.enrichment_cache_hits}",
+            f"  cold start: {stats.indexes_rebuilt} index(es) rebuilt, "
+            f"{stats.indexes_adopted} adopted from snapshot",
             f"  retries {stats.retries} / timeouts {stats.timeouts} / "
             f"concurrent batches {stats.concurrent_batches}",
         ]
@@ -328,7 +336,12 @@ class Executor:
     def _fetchpath_snapshot(self):
         """Cumulative per-source index/scan counters, summed over the
         federation (executions compute deltas against it)."""
-        totals = {"index_hits": 0, "scan_queries": 0}
+        totals = {
+            "index_hits": 0,
+            "scan_queries": 0,
+            "index_builds": 0,
+            "index_adoptions": 0,
+        }
         for wrapper in self.wrappers.values():
             source = getattr(wrapper, "source", None)
             fetch_stats = getattr(source, "fetch_stats", None)
@@ -455,6 +468,13 @@ class Executor:
         )
         stats.scan_fetches = (
             counters_after["scan_queries"] - counters_before["scan_queries"]
+        )
+        stats.indexes_rebuilt = (
+            counters_after["index_builds"] - counters_before["index_builds"]
+        )
+        stats.indexes_adopted = (
+            counters_after["index_adoptions"]
+            - counters_before["index_adoptions"]
         )
         stats.wall_seconds = time.perf_counter() - started
         return IntegratedResult(graph, root, genes, report, stats, plan)

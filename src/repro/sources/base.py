@@ -18,15 +18,34 @@ fetch-path machinery the mediator's hot loop depends on:
   once, which the executor uses to collapse N+1 per-id fetches into a
   single batched fetch.
 - **fetch counters** — cumulative ``index_hits``/``scan_queries``
-  accounting the executor snapshots into
+  (plus cold-start ``index_builds``/``index_adoptions``) accounting
+  the executor snapshots into
   :class:`~repro.mediator.executor.ExecutionStats`.
+- **persistent index snapshots** — ``export_index_state`` /
+  ``adopt_index_state`` move the whole version-keyed index state
+  across processes, so a store reloaded from disk
+  (:mod:`repro.sources.persistence`) answers its first indexed query
+  without any extent scan.
 """
 
 import abc
 import threading
+import warnings
 from dataclasses import dataclass
 
 from repro.util.errors import QueryError
+
+#: Layout version of the serializable equality-index state produced by
+#: :meth:`DataSource.export_index_state`.  Bumped whenever the exported
+#: structure changes shape; :meth:`DataSource.adopt_index_state`
+#: refuses any other version and the caller rebuilds lazily.
+INDEX_STATE_SCHEMA = 1
+
+#: Version of the fetch-path counter set (``fetch_stats`` keys).
+#: Persisted index snapshots record it so a snapshot written by a
+#: *newer* code line — whose counters this line cannot interpret — is
+#: rejected instead of half-adopted.
+FETCH_COUNTER_SCHEMA = 2
 
 #: Comparison operators a source may support natively.  ``in`` is the
 #: batched form of ``=``: any source that evaluates ``field = value``
@@ -235,11 +254,108 @@ class DataSource(abc.ABC):
                 state["unindexable"].add(field)
                 return None
             state["fields"][field] = index
+            self._fetchpath_counters()["index_builds"] += 1
         return index
 
+    # -- persistent index snapshots ------------------------------------------
+
+    def export_index_state(self):
+        """The equality-index state as one serializable plain dict.
+
+        Forces every :meth:`indexed_fields` index to build first, so
+        the export is complete, then returns a structure holding no
+        live references into the store — safe to pickle and adopt into
+        another store holding *identical* records (same content, same
+        ``records()`` order): the persisted positions index into that
+        shared order.  The envelope carries ``schema``, ``version``,
+        ``record_count`` and the counter-set version, which
+        :meth:`adopt_index_state` validates.
+        """
+        with self._fetch_mutex():
+            for field in self.indexed_fields():
+                self._equality_index_locked(field)
+            state = self._index_state()
+            return {
+                "schema": INDEX_STATE_SCHEMA,
+                "counter_schema": FETCH_COUNTER_SCHEMA,
+                "source": self.name,
+                "version": self.version,
+                "record_count": self.count(),
+                "fields": {
+                    field: {
+                        key: tuple(positions)
+                        for key, positions in index.items()
+                    }
+                    for field, index in state["fields"].items()
+                },
+                "unindexable": sorted(state["unindexable"]),
+            }
+
+    def adopt_index_state(self, state):
+        """Install a previously exported index state, skipping the
+        per-field extent scans of a cold start.
+
+        Returns ``True`` on adoption, ``False`` on any mismatch —
+        wrong source name, schema or counter-set from the future,
+        record count disagreeing with the live extent, or a malformed
+        payload — in which case the store is left untouched and
+        indexes rebuild lazily as before.  Never raises.
+
+        Deep validity of the key/position structure is the caller's
+        responsibility: the persistence layer only hands over payloads
+        whose content digest ties them to the exact flat file the
+        store was parsed from.  Runs under the same per-source fetch
+        mutex as ``_equality_index_locked``, so adoption is safe while
+        federated worker threads are probing.
+        """
+        with self._fetch_mutex():
+            return self._adopt_index_state_locked(state)
+
+    def _adopt_index_state_locked(self, state):
+        try:
+            if state.get("schema") != INDEX_STATE_SCHEMA:
+                return False
+            if state.get("counter_schema", 0) > FETCH_COUNTER_SCHEMA:
+                return False
+            if state.get("source") != self.name:
+                return False
+            if state.get("record_count") != self.count():
+                return False
+            fields = {
+                field: dict(index)
+                for field, index in state["fields"].items()
+            }
+            unindexable = set(state.get("unindexable", ()))
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return False
+        self._fetch_index_state = {
+            "version": self.version,
+            "snapshot": None,
+            "fields": fields,
+            "unindexable": unindexable,
+        }
+        self._fetchpath_counters()["index_adoptions"] += len(fields)
+        return True
+
+    def _adopt_or_warn(self, index_state):
+        """Constructor-path adoption: mismatches warn instead of
+        failing the build (the fallback is always a correct store)."""
+        if index_state is None:
+            return
+        if not self.adopt_index_state(index_state):
+            warnings.warn(
+                f"{self.name}: persisted index state does not match "
+                "this store; indexes will be rebuilt lazily",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def fetch_stats(self):
-        """Cumulative fetch-path counters: how many native queries were
-        answered from an equality index vs by scanning."""
+        """Cumulative fetch-path counters: native queries answered
+        from an equality index vs by scanning, plus cold-start
+        accounting — field indexes built by an extent scan
+        (``index_builds``) vs adopted from a persisted snapshot
+        (``index_adoptions``)."""
         return dict(self._fetchpath_counters())
 
     def _index_state(self):
@@ -266,7 +382,13 @@ class DataSource(abc.ABC):
         counters = self.__dict__.get("_fetchpath_counts")
         if counters is None:
             counters = self.__dict__.setdefault(
-                "_fetchpath_counts", {"index_hits": 0, "scan_queries": 0}
+                "_fetchpath_counts",
+                {
+                    "index_hits": 0,
+                    "scan_queries": 0,
+                    "index_builds": 0,
+                    "index_adoptions": 0,
+                },
             )
         return counters
 

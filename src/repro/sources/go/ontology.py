@@ -49,13 +49,14 @@ class GoOntology(DataSource):
     def indexed_fields(self):
         return self._INDEXED_FIELDS
 
-    def __init__(self, terms=()):
+    def __init__(self, terms=(), index_state=None):
         self._terms = {}
         self._children = {}
         self._version = 0
         self._ancestor_cache = {}
         for term in terms:
             self.add(term)
+        self._adopt_or_warn(index_state)
 
     # -- DataSource contract ---------------------------------------------------
 
@@ -227,8 +228,8 @@ class GoOntology(DataSource):
         return write_obo(self.all_terms())
 
     @classmethod
-    def from_text(cls, text):
-        ontology = cls(parse_obo(text))
+    def from_text(cls, text, index_state=None):
+        ontology = cls(parse_obo(text), index_state=index_state)
         problems = ontology.validate()
         if problems:
             raise DataFormatError(

@@ -62,12 +62,13 @@ class LocusLinkStore(DataSource):
     def indexed_fields(self):
         return self._INDEXED_FIELDS
 
-    def __init__(self, records=()):
+    def __init__(self, records=(), index_state=None):
         self._by_id = {}
         self._by_symbol = {}
         self._version = 0
         for record in records:
             self.add(record)
+        self._adopt_or_warn(index_state)
 
     # -- DataSource contract -------------------------------------------------
 
@@ -133,6 +134,8 @@ class LocusLinkStore(DataSource):
         return write_ll_tmpl(self.all_records())
 
     @classmethod
-    def from_text(cls, text):
-        """Build a store by parsing LL_tmpl text."""
-        return cls(parse_ll_tmpl(text))
+    def from_text(cls, text, index_state=None):
+        """Build a store by parsing LL_tmpl text; ``index_state`` (a
+        matching :meth:`~repro.sources.base.DataSource.export_index_state`
+        snapshot) skips the cold-start index rebuild."""
+        return cls(parse_ll_tmpl(text), index_state=index_state)

@@ -32,12 +32,13 @@ class OmimStore(DataSource):
     def indexed_fields(self):
         return self._INDEXED_FIELDS
 
-    def __init__(self, records=()):
+    def __init__(self, records=(), index_state=None):
         self._by_mim = {}
         self._by_symbol = {}
         self._version = 0
         for record in records:
             self.add(record)
+        self._adopt_or_warn(index_state)
 
     # -- DataSource contract ----------------------------------------------------
 
@@ -91,5 +92,5 @@ class OmimStore(DataSource):
         return write_omim_txt(self.all_records())
 
     @classmethod
-    def from_text(cls, text):
-        return cls(parse_omim_txt(text))
+    def from_text(cls, text, index_state=None):
+        return cls(parse_omim_txt(text), index_state=index_state)

@@ -128,12 +128,13 @@ class CitationStore(DataSource):
     def indexed_fields(self):
         return self._INDEXED_FIELDS
 
-    def __init__(self, citations=()):
+    def __init__(self, citations=(), index_state=None):
         self._by_pmid = {}
         self._by_locus = {}
         self._version = 0
         for citation in citations:
             self.add(citation)
+        self._adopt_or_warn(index_state)
 
     # -- DataSource contract ---------------------------------------------------
 
@@ -179,5 +180,5 @@ class CitationStore(DataSource):
         return write_medline(self.all_citations())
 
     @classmethod
-    def from_text(cls, text):
-        return cls(parse_medline(text))
+    def from_text(cls, text, index_state=None):
+        return cls(parse_medline(text), index_state=index_state)

@@ -201,12 +201,13 @@ class ProteinStore(DataSource):
     def indexed_fields(self):
         return self._INDEXED_FIELDS
 
-    def __init__(self, records=()):
+    def __init__(self, records=(), index_state=None):
         self._by_accession = {}
         self._by_locus = {}
         self._version = 0
         for record in records:
             self.add(record)
+        self._adopt_or_warn(index_state)
 
     # -- DataSource contract --------------------------------------------------
 
@@ -258,5 +259,5 @@ class ProteinStore(DataSource):
         return write_dat(self.all_records())
 
     @classmethod
-    def from_text(cls, text):
-        return cls(parse_dat(text))
+    def from_text(cls, text, index_state=None):
+        return cls(parse_dat(text), index_state=index_state)

@@ -182,3 +182,45 @@ class TestSnapshotAndDataDir:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_snapshot_writes_index_files(self, tmp_path):
+        target = tmp_path / "federation"
+        code, text = run_cli(["snapshot", str(target)])
+        assert code == 0
+        assert "index snapshot locuslink.ll_tmpl.idx" in text
+        assert (target / "locuslink.ll_tmpl.idx").is_file()
+
+    def test_snapshot_no_indexes_flag(self, tmp_path):
+        target = tmp_path / "federation"
+        code, text = run_cli(["snapshot", str(target), "--no-indexes"])
+        assert code == 0
+        assert "index snapshot" not in text
+        assert not list(target.glob("*.idx"))
+
+    def test_snapshot_dir_adopts_persisted_indexes(self, tmp_path):
+        target = str(tmp_path / "federation")
+        run_cli(["snapshot", target])
+        out = io.StringIO()
+        code = main(
+            [
+                "--snapshot-dir", target,
+                "ask", "find genes associated with some OMIM disease",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "Annotation integrated view" in out.getvalue()
+
+    def test_snapshot_dir_warns_but_answers_on_corrupt_index(
+        self, tmp_path
+    ):
+        target = tmp_path / "federation"
+        run_cli(["snapshot", str(target)])
+        (target / "locuslink.ll_tmpl.idx").write_bytes(b"garbage")
+        out = io.StringIO()
+        with pytest.warns(RuntimeWarning, match="rebuilt lazily"):
+            code = main(
+                ["--snapshot-dir", str(target), "describe"], out=out
+            )
+        assert code == 0
+        assert "LocusLink: 60 records" in out.getvalue()

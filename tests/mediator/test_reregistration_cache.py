@@ -130,3 +130,43 @@ class TestReRegistrationFreshness:
         go_rows = result.report.sources["GO"].rows
         assert go_rows >= 0  # accounting present for the fresh source
         assert result.report.ok
+
+    def test_reregistering_from_persisted_snapshot_serves_fresh_results(
+        self, tmp_path
+    ):
+        """Regression: swapping a live federation for one reloaded from
+        a persisted snapshot (adopted indexes and all) must answer from
+        the snapshot's data, not the evicted caches — and the adopted
+        indexes mean the swap costs zero rebuilds."""
+        from repro.sources.persistence import (
+            load_stores,
+            save_corpus,
+            wrappers_for,
+        )
+
+        corpus = _fresh_corpus(13)
+        other = _other_corpus()
+        mediator = Mediator()
+        for wrapper in default_wrappers(corpus):
+            mediator.register_wrapper(wrapper)
+        first = mediator.query(QUERY)
+
+        save_corpus(other, tmp_path)
+        loaded = load_stores(tmp_path)
+        for name in list(mediator.sources()):
+            mediator.unregister_source(name)
+        for wrapper in wrappers_for(loaded):
+            mediator.register_wrapper(wrapper)
+
+        second = mediator.query(QUERY)
+        assert second is not first
+        assert _snapshot(second) == _snapshot(_ground_truth(other))
+        # Every equality probe the query ran was served by an adopted
+        # index — the cold start rebuilt nothing.
+        assert (
+            sum(
+                store.fetch_stats()["index_builds"]
+                for store in loaded.values()
+            )
+            == 0
+        )

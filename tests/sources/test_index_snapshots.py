@@ -1,0 +1,372 @@
+"""Persistent equality-index snapshots: round trip, validation,
+corruption fallback, and cold-start accounting.
+
+The contract under test (DESIGN §9): a store reloaded from a snapshot
+with a valid persisted index state answers every indexed query
+oid-for-oid identically to the in-memory original *without a single
+index rebuild*; any mismatch or corruption — truncated file, digest
+mismatch, stale version, future schema — falls back to lazy rebuild
+with a warning, never a wrong answer, never a crash.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.sources.base import (
+    FETCH_COUNTER_SCHEMA,
+    INDEX_STATE_SCHEMA,
+    NativeCondition,
+)
+from repro.sources.persistence import (
+    MANIFEST_NAME,
+    _REGISTRY,
+    adopt_persisted_indexes,
+    load_manifest,
+    load_stores,
+    save_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return AnnotationCorpus.generate(
+        seed=181,
+        parameters=CorpusParameters(loci=60, go_terms=40, omim_entries=20),
+    )
+
+
+@pytest.fixture(scope="module")
+def originals(corpus):
+    """All five stores, with citations wired before any index exists
+    (citation generation mutates locus records in place)."""
+    citations = corpus.make_citation_store(count=40)
+    proteins = corpus.make_protein_store()
+    return {
+        store.name: store
+        for store in list(corpus.sources()) + [citations, proteins]
+    }
+
+
+@pytest.fixture()
+def snapshot_dir(originals, corpus, tmp_path):
+    save_corpus(
+        corpus,
+        tmp_path,
+        citations=originals["PubMed"],
+        proteins=originals["SwissProt"],
+    )
+    return tmp_path
+
+
+def _present_values(store, field, limit=3):
+    """Up to ``limit`` distinct live values of an indexed field."""
+    values = []
+    for record in store.records():
+        value = record.get(field)
+        items = value if isinstance(value, (list, tuple)) else [value]
+        for item in items:
+            if item is not None and item not in values:
+                values.append(item)
+        if len(values) >= limit:
+            break
+    return values[:limit]
+
+
+def _probe_conditions(store):
+    """One ``=`` and one ``in`` probe per indexed field with data."""
+    probes = []
+    for field in store.indexed_fields():
+        values = _present_values(store, field)
+        if not values:
+            continue
+        probes.append(NativeCondition(field, "=", values[0]))
+        probes.append(
+            NativeCondition(field, "in", tuple(values) + ("##no-such##",))
+        )
+    return probes
+
+
+def _assert_identical_answers(fresh, original):
+    for condition in _probe_conditions(original):
+        assert fresh.native_query([condition]) == original.native_query(
+            [condition]
+        ), condition.render()
+
+
+class TestExportAdopt:
+    def test_round_trip_identical_answers_all_five_stores(self, originals):
+        for name, original in originals.items():
+            state = original.export_index_state()
+            _file, store_class = _REGISTRY[name]
+            fresh = store_class.from_text(original.dump())
+            assert fresh.adopt_index_state(state), name
+            _assert_identical_answers(fresh, original)
+            stats = fresh.fetch_stats()
+            assert stats["index_builds"] == 0, name
+            assert stats["index_adoptions"] == len(state["fields"]), name
+
+    def test_constructor_and_from_text_adopt(self, originals):
+        for name, original in originals.items():
+            state = original.export_index_state()
+            _file, store_class = _REGISTRY[name]
+            fresh = store_class.from_text(
+                original.dump(), index_state=state
+            )
+            _assert_identical_answers(fresh, original)
+            assert fresh.fetch_stats()["index_builds"] == 0
+
+    def test_constructor_warns_on_mismatched_state(self, originals):
+        original = originals["LocusLink"]
+        state = original.export_index_state()
+        state["record_count"] += 1
+        _file, store_class = _REGISTRY["LocusLink"]
+        with pytest.warns(RuntimeWarning, match="rebuilt lazily"):
+            fresh = store_class.from_text(
+                original.dump(), index_state=state
+            )
+        _assert_identical_answers(fresh, original)
+        assert fresh.fetch_stats()["index_adoptions"] == 0
+
+    def test_adopt_rejects_wrong_record_count(self, originals):
+        original = originals["OMIM"]
+        state = original.export_index_state()
+        state["record_count"] -= 1
+        fresh = _REGISTRY["OMIM"][1].from_text(original.dump())
+        assert not fresh.adopt_index_state(state)
+        _assert_identical_answers(fresh, original)
+
+    def test_adopt_rejects_wrong_source(self, originals):
+        state = originals["LocusLink"].export_index_state()
+        assert not originals["OMIM"].adopt_index_state(state)
+
+    def test_adopt_rejects_future_schema(self, originals):
+        state = originals["GO"].export_index_state()
+        state["schema"] = INDEX_STATE_SCHEMA + 1
+        fresh = _REGISTRY["GO"][1].from_text(originals["GO"].dump())
+        assert not fresh.adopt_index_state(state)
+
+    def test_adopt_rejects_future_counter_schema(self, originals):
+        state = originals["GO"].export_index_state()
+        state["counter_schema"] = FETCH_COUNTER_SCHEMA + 1
+        fresh = _REGISTRY["GO"][1].from_text(originals["GO"].dump())
+        assert not fresh.adopt_index_state(state)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [None, "not a dict", 7, {}, {"schema": INDEX_STATE_SCHEMA},
+         {"schema": INDEX_STATE_SCHEMA, "counter_schema": 0,
+          "source": "PubMed", "record_count": 40, "fields": 5}],
+    )
+    def test_adopt_never_raises_on_garbage(self, originals, garbage):
+        fresh = _REGISTRY["PubMed"][1].from_text(originals["PubMed"].dump())
+        assert fresh.adopt_index_state(garbage) is False
+        _assert_identical_answers(fresh, originals["PubMed"])
+
+    def test_mutation_discards_adopted_state(self, originals):
+        from repro.sources.pubmedlike.citation import Citation
+
+        original = originals["PubMed"]
+        fresh = _REGISTRY["PubMed"][1].from_text(
+            original.dump(), index_state=original.export_index_state()
+        )
+        assert fresh.fetch_stats()["index_builds"] == 0
+        fresh.add(
+            Citation(pmid=999_999, title="late arrival",
+                     journal="Nature", year=2004, locus_ids=[])
+        )
+        [hit] = fresh.native_query(
+            [NativeCondition("Pmid", "=", 999_999)]
+        )
+        assert hit["Title"] == "late arrival"
+        # The version bump discarded the adopted state: the index that
+        # answered was rebuilt over the mutated extent.
+        assert fresh.fetch_stats()["index_builds"] >= 1
+
+    def test_adopted_index_is_thread_safe(self, originals):
+        original = originals["LocusLink"]
+        fresh = _REGISTRY["LocusLink"][1].from_text(
+            original.dump(), index_state=original.export_index_state()
+        )
+        probes = _probe_conditions(original)
+        expected = [original.native_query([probe]) for probe in probes]
+        failures = []
+
+        def worker():
+            for probe, want in zip(probes, expected):
+                if fresh.native_query([probe]) != want:
+                    failures.append(probe.render())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+class TestPersistedSnapshots:
+    def test_save_writes_index_files_and_manifest_keys(
+        self, snapshot_dir, originals
+    ):
+        manifest = load_manifest(snapshot_dir)
+        for name, entry in manifest["sources"].items():
+            index = entry["index"]
+            assert (snapshot_dir / index["file"]).is_file()
+            assert index["schema"] == INDEX_STATE_SCHEMA
+            assert index["version"] == originals[name].version
+            assert len(index["digest"]) == 64
+            assert len(index["data_digest"]) == 64
+
+    def test_load_adopts_with_zero_rebuilds(self, snapshot_dir, originals):
+        stores = load_stores(snapshot_dir)
+        for name, original in originals.items():
+            _assert_identical_answers(stores[name], original)
+        assert (
+            sum(s.fetch_stats()["index_builds"] for s in stores.values())
+            == 0
+        )
+        assert all(
+            s.fetch_stats()["index_adoptions"] > 0 for s in stores.values()
+        )
+
+    def test_save_without_indexes(self, corpus, originals, tmp_path):
+        manifest = save_corpus(
+            corpus, tmp_path,
+            citations=originals["PubMed"],
+            proteins=originals["SwissProt"],
+            indexes=False,
+        )
+        assert all(
+            "index" not in entry for entry in manifest["sources"].values()
+        )
+        assert not list(tmp_path.glob("*.idx"))
+        stores = load_stores(tmp_path)
+        _assert_identical_answers(
+            stores["LocusLink"], originals["LocusLink"]
+        )
+
+    def test_adopt_persisted_indexes_explicitly(
+        self, snapshot_dir, originals
+    ):
+        stores = load_stores(snapshot_dir, adopt_indexes=False)
+        assert all(
+            s.fetch_stats()["index_adoptions"] == 0
+            for s in stores.values()
+        )
+        adopted = adopt_persisted_indexes(snapshot_dir, stores)
+        assert adopted == {name: True for name in originals}
+        _assert_identical_answers(stores["OMIM"], originals["OMIM"])
+        assert stores["OMIM"].fetch_stats()["index_builds"] == 0
+
+
+def _edit_manifest(directory, mutate):
+    manifest = load_manifest(directory)
+    mutate(manifest)
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest), encoding="utf-8"
+    )
+
+
+class TestCorruptionFallback:
+    """Every corruption falls back to lazy rebuild: a warning, then
+    answers identical to a fresh parse — never stale index data."""
+
+    def _assert_falls_back(self, directory, originals, source="LocusLink"):
+        with pytest.warns(RuntimeWarning, match="rebuilt lazily"):
+            stores = load_stores(directory)
+        fresh = stores[source]
+        assert fresh.fetch_stats()["index_adoptions"] == 0
+        _assert_identical_answers(fresh, originals[source])
+        assert fresh.fetch_stats()["index_builds"] > 0
+        return stores
+
+    def test_truncated_index_file(self, snapshot_dir, originals):
+        path = snapshot_dir / "locuslink.ll_tmpl.idx"
+        path.write_bytes(path.read_bytes()[:64])
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_tampered_index_file(self, snapshot_dir, originals):
+        path = snapshot_dir / "locuslink.ll_tmpl.idx"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_missing_index_file(self, snapshot_dir, originals):
+        (snapshot_dir / "locuslink.ll_tmpl.idx").unlink()
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_stale_version(self, snapshot_dir, originals):
+        _edit_manifest(
+            snapshot_dir,
+            lambda m: m["sources"]["LocusLink"]["index"].__setitem__(
+                "version",
+                m["sources"]["LocusLink"]["index"]["version"] + 1,
+            ),
+        )
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_future_index_schema(self, snapshot_dir, originals):
+        _edit_manifest(
+            snapshot_dir,
+            lambda m: m["sources"]["LocusLink"]["index"].__setitem__(
+                "schema", 99
+            ),
+        )
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_undecodable_payload_with_matching_digest(
+        self, snapshot_dir, originals
+    ):
+        import hashlib
+
+        garbage = b"\x80\x05definitely not a pickle"
+        (snapshot_dir / "locuslink.ll_tmpl.idx").write_bytes(garbage)
+        _edit_manifest(
+            snapshot_dir,
+            lambda m: m["sources"]["LocusLink"]["index"].__setitem__(
+                "digest", hashlib.sha256(garbage).hexdigest()
+            ),
+        )
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_payload_for_wrong_store_with_matching_digest(
+        self, snapshot_dir, originals
+    ):
+        import hashlib
+
+        blob = pickle.dumps(originals["OMIM"].export_index_state())
+        (snapshot_dir / "locuslink.ll_tmpl.idx").write_bytes(blob)
+        _edit_manifest(
+            snapshot_dir,
+            lambda m: m["sources"]["LocusLink"]["index"].update(
+                digest=hashlib.sha256(blob).hexdigest(),
+                version=originals["OMIM"].version,
+            ),
+        )
+        self._assert_falls_back(snapshot_dir, originals)
+
+    def test_flat_file_edited_after_snapshot_never_serves_stale_index(
+        self, snapshot_dir, originals
+    ):
+        """The key correctness case: the data changed underneath the
+        index.  The edited file must answer from its *own* content."""
+        path = snapshot_dir / "locuslink.ll_tmpl"
+        text = path.read_text(encoding="utf-8")
+        symbol = originals["LocusLink"].records()[0]["Symbol"]
+        edited = text.replace(symbol, "ZZT9X")
+        assert edited != text
+        path.write_text(edited, encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="flat file changed"):
+            stores = load_stores(snapshot_dir)
+        fresh = stores["LocusLink"]
+        assert fresh.native_query(
+            [NativeCondition("Symbol", "=", "ZZT9X")]
+        ), "edited content must be queryable"
+        assert not fresh.native_query(
+            [NativeCondition("Symbol", "=", symbol)]
+        ), "stale index must not resurrect the old symbol"

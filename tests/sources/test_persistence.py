@@ -71,6 +71,27 @@ class TestSaveLoad:
         ]
 
 
+    def test_citations_only_round_trip(self, corpus, tmp_path):
+        citations = corpus.make_citation_store(count=25)
+        manifest = save_corpus(corpus, tmp_path, citations=citations)
+        assert set(manifest["sources"]) == {
+            "LocusLink", "GO", "OMIM", "PubMed",
+        }
+        stores = load_stores(tmp_path)
+        assert stores["PubMed"].dump() == citations.dump()
+        assert stores["PubMed"].count() == citations.count()
+
+    def test_proteins_only_round_trip(self, corpus, tmp_path):
+        proteins = corpus.make_protein_store()
+        manifest = save_corpus(corpus, tmp_path, proteins=proteins)
+        assert set(manifest["sources"]) == {
+            "LocusLink", "GO", "OMIM", "SwissProt",
+        }
+        stores = load_stores(tmp_path)
+        assert stores["SwissProt"].dump() == proteins.dump()
+        assert stores["SwissProt"].count() == proteins.count()
+
+
 class TestCorruptionHandling:
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(DataFormatError):
@@ -80,6 +101,17 @@ class TestCorruptionHandling:
         (tmp_path / MANIFEST_NAME).write_text("{not json")
         with pytest.raises(DataFormatError):
             load_stores(tmp_path)
+
+    def test_load_manifest_missing_raises_data_format_error(self, tmp_path):
+        with pytest.raises(DataFormatError, match="not a"):
+            load_manifest(tmp_path)
+
+    def test_load_manifest_corrupt_json_raises_data_format_error(
+        self, tmp_path
+    ):
+        (tmp_path / MANIFEST_NAME).write_text('{"format": "annoda-')
+        with pytest.raises(DataFormatError, match="corrupt manifest"):
+            load_manifest(tmp_path)
 
     def test_unsupported_format_version(self, tmp_path):
         (tmp_path / MANIFEST_NAME).write_text(
@@ -105,6 +137,71 @@ class TestCorruptionHandling:
     def test_corrupt_source_file(self, corpus, tmp_path):
         save_corpus(corpus, tmp_path)
         (tmp_path / "locuslink.ll_tmpl").write_text(">>abc\nbroken\n")
+        with pytest.raises(DataFormatError):
+            load_stores(tmp_path)
+
+
+class TestAtomicSave:
+    """A save that dies midway must leave the previous snapshot
+    loadable: every file goes through temp + rename, and the manifest
+    — written last — is the commit point."""
+
+    def test_failed_save_leaves_previous_snapshot_intact(
+        self, corpus, monkeypatch, tmp_path
+    ):
+        from repro.sources import persistence
+
+        save_corpus(corpus, tmp_path)
+        before = {
+            item.name: item.read_bytes()
+            for item in tmp_path.iterdir()
+        }
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        other = AnnotationCorpus.generate(
+            seed=72,
+            parameters=CorpusParameters(
+                loci=30, go_terms=20, omim_entries=10
+            ),
+        )
+        monkeypatch.setattr(persistence.os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            save_corpus(other, tmp_path)
+        monkeypatch.undo()
+
+        # No temp litter, no torn files: the rename never happened, so
+        # every file is byte-identical to the previous snapshot and the
+        # directory still loads as the *previous* federation.
+        assert not list(tmp_path.glob("*.tmp"))
+        assert {
+            item.name: item.read_bytes() for item in tmp_path.iterdir()
+        } == before
+        stores = load_stores(tmp_path)
+        assert stores["LocusLink"].count() == corpus.locuslink.count()
+
+    def test_failed_manifest_write_is_loud_not_silent(
+        self, corpus, monkeypatch, tmp_path
+    ):
+        from repro.sources import persistence
+
+        real_replace = persistence.os.replace
+
+        def failing_replace(src, dst):
+            if str(dst).endswith(MANIFEST_NAME):
+                raise OSError("disk full")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(persistence.os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            save_corpus(corpus, tmp_path)
+        monkeypatch.undo()
+
+        # Data files landed but the commit point didn't: the directory
+        # is not a federation snapshot, and loading says so loudly.
+        assert (tmp_path / "locuslink.ll_tmpl").is_file()
+        assert not (tmp_path / MANIFEST_NAME).exists()
         with pytest.raises(DataFormatError):
             load_stores(tmp_path)
 
