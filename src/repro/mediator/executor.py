@@ -180,6 +180,8 @@ class ExecutionReport:
             f"{stats.enrichment_cache_hits}",
             f"  cold start: {stats.indexes_rebuilt} index(es) rebuilt, "
             f"{stats.indexes_adopted} adopted from snapshot",
+            f"  anchors {stats.anchors_returned}/{stats.anchors_considered} "
+            f"kept / residual evaluations {stats.residual_evaluations}",
             f"  retries {stats.retries} / timeouts {stats.timeouts} / "
             f"concurrent batches {stats.concurrent_batches}",
         ]

@@ -28,19 +28,25 @@ sits cleanly between them (wrappers duck-type the request; the
 executor consumes replies).
 """
 
+from __future__ import annotations
+
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.util.errors import IntegrationError
+from repro.util.locks import new_lock
 from repro.util.rng import DeterministicRng
 
 #: Reply statuses a fetch can terminate with.
 FETCH_STATUSES = ("ok", "error", "timeout")
 
 
-def _normalize_conditions(conditions):
+def _normalize_conditions(
+    conditions: Iterable[Any],
+) -> Tuple[Tuple[str, str, Any], ...]:
     """Conditions as a tuple of plain ``(label, op, value)`` triples.
 
     Accepts any iterable of triple-unpackable items (plain tuples,
@@ -75,24 +81,24 @@ class FetchRequest:
     and the execution report.
     """
 
-    conditions: tuple = ()
+    conditions: Tuple[Tuple[str, str, Any], ...] = ()
     purpose: str = "fetch"
-    timeout: float = None
-    deadline: float = None
-    retries: int = None
-    backoff: float = None
+    timeout: Optional[float] = None
+    deadline: Optional[float] = None
+    retries: Optional[int] = None
+    backoff: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(
             self, "conditions", _normalize_conditions(self.conditions)
         )
 
     @classmethod
-    def where(cls, *conditions, **kwargs):
+    def where(cls, *conditions: Any, **kwargs: Any) -> "FetchRequest":
         """``FetchRequest.where(("Symbol", "=", "BRCA1"))`` sugar."""
         return cls(conditions=conditions, **kwargs)
 
-    def render(self):
+    def render(self) -> str:
         rendered = (
             " and ".join(
                 f"{label} {op} {value!r}"
@@ -110,7 +116,7 @@ class FetchAttempt:
     number: int
     elapsed: float
     outcome: str  # "ok" | "error" | "timeout"
-    error: str = None
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -124,9 +130,9 @@ class FetchReply:
 
     source: str
     request: FetchRequest
-    records: tuple = ()
+    records: Tuple[Any, ...] = ()
     status: str = "ok"
-    attempts: tuple = ()
+    attempts: Tuple[FetchAttempt, ...] = ()
     elapsed: float = 0.0
     #: Source-level fetch-path accounting observed across this reply's
     #: attempts (best-effort under concurrency: counters are shared
@@ -134,31 +140,31 @@ class FetchReply:
     #: lookups).
     index_hits: int = 0
     scan_queries: int = 0
-    error: str = None
+    error: Optional[str] = None
 
     @property
-    def ok(self):
+    def ok(self) -> bool:
         return self.status == "ok"
 
     @property
-    def retries(self):
+    def retries(self) -> int:
         """Attempts beyond the first (the spent retry budget)."""
         return max(0, len(self.attempts) - 1)
 
     @property
-    def timeouts(self):
+    def timeouts(self) -> int:
         return sum(
             1 for attempt in self.attempts if attempt.outcome == "timeout"
         )
 
-    def raise_if_failed(self):
+    def raise_if_failed(self) -> "FetchReply":
         if not self.ok:
             raise IntegrationError(
                 f"source {self.source!r} failed during fetch: {self.error}"
             )
         return self
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.records)
 
 
@@ -177,9 +183,9 @@ class FederationPolicy:
     #: the seed's sequential path.
     max_workers: int = 4
     #: Per-attempt timeout in seconds (None: wait forever).
-    timeout: float = None
+    timeout: Optional[float] = None
     #: Overall per-request deadline in seconds (None: unbounded).
-    deadline: float = None
+    deadline: Optional[float] = None
     #: Retry budget beyond the first attempt.
     retries: int = 0
     #: Base of the exponential backoff between attempts, in seconds
@@ -192,7 +198,7 @@ class FederationPolicy:
     #: whose report marks the source degraded.
     on_failure: str = "raise"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.on_failure not in ("raise", "degrade"):
             raise ValueError(
                 f"on_failure must be 'raise' or 'degrade', "
@@ -202,7 +208,7 @@ class FederationPolicy:
             raise ValueError("max_workers must be at least 1")
 
     @property
-    def degrades(self):
+    def degrades(self) -> bool:
         return self.on_failure == "degrade"
 
 
@@ -219,14 +225,14 @@ class FederatedFetcher:
     exactly the semantics of abandoning a slow HTTP request).
     """
 
-    def __init__(self, policy=None):
+    def __init__(self, policy: Optional[FederationPolicy] = None) -> None:
         self.policy = policy or FederationPolicy()
-        self._pool = None
-        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = new_lock("FederatedFetcher._lock")
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
@@ -235,25 +241,27 @@ class FederatedFetcher:
                 )
             return self._pool
 
-    def close(self):
+    def close(self) -> None:
         with self._lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
                 self._pool = None
 
-    def __enter__(self):
+    def __enter__(self) -> "FederatedFetcher":
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     # -- dispatch ------------------------------------------------------------
 
-    def fetch(self, wrapper, request):
+    def fetch(self, wrapper: Any, request: FetchRequest) -> FetchReply:
         """Run one request to completion (retries included)."""
         return self._run_job(wrapper, request)
 
-    def fetch_all(self, jobs):
+    def fetch_all(
+        self, jobs: Iterable[Tuple[Any, FetchRequest]]
+    ) -> List[FetchReply]:
         """Run ``(wrapper, request)`` jobs concurrently.
 
         Replies come back in job order.  With ``max_workers=1`` (or a
@@ -273,7 +281,7 @@ class FederatedFetcher:
 
     # -- one job -------------------------------------------------------------
 
-    def _run_job(self, wrapper, request):
+    def _run_job(self, wrapper: Any, request: FetchRequest) -> FetchReply:
         policy = self.policy
         timeout = (
             request.timeout if request.timeout is not None else policy.timeout
@@ -291,8 +299,8 @@ class FederatedFetcher:
         )
         started = time.perf_counter()
         counters_before = self._source_counters(wrapper)
-        attempts = []
-        records = ()
+        attempts: List[FetchAttempt] = []
+        records: Tuple[Any, ...] = ()
         status, error = "error", "no attempt made"
         for number in range(budget + 1):
             remaining = (
@@ -348,7 +356,7 @@ class FederatedFetcher:
         )
 
     @staticmethod
-    def _source_counters(wrapper):
+    def _source_counters(wrapper: Any) -> Dict[str, int]:
         source = getattr(wrapper, "source", None)
         fetch_stats = getattr(source, "fetch_stats", None)
         if fetch_stats is None:
@@ -360,7 +368,9 @@ class FederatedFetcher:
         }
 
     @staticmethod
-    def _attempt(wrapper, request, timeout):
+    def _attempt(
+        wrapper: Any, request: FetchRequest, timeout: Optional[float]
+    ) -> Tuple[str, Any, Optional[str], float]:
         started = time.perf_counter()
         if timeout is None:
             try:
@@ -371,9 +381,9 @@ class FederatedFetcher:
                     time.perf_counter() - started,
                 )
             return "ok", records, None, time.perf_counter() - started
-        box = {}
+        box: Dict[str, Any] = {}
 
-        def run():
+        def run() -> None:
             try:
                 box["records"] = wrapper.fetch(request)
             except Exception as exc:  # delivered to the waiting thread
@@ -415,8 +425,11 @@ class FlakyWrapper:
     so concurrent fetches inject faults consistently.
     """
 
-    def __init__(self, wrapper, error_rate=0.0, latency=0.0, fail_first=0,
-                 blackout=False, blackout_windows=(), seed=0):
+    def __init__(self, wrapper: Any, error_rate: float = 0.0,
+                 latency: float = 0.0, fail_first: int = 0,
+                 blackout: bool = False,
+                 blackout_windows: Iterable[Tuple[int, int]] = (),
+                 seed: int = 0) -> None:
         self._wrapped = wrapper
         self.error_rate = error_rate
         self.latency = latency
@@ -426,16 +439,16 @@ class FlakyWrapper:
         self.calls = 0
         self.failures = 0
         self._rng = DeterministicRng(seed)
-        self._mutex = threading.Lock()
+        self._mutex = new_lock("FlakyWrapper._mutex")
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._wrapped, name)
 
     @property
-    def wrapped(self):
+    def wrapped(self) -> Any:
         return self._wrapped
 
-    def fetch(self, request=()):
+    def fetch(self, request: Any = ()) -> Any:
         with self._mutex:
             self.calls += 1
             number = self.calls
@@ -451,7 +464,7 @@ class FlakyWrapper:
             )
         return self._wrapped.fetch(request)
 
-    def _should_fail(self, number):
+    def _should_fail(self, number: int) -> bool:
         if self.blackout:
             return True
         for first, last in self.blackout_windows:

@@ -26,14 +26,30 @@ fetch-path machinery the mediator's hot loop depends on:
   across processes, so a store reloaded from disk
   (:mod:`repro.sources.persistence`) answers its first indexed query
   without any extent scan.
+
+Concurrency contract (machine-checked by ``repro.tools``): all
+indexed-state mutation happens either under the per-source
+``_fetch_mutex`` or in a method that bumps ``version`` (rule ANN002),
+lock construction goes through :mod:`repro.util.locks` so the race
+checker can observe acquisition order, and methods suffixed
+``_locked`` require the caller to hold the mutex.
 """
 
+from __future__ import annotations
+
 import abc
-import threading
 import warnings
 from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.errors import QueryError
+from repro.util.locks import make_counters, new_lock
+
+#: One source record, as exchanged across the wrapper boundary.
+Record = Dict[str, Any]
+
+#: A built equality index: normalized key -> record positions.
+EqualityIndex = Dict[Tuple[str, Any], List[int]]
 
 #: Layout version of the serializable equality-index state produced by
 #: :meth:`DataSource.export_index_state`.  Bumped whenever the exported
@@ -66,9 +82,9 @@ class NativeCondition:
 
     field: str
     op: str
-    value: object
+    value: Any
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in NATIVE_OPS:
             raise QueryError(f"unsupported native operator {self.op!r}")
         if self.op == "in":
@@ -80,7 +96,7 @@ class NativeCondition:
                 )
             object.__setattr__(self, "value", tuple(self.value))
 
-    def render(self):
+    def render(self) -> str:
         return f"{self.field} {self.op} {self.value!r}"
 
 
@@ -93,47 +109,48 @@ class DataSource(abc.ABC):
     """
 
     #: Stable source name ("LocusLink", "GO", "OMIM", ...).
-    name = "abstract"
+    name: str = "abstract"
 
     #: Master switch for the equality-index fast path.  Benchmarks
     #: flip this off to measure the bare scan path; production leaves
     #: it on.
-    use_indexes = True
+    use_indexes: bool = True
 
     @abc.abstractmethod
-    def fields(self):
+    def fields(self) -> Sequence[str]:
         """The record fields this source exposes, in schema order."""
 
     @abc.abstractmethod
-    def capabilities(self):
+    def capabilities(self) -> Iterable[Tuple[str, str]]:
         """Set of (field, op) pairs the source evaluates natively."""
 
     @abc.abstractmethod
-    def records(self):
+    def records(self) -> List[Record]:
         """All records as a list of plain dicts (field -> value)."""
 
     @abc.abstractmethod
-    def count(self):
+    def count(self) -> int:
         """Number of records currently stored."""
 
     @property
     @abc.abstractmethod
-    def version(self):
+    def version(self) -> int:
         """Monotone counter bumped by every mutation; the freshness
         experiment compares it against a warehouse's loaded version."""
 
     # -- native filtering (shared implementation) ----------------------------
 
-    def supports(self, condition):
+    def supports(self, condition: NativeCondition) -> bool:
         """True when ``condition`` can be evaluated natively here."""
+        capabilities = self.capabilities()
         if condition.op == "in":
-            return (condition.field, "=") in self.capabilities() or (
+            return (condition.field, "=") in capabilities or (
                 condition.field,
                 "in",
-            ) in self.capabilities()
-        return (condition.field, condition.op) in self.capabilities()
+            ) in capabilities
+        return (condition.field, condition.op) in capabilities
 
-    def indexed_fields(self):
+    def indexed_fields(self) -> Tuple[str, ...]:
         """Fields eligible for a hash equality index.
 
         By default every field the source can test for ``=`` natively;
@@ -143,7 +160,11 @@ class DataSource(abc.ABC):
             sorted({field for field, op in self.capabilities() if op == "="})
         )
 
-    def native_query(self, conditions=(), use_index=None):
+    def native_query(
+        self,
+        conditions: Iterable[NativeCondition] = (),
+        use_index: Optional[bool] = None,
+    ) -> List[Record]:
         """Records satisfying every condition, evaluated at the source.
 
         Equality and ``in`` predicates on indexed fields answer from
@@ -152,6 +173,11 @@ class DataSource(abc.ABC):
         record set in the same (``records()``) order.  ``use_index``
         overrides :attr:`use_indexes` for one call — the equivalence
         property tests and benchmarks pin it.
+
+        The index, its backing snapshot, and the hit counter are all
+        read under a *single* hold of the per-source fetch mutex, so a
+        concurrent mutation can never pair one version's index with
+        another version's snapshot.
 
         Raises
         ------
@@ -168,7 +194,7 @@ class DataSource(abc.ABC):
                 )
         counters = self._fetchpath_counters()
         indexes_on = self.use_indexes if use_index is None else use_index
-        driver = None
+        driver: Optional[NativeCondition] = None
         if indexes_on:
             indexable = set(self.indexed_fields())
             driver = next(
@@ -180,9 +206,14 @@ class DataSource(abc.ABC):
                 ),
                 None,
             )
-        index = (
-            self.equality_index(driver.field) if driver is not None else None
-        )
+        index: Optional[EqualityIndex] = None
+        snapshot: List[Record] = []
+        if driver is not None:
+            with self._fetch_mutex():
+                index = self._equality_index_locked(driver.field)
+                if index is not None:
+                    counters["index_hits"] += 1
+                    snapshot = self._index_snapshot_locked()
         if index is None:
             with self._fetch_mutex():
                 counters["scan_queries"] += 1
@@ -194,14 +225,12 @@ class DataSource(abc.ABC):
                 ):
                     matched.append(record)
             return matched
-        with self._fetch_mutex():
-            counters["index_hits"] += 1
+        assert driver is not None
         probe_values = driver.value if driver.op == "in" else (driver.value,)
-        positions = set()
+        positions: set = set()
         for value in probe_values:
             for key in _probe_keys(value):
                 positions.update(index.get(key, ()))
-        snapshot = self._index_snapshot()
         rest = [condition for condition in conditions if condition is not driver]
         matched = []
         for position in sorted(positions):
@@ -217,7 +246,7 @@ class DataSource(abc.ABC):
 
     # -- equality indexes ----------------------------------------------------
 
-    def equality_index(self, field):
+    def equality_index(self, field: str) -> Optional[EqualityIndex]:
         """The hash index of ``field``: normalized key -> positions.
 
         Built lazily on first use, shared until the next mutation
@@ -230,15 +259,17 @@ class DataSource(abc.ABC):
         with self._fetch_mutex():
             return self._equality_index_locked(field)
 
-    def _equality_index_locked(self, field):
-        state = self._index_state()
+    def _equality_index_locked(self, field: str) -> Optional[EqualityIndex]:
+        state = self._index_state_locked()
         if field in state["unindexable"]:
             return None
         index = state["fields"].get(field)
         if index is None:
             index = {}
             try:
-                for position, record in enumerate(self._index_snapshot()):
+                for position, record in enumerate(
+                    self._index_snapshot_locked()
+                ):
                     value = record.get(field)
                     if value is None:
                         continue
@@ -259,7 +290,7 @@ class DataSource(abc.ABC):
 
     # -- persistent index snapshots ------------------------------------------
 
-    def export_index_state(self):
+    def export_index_state(self) -> Dict[str, Any]:
         """The equality-index state as one serializable plain dict.
 
         Forces every :meth:`indexed_fields` index to build first, so
@@ -274,7 +305,7 @@ class DataSource(abc.ABC):
         with self._fetch_mutex():
             for field in self.indexed_fields():
                 self._equality_index_locked(field)
-            state = self._index_state()
+            state = self._index_state_locked()
             return {
                 "schema": INDEX_STATE_SCHEMA,
                 "counter_schema": FETCH_COUNTER_SCHEMA,
@@ -291,7 +322,7 @@ class DataSource(abc.ABC):
                 "unindexable": sorted(state["unindexable"]),
             }
 
-    def adopt_index_state(self, state):
+    def adopt_index_state(self, state: Any) -> bool:
         """Install a previously exported index state, skipping the
         per-field extent scans of a cold start.
 
@@ -311,7 +342,7 @@ class DataSource(abc.ABC):
         with self._fetch_mutex():
             return self._adopt_index_state_locked(state)
 
-    def _adopt_index_state_locked(self, state):
+    def _adopt_index_state_locked(self, state: Any) -> bool:
         try:
             if state.get("schema") != INDEX_STATE_SCHEMA:
                 return False
@@ -337,7 +368,7 @@ class DataSource(abc.ABC):
         self._fetchpath_counters()["index_adoptions"] += len(fields)
         return True
 
-    def _adopt_or_warn(self, index_state):
+    def _adopt_or_warn(self, index_state: Optional[Dict[str, Any]]) -> None:
         """Constructor-path adoption: mismatches warn instead of
         failing the build (the fallback is always a correct store)."""
         if index_state is None:
@@ -350,7 +381,7 @@ class DataSource(abc.ABC):
                 stacklevel=3,
             )
 
-    def fetch_stats(self):
+    def fetch_stats(self) -> Dict[str, int]:
         """Cumulative fetch-path counters: native queries answered
         from an equality index vs by scanning, plus cold-start
         accounting — field indexes built by an extent scan
@@ -358,7 +389,9 @@ class DataSource(abc.ABC):
         (``index_adoptions``)."""
         return dict(self._fetchpath_counters())
 
-    def _index_state(self):
+    def _index_state_locked(self) -> Dict[str, Any]:
+        """The version-keyed index state; caller holds ``_fetch_mutex``
+        (the ``_locked`` suffix is the machine-checked convention)."""
         state = self.__dict__.get("_fetch_index_state")
         if state is None or state["version"] != self.version:
             state = {
@@ -370,38 +403,45 @@ class DataSource(abc.ABC):
             self._fetch_index_state = state
         return state
 
-    def _index_snapshot(self):
+    def _index_snapshot_locked(self) -> List[Record]:
         """One ``records()`` materialization per version, shared by all
-        field indexes (positions refer into it)."""
-        state = self._index_state()
+        field indexes (positions refer into it); caller holds the
+        fetch mutex, so an index and the snapshot it was built over
+        are always taken from the same version."""
+        state = self._index_state_locked()
         if state["snapshot"] is None:
             state["snapshot"] = self.records()
         return state["snapshot"]
 
-    def _fetchpath_counters(self):
+    def _fetchpath_counters(self) -> Dict[str, int]:
         counters = self.__dict__.get("_fetchpath_counts")
         if counters is None:
-            counters = self.__dict__.setdefault(
-                "_fetchpath_counts",
+            fresh = make_counters(
                 {
                     "index_hits": 0,
                     "scan_queries": 0,
                     "index_builds": 0,
                     "index_adoptions": 0,
                 },
+                lock=self._fetch_mutex(),
+                owner=f"{type(self).__name__}({self.name})",
             )
+            counters = self.__dict__.setdefault("_fetchpath_counts", fresh)
         return counters
 
-    def _fetch_mutex(self):
+    def _fetch_mutex(self) -> Any:
         """Per-source lock guarding index construction and the fetch
         counters (``__dict__.setdefault`` is atomic, so lazy creation
         is itself race-free)."""
         lock = self.__dict__.get("_fetch_lock")
         if lock is None:
-            lock = self.__dict__.setdefault("_fetch_lock", threading.Lock())
+            lock = self.__dict__.setdefault(
+                "_fetch_lock",
+                new_lock(f"{type(self).__name__}._fetch_mutex"),
+            )
         return lock
 
-    def describe(self):
+    def describe(self) -> str:
         """Human-readable source description used by the mediator's
         annotation-database-description registry (Figure 1)."""
         capability_text = ", ".join(
@@ -414,7 +454,7 @@ class DataSource(abc.ABC):
         )
 
 
-def _evaluate(value, condition):
+def _evaluate(value: Any, condition: NativeCondition) -> bool:
     """Evaluate one native condition against one field value."""
     from repro.lorel.coerce import compare, like
 
@@ -449,14 +489,14 @@ def _evaluate(value, condition):
 # compare("=", x, q) is true.
 
 
-def _index_keys(value):
+def _index_keys(value: Any) -> List[Tuple[str, Any]]:
     """The index keys one stored field item is filed under."""
     from repro.lorel.coerce import _as_bool, _as_number
 
     if isinstance(value, bool):
         return [("bool", value)]
     if isinstance(value, (int, float)):
-        keys = [("num", value)]
+        keys: List[Tuple[str, Any]] = [("num", value)]
         if value in (0, 1):
             keys.append(("numbool", bool(value)))
         return keys
@@ -476,14 +516,14 @@ def _index_keys(value):
     return []
 
 
-def _probe_keys(value):
+def _probe_keys(value: Any) -> List[Tuple[str, Any]]:
     """The index keys a query value must probe."""
     from repro.lorel.coerce import _as_bool, _as_number
 
     if isinstance(value, bool):
         return [("bool", value), ("numbool", value), ("strbool", value)]
     if isinstance(value, (int, float)):
-        keys = [("num", value), ("strnum", value)]
+        keys: List[Tuple[str, Any]] = [("num", value), ("strnum", value)]
         if value in (0, 1):
             keys.append(("bool", bool(value)))
         return keys

@@ -126,16 +126,48 @@ class GoOntology(DataSource):
         ]
 
     def ancestors(self, go_id):
-        """All transitive ancestors' accessions (excluding the term)."""
-        if go_id in self._ancestor_cache:
-            return set(self._ancestor_cache[go_id])
-        term = self._require(go_id)
-        closure = set()
-        for parent in term.is_a:
-            closure.add(parent)
-            closure.update(self.ancestors(parent))
-        self._ancestor_cache[go_id] = frozenset(closure)
-        return closure
+        """All transitive ancestors' accessions (excluding the term).
+
+        Memoized bottom-up; the memo is shared state read by federated
+        worker threads, so it is maintained under the same per-source
+        fetch mutex as the equality indexes.
+        """
+        with self._fetch_mutex():
+            return set(self._ancestors_locked(go_id))
+
+    def _ancestors_locked(self, go_id):
+        cached = self._ancestor_cache.get(go_id)
+        if cached is not None:
+            return cached
+        self._require(go_id)
+        # Iterative post-order over the is_a DAG: a term's closure is
+        # computed only after all its parents' closures are memoized,
+        # so deep ontologies never hit the recursion limit.
+        stack = [(go_id, False)]
+        in_progress = set()
+        while stack:
+            node, expanded = stack.pop()
+            if node in self._ancestor_cache:
+                continue
+            term = self._require(node)
+            if expanded:
+                in_progress.discard(node)
+                closure = set()
+                for parent in term.is_a:
+                    closure.add(parent)
+                    closure.update(self._ancestor_cache[parent])
+                self._ancestor_cache[node] = frozenset(closure)
+            else:
+                if node in in_progress:
+                    raise DataFormatError(
+                        f"is_a cycle through {node}", source_name=self.name
+                    )
+                in_progress.add(node)
+                stack.append((node, True))
+                for parent in term.is_a:
+                    if parent not in self._ancestor_cache:
+                        stack.append((parent, False))
+        return self._ancestor_cache[go_id]
 
     def descendants(self, go_id):
         """All transitive descendants' accessions (excluding the term)."""

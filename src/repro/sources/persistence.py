@@ -34,12 +34,15 @@ not directory-atomic; snapshot into a fresh directory to get an
 all-or-nothing commit.)
 """
 
+from __future__ import annotations
+
 import hashlib
 import json
 import os
 import pathlib
 import pickle
 import warnings
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.sources.base import INDEX_STATE_SCHEMA
 from repro.sources.go.ontology import GoOntology
@@ -51,11 +54,14 @@ from repro.util.errors import DataFormatError
 
 MANIFEST_NAME = "manifest.json"
 
+#: A directory argument: anything pathlib accepts.
+PathLike = Union[str, "os.PathLike[str]"]
+
 #: Suffix appended to a source's flat-file name for its index snapshot.
 INDEX_SUFFIX = ".idx"
 
 #: Source name -> (file name, store class).
-_REGISTRY = {
+_REGISTRY: Dict[str, Tuple[str, Any]] = {
     "LocusLink": ("locuslink.ll_tmpl", LocusLinkStore),
     "GO": ("gene_ontology.obo", GoOntology),
     "OMIM": ("omim.txt", OmimStore),
@@ -67,11 +73,11 @@ _REGISTRY = {
 SOURCE_ORDER = ("LocusLink", "GO", "OMIM", "PubMed", "SwissProt")
 
 
-def _sha256(data):
+def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def _write_atomic(path, data):
+def _write_atomic(path: pathlib.Path, data: bytes) -> None:
     """Write ``data`` (bytes) via temp file + rename, so a reader
     never observes a torn file and a crashed writer leaves the
     previous version intact."""
@@ -83,7 +89,12 @@ def _write_atomic(path, data):
         tmp.unlink(missing_ok=True)
 
 
-def save_stores(stores, directory, metadata=None, indexes=True):
+def save_stores(
+    stores: Iterable[Any],
+    directory: PathLike,
+    metadata: Optional[Mapping[str, Any]] = None,
+    indexes: bool = True,
+) -> Dict[str, Any]:
     """Write each store's flat file plus the manifest.
 
     ``stores`` is an iterable of the supported store objects; returns
@@ -95,7 +106,7 @@ def save_stores(stores, directory, metadata=None, indexes=True):
     """
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    manifest = {"format": "annoda-federation/1", "sources": {}}
+    manifest: Dict[str, Any] = {"format": "annoda-federation/1", "sources": {}}
     if metadata:
         manifest["metadata"] = dict(metadata)
     for store in stores:
@@ -106,7 +117,7 @@ def save_stores(stores, directory, metadata=None, indexes=True):
         file_name, _store_class = _REGISTRY[store.name]
         data = store.dump().encode("utf-8")
         _write_atomic(path / file_name, data)
-        entry = {"file": file_name, "records": store.count()}
+        entry: Dict[str, Any] = {"file": file_name, "records": store.count()}
         if indexes:
             envelope = store.export_index_state()
             blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
@@ -127,22 +138,30 @@ def save_stores(stores, directory, metadata=None, indexes=True):
     return manifest
 
 
-def save_corpus(corpus, directory, citations=None, proteins=None,
-                metadata=None, indexes=True):
+def save_corpus(
+    corpus: Any,
+    directory: PathLike,
+    citations: Any = None,
+    proteins: Any = None,
+    metadata: Optional[Mapping[str, Any]] = None,
+    indexes: bool = True,
+) -> Dict[str, Any]:
     """Persist a corpus's three sources (plus optional extras)."""
     stores = list(corpus.sources())
     if citations is not None:
         stores.append(citations)
     if proteins is not None:
         stores.append(proteins)
-    combined = {"seed": corpus.seed}
+    combined: Dict[str, Any] = {"seed": corpus.seed}
     if metadata:
         combined.update(metadata)
     return save_stores(stores, directory, metadata=combined,
                        indexes=indexes)
 
 
-def load_stores(directory, adopt_indexes=True):
+def load_stores(
+    directory: PathLike, adopt_indexes: bool = True
+) -> Dict[str, Any]:
     """Load every persisted source; returns ``{name: store}``.
 
     Consistency between manifest and files is enforced: a listed file
@@ -159,7 +178,7 @@ def load_stores(directory, adopt_indexes=True):
         raise DataFormatError(
             f"unsupported federation format {manifest.get('format')!r}"
         )
-    stores = {}
+    stores: Dict[str, Any] = {}
     for name, entry in manifest.get("sources", {}).items():
         if name not in _REGISTRY:
             raise DataFormatError(f"unknown source {name!r} in manifest")
@@ -183,7 +202,9 @@ def load_stores(directory, adopt_indexes=True):
     return stores
 
 
-def adopt_persisted_indexes(directory, stores):
+def adopt_persisted_indexes(
+    directory: PathLike, stores: Mapping[str, Any]
+) -> Dict[str, bool]:
     """Adopt persisted index snapshots into already-loaded stores.
 
     Split out of :func:`load_stores` so cold-start measurement can
@@ -194,13 +215,14 @@ def adopt_persisted_indexes(directory, stores):
     """
     path = pathlib.Path(directory)
     manifest = load_manifest(path)
-    adopted = {}
+    adopted: Dict[str, bool] = {}
     for name, entry in manifest.get("sources", {}).items():
         store = stores.get(name)
         if store is None or not entry.get("index"):
             continue
-        expected_file, _store_class = _REGISTRY.get(name, (None, None))
-        file_path = path / entry.get("file", expected_file or "")
+        registry_entry = _REGISTRY.get(name)
+        expected_file = registry_entry[0] if registry_entry else ""
+        file_path = path / entry.get("file", expected_file)
         try:
             text = file_path.read_text(encoding="utf-8")
         except OSError:
@@ -210,12 +232,18 @@ def adopt_persisted_indexes(directory, stores):
     return adopted
 
 
-def _adopt_index(path, name, index_entry, text, store):
+def _adopt_index(
+    path: pathlib.Path,
+    name: str,
+    index_entry: Mapping[str, Any],
+    text: str,
+    store: Any,
+) -> bool:
     """Validate one persisted index snapshot against the manifest and
     the flat file actually loaded, then adopt it; returns True on
     adoption, warns and returns False on any mismatch or corruption."""
 
-    def fallback(reason):
+    def fallback(reason: str) -> bool:
         warnings.warn(
             f"{name}: ignoring persisted index snapshot ({reason}); "
             "indexes will be rebuilt lazily",
@@ -253,7 +281,7 @@ def _adopt_index(path, name, index_entry, text, store):
     return True
 
 
-def load_manifest(directory):
+def load_manifest(directory: PathLike) -> Dict[str, Any]:
     """The manifest dict of a federation directory.
 
     Raises :class:`DataFormatError` when the manifest is missing or
@@ -267,12 +295,13 @@ def load_manifest(directory):
             "federation directory"
         )
     try:
-        return json.loads(path.read_text(encoding="utf-8"))
+        manifest: Dict[str, Any] = json.loads(path.read_text(encoding="utf-8"))
+        return manifest
     except json.JSONDecodeError as exc:
         raise DataFormatError(f"corrupt manifest: {exc}") from exc
 
 
-def wrappers_for(stores):
+def wrappers_for(stores: Mapping[str, Any]) -> List[Any]:
     """Wrappers for loaded stores, in canonical registration order."""
     from repro.wrappers import (
         GoWrapper,
@@ -289,7 +318,7 @@ def wrappers_for(stores):
         "PubMed": PubmedLikeWrapper,
         "SwissProt": SwissProtLikeWrapper,
     }
-    ordered = []
+    ordered: List[Any] = []
     for name in SOURCE_ORDER:
         if name in stores:
             ordered.append(classes[name](stores[name]))

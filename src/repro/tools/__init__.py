@@ -1,0 +1,16 @@
+"""Project-specific correctness tooling.
+
+Two machine-checkers turn the federation's conventions into enforced
+invariants (DESIGN §10):
+
+- :mod:`repro.tools.lint` — an AST linter with project rules
+  (``ANN001``..``ANN005``) run as
+  ``python -m repro.tools.lint src tests benchmarks``;
+- :mod:`repro.tools.racecheck` — a concurrency sanitizer (lock-order
+  graph + shared-counter audit) enabled on a pytest run with
+  ``-p repro.tools.racecheck.plugin --racecheck``.
+
+Nothing under ``repro.tools`` is imported by production code; the only
+coupling is the :mod:`repro.util.locks` construction seam the race
+checker instruments.
+"""

@@ -1,0 +1,40 @@
+"""AST lint enforcing the federation's invariants (DESIGN §10).
+
+Importing this package registers the project rules; the public API is
+re-exported from :mod:`repro.tools.lint.engine`.
+"""
+
+from repro.tools.lint.engine import (
+    META_SYNTAX_ERROR,
+    META_UNKNOWN_SUPPRESSION,
+    REGISTRY,
+    Diagnostic,
+    Project,
+    Rule,
+    SourceModule,
+    collect_files,
+    known_codes,
+    lint_file,
+    lint_paths,
+    lint_texts,
+    register,
+    resolve_codes,
+)
+from repro.tools.lint import rules as _rules  # noqa: F401  (registers rules)
+
+__all__ = [
+    "Diagnostic",
+    "META_SYNTAX_ERROR",
+    "META_UNKNOWN_SUPPRESSION",
+    "Project",
+    "REGISTRY",
+    "Rule",
+    "SourceModule",
+    "collect_files",
+    "known_codes",
+    "lint_file",
+    "lint_paths",
+    "lint_texts",
+    "register",
+    "resolve_codes",
+]

@@ -1,0 +1,3 @@
+from repro.tools.lint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,303 @@
+"""The lint engine: source model, rule registry, suppressions, runner.
+
+The linter is deliberately small and dependency-free: each checked
+file becomes a :class:`SourceModule` (text + ``ast`` tree + logical
+module name), each rule is a registered object with a stable ``ANN``
+code, and the runner walks every module through every selected rule,
+filters suppressed findings, and renders ``path:line:col: CODE
+message`` diagnostics.
+
+Two comment directives are honoured:
+
+- ``# annoda: noqa=ANN001[,ANN003] [-- reason]`` suppresses the named
+  codes *on that line only*.  Naming a code the registry does not
+  know is itself reported (``ANN000``) — a typo in a suppression must
+  never silently disable nothing.
+- ``# annoda: module=repro.sources.fake`` (in the first ten lines)
+  overrides the logical module name derived from the path.  Scoped
+  rules key on the logical name, so rule fixtures living under
+  ``tests/tools/fixtures/`` can impersonate any module.
+
+Directories named ``fixtures`` are excluded from path walks: they
+hold deliberately-violating rule corpora, linted explicitly by the
+rule tests, never by the project gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Reserved meta-codes (not registrable rules).
+META_UNKNOWN_SUPPRESSION = "ANN000"
+META_SYNTAX_ERROR = "ANN901"
+
+_NOQA_RE = re.compile(
+    r"#\s*annoda:\s*noqa=([A-Za-z0-9_,\s]+?)(?:\s*--\s*(?P<reason>.*))?\s*$"
+)
+_MODULE_RE = re.compile(r"#\s*annoda:\s*module=([A-Za-z0-9_.]+)\s*$")
+_CODE_RE = re.compile(r"^ANN\d{3}$")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, and what is wrong."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class SourceModule:
+    """One parsed file plus the metadata rules key on."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions: Dict[int, Set[str]] = {}
+        self.suppression_reasons: Dict[int, str] = {}
+        self._scan_directives()
+        self.module_name = self._directive_module() or _logical_name(path)
+
+    def _scan_directives(self) -> None:
+        for number, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            self.suppressions[number] = codes
+            reason = match.group("reason")
+            if reason:
+                self.suppression_reasons[number] = reason.strip()
+
+    def _directive_module(self) -> Optional[str]:
+        for line in self.lines[:10]:
+            match = _MODULE_RE.search(line)
+            if match is not None:
+                return match.group(1)
+        return None
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when the logical module name sits under any prefix."""
+        return any(
+            self.module_name == prefix
+            or self.module_name.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+@dataclass
+class Project:
+    """Everything one lint invocation saw, for cross-file rules."""
+
+    modules: List[SourceModule] = field(default_factory=list)
+
+    def module(self, name: str) -> Optional[SourceModule]:
+        for candidate in self.modules:
+            if candidate.module_name == name:
+                return candidate
+        return None
+
+
+class Rule:
+    """One invariant checker.  Subclasses set ``code``/``title``/
+    ``rationale`` and implement :meth:`check` (per module) and/or
+    :meth:`finish` (once, with the whole project)."""
+
+    code = "ANN999"
+    title = "unnamed rule"
+    rationale = ""
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        return []
+
+    def finish(self, project: Project) -> List[Diagnostic]:
+        return []
+
+
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one rule instance to the registry."""
+    rule = cls()
+    if not _CODE_RE.match(rule.code):
+        raise ValueError(f"invalid rule code {rule.code!r}")
+    if rule.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    if rule.code in (META_UNKNOWN_SUPPRESSION, META_SYNTAX_ERROR):
+        raise ValueError(f"rule code {rule.code} is reserved")
+    REGISTRY[rule.code] = rule
+    return cls
+
+
+def known_codes() -> Set[str]:
+    return set(REGISTRY) | {META_UNKNOWN_SUPPRESSION, META_SYNTAX_ERROR}
+
+
+def resolve_codes(codes: Iterable[str]) -> Set[str]:
+    """Validate a user-supplied code selection.
+
+    Raises
+    ------
+    ValueError
+        For any code the registry does not know — a typo in
+        ``--select`` must fail loudly, not silently check nothing.
+    """
+    resolved = set()
+    for code in codes:
+        normalized = code.strip().upper()
+        if normalized not in REGISTRY:
+            raise ValueError(
+                f"unknown rule code {normalized!r} "
+                f"(known: {', '.join(sorted(REGISTRY))})"
+            )
+        resolved.add(normalized)
+    return resolved
+
+
+def collect_files(
+    paths: Sequence[str], include_fixtures: bool = False
+) -> List[str]:
+    """Python files under ``paths``, fixtures and caches excluded."""
+    collected: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            collected.append(str(path))
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if "__pycache__" in parts:
+                continue
+            if not include_fixtures and "fixtures" in parts:
+                continue
+            if any(part.startswith(".") for part in parts):
+                continue
+            collected.append(str(candidate))
+    return collected
+
+
+def lint_texts(
+    sources: Iterable[Tuple[str, str]],
+    select: Optional[Set[str]] = None,
+) -> List[Diagnostic]:
+    """Lint ``(path, text)`` pairs; the core of every entry point.
+
+    Unreadable syntax becomes an ``ANN901`` diagnostic for that file
+    (the rest still lint); suppression comments naming unknown codes
+    become ``ANN000`` diagnostics; everything else is produced by the
+    registered rules, filtered by line-level suppressions and the
+    optional ``select`` set.
+    """
+    project = Project()
+    diagnostics: List[Diagnostic] = []
+    for path, text in sources:
+        try:
+            module = SourceModule(path, text)
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    META_SYNTAX_ERROR,
+                    f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        project.modules.append(module)
+
+    rules = [
+        rule
+        for code, rule in sorted(REGISTRY.items())
+        if select is None or code in select
+    ]
+    raw: List[Diagnostic] = []
+    for module in project.modules:
+        for rule in rules:
+            raw.extend(rule.check(module))
+    for rule in rules:
+        raw.extend(rule.finish(project))
+
+    by_path = {module.path: module for module in project.modules}
+    for diagnostic in raw:
+        module = by_path.get(diagnostic.path)
+        if module is not None:
+            suppressed = module.suppressions.get(diagnostic.line, set())
+            if diagnostic.code in suppressed:
+                continue
+        diagnostics.append(diagnostic)
+
+    # A suppression naming an unknown code is a lint error itself.
+    for module in project.modules:
+        for line, codes in sorted(module.suppressions.items()):
+            for code in sorted(codes):
+                if code not in known_codes():
+                    diagnostics.append(
+                        Diagnostic(
+                            module.path,
+                            line,
+                            0,
+                            META_UNKNOWN_SUPPRESSION,
+                            f"suppression names unknown rule code {code}",
+                        )
+                    )
+
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return diagnostics
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+    include_fixtures: bool = False,
+) -> List[Diagnostic]:
+    """Lint every Python file under ``paths``."""
+    files = collect_files(paths, include_fixtures=include_fixtures)
+    sources = []
+    for file_path in files:
+        sources.append(
+            (file_path, Path(file_path).read_text(encoding="utf-8"))
+        )
+    return lint_texts(sources, select=select)
+
+
+def lint_file(
+    path: str, select: Optional[Set[str]] = None
+) -> List[Diagnostic]:
+    """Lint one file (fixture tests call this directly)."""
+    return lint_texts(
+        [(path, Path(path).read_text(encoding="utf-8"))], select=select
+    )
+
+
+def _logical_name(path: str) -> str:
+    """Dotted module name from a file path.
+
+    ``src/repro/sources/base.py`` -> ``repro.sources.base``;
+    paths outside a recognisable package root keep their dotted path
+    sans suffix (scoped rules then simply do not fire).
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for root in ("src", "lib"):
+        if root in parts:
+            parts = parts[parts.index(root) + 1:]
+            break
+    return ".".join(part for part in parts if part not in ("", "."))

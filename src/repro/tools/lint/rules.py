@@ -1,0 +1,673 @@
+"""The project's invariant rules, ANN001..ANN005.
+
+Each rule guards one convention the federation's correctness rests on
+(DESIGN §10).  Rules are registered by code; fixtures exercising every
+rule live under ``tests/tools/fixtures/`` with one good/bad pair per
+code, and a violation can be locally waived with
+``# annoda: noqa=<code> -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.tools.lint.engine import (
+    Diagnostic,
+    Project,
+    Rule,
+    SourceModule,
+    register,
+)
+
+# -- shared AST helpers -------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Textual dotted form of a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lockish(expression: ast.AST) -> bool:
+    """True when a ``with`` item's context expression looks like a
+    mutex: its dotted text mentions ``lock`` or ``mutex``."""
+    node = expression
+    if isinstance(node, ast.Call):
+        node = node.func
+    text = _dotted(node)
+    if text is None:
+        return False
+    lowered = text.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def _self_private_attr(node: ast.AST) -> Optional[str]:
+    """The private ``self._attr`` a write target/receiver resolves to.
+
+    Unwraps subscripts, calls and attribute chains so
+    ``self._by_symbol.setdefault(k, []).append(v)`` and
+    ``self._by_id[key] = record`` both resolve to their backing
+    attribute.  Dunder attributes (``self.__dict__``) and version
+    counters are not state in this rule's sense.
+    """
+    while True:
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Attribute) and not isinstance(
+            node.value, ast.Name
+        ):
+            node = node.value
+        else:
+            break
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        attr = node.attr
+        if (
+            attr.startswith("_")
+            and not attr.startswith("__")
+            and attr not in ("_version",)
+        ):
+            return attr
+    return None
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """name-in-module -> origin ("module" or "module.symbol")."""
+    origins: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                origins[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                origins[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return origins
+
+
+def _walk_locked(
+    body: Iterable[ast.stmt], locked: Tuple[str, ...] = ()
+) -> Iterable[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Yield ``(node, held-lock labels)`` over statements, descending
+    into compound statements and tracking ``with <lock>`` nesting.
+    Nested function bodies run later (the lock is not held when they
+    execute), so they are yielded with an empty held set.
+    """
+    for statement in body:
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            yield statement, locked
+            yield from _walk_locked(statement.body, ())
+            continue
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            labels = list(locked)
+            for item in statement.items:
+                if _is_lockish(item.context_expr):
+                    node = item.context_expr
+                    if isinstance(node, ast.Call):
+                        node = node.func
+                    labels.append(_dotted(node) or "<lock>")
+            yield statement, locked
+            yield from _walk_locked(statement.body, tuple(labels))
+            continue
+        yield statement, locked
+        for child_body in _statement_bodies(statement):
+            yield from _walk_locked(child_body, locked)
+
+
+def _statement_bodies(statement: ast.stmt) -> List[List[ast.stmt]]:
+    bodies = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(statement, name, None)
+        if block:
+            bodies.append(block)
+    for handler in getattr(statement, "handlers", ()) or ():
+        bodies.append(handler.body)
+    return bodies
+
+
+def _expressions_under(statement: ast.AST) -> Iterable[ast.AST]:
+    """Every expression node belonging to one statement, without
+    descending into nested statements (those are walked separately)."""
+    block_fields = {"body", "orelse", "finalbody", "handlers"}
+    stack = [
+        child
+        for name, child in ast.iter_fields(statement)
+        if name not in block_fields
+    ]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, list):
+            stack.extend(node)
+        elif isinstance(node, ast.AST):
+            yield node
+            stack.extend(
+                child
+                for name, child in ast.iter_fields(node)
+                if name not in block_fields
+            )
+
+
+# -- ANN001: no raw-conditions fetch shim ------------------------------------
+
+
+@register
+class RawConditionFetchRule(Rule):
+    code = "ANN001"
+    title = "no in-repo use of the deprecated raw-conditions fetch shim"
+    rationale = (
+        "Every in-repo fetch must pass a FetchRequest: the raw "
+        "condition-sequence shim exists only for external "
+        "pre-FetchRequest callers, bypasses the purpose/timeout/retry "
+        "accounting, and is slated for removal."
+    )
+
+    _LITERALS = (
+        ast.List,
+        ast.Tuple,
+        ast.Set,
+        ast.Dict,
+        ast.ListComp,
+        ast.SetComp,
+        ast.GeneratorExp,
+    )
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "fetch"):
+                continue
+            argument = self._request_argument(node)
+            if argument is _NO_ARGUMENT:
+                reason = "no request argument (the shim's empty default)"
+            elif self._is_raw_sequence(argument):
+                reason = "a raw condition sequence"
+            else:
+                continue
+            findings.append(
+                Diagnostic(
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    self.code,
+                    f"fetch() called with {reason}; build a "
+                    "repro.mediator.fetch.FetchRequest instead",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _request_argument(call: ast.Call) -> Any:
+        if call.args:
+            first = call.args[0]
+            if isinstance(first, ast.Starred):
+                return None  # cannot tell statically; let it pass
+            return first
+        for keyword in call.keywords:
+            if keyword.arg == "request":
+                return keyword.value
+        if call.keywords:
+            return None
+        return _NO_ARGUMENT
+
+    def _is_raw_sequence(self, argument: Any) -> bool:
+        if argument is None:
+            return False
+        if isinstance(argument, self._LITERALS):
+            return True
+        if isinstance(argument, ast.Call):
+            return _dotted(argument.func) in ("list", "tuple")
+        return False
+
+
+_NO_ARGUMENT = object()
+
+
+# -- ANN002: indexed-state writes are synchronized ----------------------------
+
+
+@register
+class UnsynchronizedStateWriteRule(Rule):
+    code = "ANN002"
+    title = (
+        "store-state mutation must bump version or hold _fetch_mutex"
+    )
+    rationale = (
+        "The version-keyed index scheme is only sound if every "
+        "mutation of a store's record/index state either bumps the "
+        "version counter (invalidating derived indexes wholesale) or "
+        "runs under the per-source fetch mutex; methods suffixed "
+        "_locked assert the caller already holds it."
+    )
+
+    _MUTATORS = {
+        "append", "add", "clear", "discard", "extend", "insert",
+        "pop", "popitem", "remove", "setdefault", "sort", "update",
+    }
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        if not module.in_module("repro.sources"):
+            return []
+        findings: List[Diagnostic] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_store_class(node):
+                continue
+            for method in node.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name.endswith("_locked"):
+                    continue
+                findings.extend(self._check_method(module, method))
+        return findings
+
+    @staticmethod
+    def _is_store_class(node: ast.ClassDef) -> bool:
+        if node.name == "DataSource":
+            return True
+        for base in node.bases:
+            text = _dotted(base)
+            if text is not None and text.split(".")[-1] == "DataSource":
+                return True
+        return False
+
+    def _check_method(
+        self, module: SourceModule, method: ast.FunctionDef
+    ) -> List[Diagnostic]:
+        bumps_version = any(
+            isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign))
+            and any(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr in ("_version", "version")
+                for target in (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+            )
+            for node in ast.walk(method)
+        )
+        if bumps_version:
+            return []
+        findings = []
+        for statement, held in _walk_locked(method.body):
+            if held:
+                continue
+            for attr, line, col in self._state_writes(statement):
+                findings.append(
+                    Diagnostic(
+                        module.path,
+                        line,
+                        col,
+                        self.code,
+                        f"write to self.{attr} in {method.name}() "
+                        "without holding _fetch_mutex or bumping "
+                        "version",
+                    )
+                )
+        return findings
+
+    def _state_writes(
+        self, statement: ast.AST
+    ) -> List[Tuple[str, int, int]]:
+        writes = []
+        targets: List[ast.AST] = []
+        if isinstance(statement, ast.Assign):
+            targets = list(statement.targets)
+        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+            targets = [statement.target]
+        elif isinstance(statement, ast.Delete):
+            targets = list(statement.targets)
+        for target in targets:
+            attr = _self_private_attr(target)
+            if attr is not None:
+                writes.append(
+                    (attr, statement.lineno, statement.col_offset)
+                )
+        for node in _expressions_under(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._MUTATORS
+            ):
+                attr = _self_private_attr(node.func.value)
+                if attr is not None:
+                    writes.append((attr, node.lineno, node.col_offset))
+        return writes
+
+
+# -- ANN003: determinism of answer-affecting modules --------------------------
+
+
+@register
+class NondeterminismRule(Rule):
+    code = "ANN003"
+    title = (
+        "no wall-clock time or unseeded randomness in answer-"
+        "affecting modules"
+    )
+    rationale = (
+        "Worker count must be answer-invariant: mediator, sources and "
+        "reconciliation may only use monotonic timers for accounting "
+        "(perf_counter) and seeded RNGs (DeterministicRng); wall-clock "
+        "reads and global random draws make answers irreproducible."
+    )
+
+    _SCOPES = ("repro.mediator", "repro.sources")
+    _TIME_BANNED = {"time.time", "time.time_ns"}
+    _DATETIME_RECEIVERS = {"datetime", "datetime.datetime", "datetime.date"}
+    _DATETIME_CALLS = {"now", "utcnow", "today"}
+    _RANDOM_DRAWS = {
+        "random", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "gauss", "betavariate",
+        "random.seed",
+    }
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        if not module.in_module(*self._SCOPES):
+            return []
+        origins = _import_map(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node, origins)
+            if message is not None:
+                findings.append(
+                    Diagnostic(
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                        self.code,
+                        message,
+                    )
+                )
+        return findings
+
+    def _violation(
+        self, call: ast.Call, origins: Dict[str, str]
+    ) -> Optional[str]:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        origin = self._resolve(dotted, origins)
+        if origin in self._TIME_BANNED:
+            return (
+                f"{dotted}() reads the wall clock; use "
+                "time.perf_counter() for accounting"
+            )
+        head, _, tail = origin.rpartition(".")
+        if tail in self._DATETIME_CALLS and (
+            head in self._DATETIME_RECEIVERS
+            or origins.get(head, "").startswith("datetime")
+        ):
+            return (
+                f"{dotted}() reads the wall clock; answer-affecting "
+                "code must be deterministic"
+            )
+        if head == "random" and tail in self._RANDOM_DRAWS:
+            return (
+                f"{dotted}() draws from the process-global RNG; use "
+                "repro.util.rng.DeterministicRng"
+            )
+        if origin == "random.Random" and not call.args:
+            return (
+                "random.Random() without a seed is nondeterministic; "
+                "pass an explicit seed or use DeterministicRng"
+            )
+        return None
+
+    @staticmethod
+    def _resolve(dotted: str, origins: Dict[str, str]) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = origins.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+# -- ANN004: no blocking calls while holding a lock ---------------------------
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    code = "ANN004"
+    title = "no blocking I/O or sleep while holding a lock"
+    rationale = (
+        "The per-source fetch mutex serializes every indexed fetch on "
+        "that source: a sleep or filesystem/network call inside it "
+        "stalls the whole federation's worker pool, and lock-holding "
+        "I/O is the classic priority-inversion deadlock shape."
+    )
+
+    _BANNED_EXACT = {
+        "time.sleep", "os.system", "os.popen", "pickle.dump",
+        "pickle.load", "json.dump", "json.load", "open", "input",
+    }
+    _BANNED_ROOTS = {"subprocess", "socket", "requests", "urllib",
+                     "shutil"}
+    _BANNED_ATTRS = {
+        "read_text", "write_text", "read_bytes", "write_bytes",
+        "sleep",
+    }
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        origins = _import_map(module.tree)
+        findings = []
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        seen: Set[int] = set()
+        for function in functions:
+            for statement, held in _walk_locked(function.body):
+                if not held or id(statement) in seen:
+                    continue
+                seen.add(id(statement))
+                for node in _expressions_under(statement):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    offence = self._blocking_call(node, origins)
+                    if offence is not None:
+                        findings.append(
+                            Diagnostic(
+                                module.path,
+                                node.lineno,
+                                node.col_offset,
+                                self.code,
+                                f"{offence} while holding "
+                                f"{', '.join(held)}",
+                            )
+                        )
+        return findings
+
+    def _blocking_call(
+        self, call: ast.Call, origins: Dict[str, str]
+    ) -> Optional[str]:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        head = dotted.split(".")[0]
+        origin = origins.get(head, head)
+        resolved = (
+            origin + dotted[len(head):] if dotted != head else origin
+        )
+        if resolved in self._BANNED_EXACT or dotted in self._BANNED_EXACT:
+            return f"blocking call {dotted}()"
+        if origin.split(".")[0] in self._BANNED_ROOTS:
+            return f"blocking call {dotted}()"
+        tail = dotted.rsplit(".", 1)[-1]
+        if "." in dotted and tail in self._BANNED_ATTRS:
+            return f"blocking call {dotted}()"
+        return None
+
+
+# -- ANN005: no silently-dropped counters ------------------------------------
+
+
+@register
+class DroppedCounterRule(Rule):
+    code = "ANN005"
+    title = (
+        "every ExecutionStats / fetch-path counter is folded into "
+        "ExecutionReport"
+    )
+    rationale = (
+        "Counters that are written but never surfaced rot silently: "
+        "each ExecutionStats field must be referenced by "
+        "ExecutionReport (directly or via a stats method it calls), "
+        "and each fetch-path counter key must be folded into the "
+        "executor's snapshot."
+    )
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        stats = self._class(module.tree, "ExecutionStats")
+        report = self._class(module.tree, "ExecutionReport")
+        if stats is None or report is None:
+            return []
+        counters = self._stats_counters(stats)
+        referenced = {
+            node.attr
+            for node in ast.walk(report)
+            if isinstance(node, ast.Attribute)
+        }
+        folded = set(referenced)
+        for method_name, reads in self._stats_method_reads(stats).items():
+            if method_name in referenced:
+                folded.update(reads)
+        findings = []
+        for name, line, col in counters:
+            if name not in folded:
+                findings.append(
+                    Diagnostic(
+                        module.path,
+                        line,
+                        col,
+                        self.code,
+                        f"ExecutionStats.{name} is never folded into "
+                        "ExecutionReport (silently-dropped counter)",
+                    )
+                )
+        return findings
+
+    def finish(self, project: Project) -> List[Diagnostic]:
+        stats_literals: Set[str] = set()
+        stats_seen = False
+        for module in project.modules:
+            if self._class(module.tree, "ExecutionStats") is None:
+                continue
+            stats_seen = True
+            stats_literals.update(
+                node.value
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+            )
+        if not stats_seen:
+            return []
+        findings = []
+        for module in project.modules:
+            for key, line, col in self._fetchpath_counter_keys(
+                module.tree
+            ):
+                if key not in stats_literals:
+                    findings.append(
+                        Diagnostic(
+                            module.path,
+                            line,
+                            col,
+                            self.code,
+                            f"fetch-path counter {key!r} is not folded "
+                            "into any ExecutionStats module (the "
+                            "executor snapshot would drop it)",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _stats_counters(
+        stats: ast.ClassDef,
+    ) -> List[Tuple[str, int, int]]:
+        counters = []
+        for node in stats.body:
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and not node.target.id.startswith("_")
+            ):
+                counters.append(
+                    (node.target.id, node.lineno, node.col_offset)
+                )
+        return counters
+
+    @staticmethod
+    def _stats_method_reads(
+        stats: ast.ClassDef,
+    ) -> Dict[str, Set[str]]:
+        reads: Dict[str, Set[str]] = {}
+        for node in stats.body:
+            if isinstance(node, ast.FunctionDef):
+                reads[node.name] = {
+                    sub.attr
+                    for sub in ast.walk(node)
+                    if isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                }
+        return reads
+
+    @staticmethod
+    def _fetchpath_counter_keys(
+        tree: ast.Module,
+    ) -> List[Tuple[str, int, int]]:
+        keys = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "_fetchpath_counters"
+            ):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Dict):
+                        for key in sub.keys:
+                            if isinstance(
+                                key, ast.Constant
+                            ) and isinstance(key.value, str):
+                                keys.append(
+                                    (
+                                        key.value,
+                                        key.lineno,
+                                        key.col_offset,
+                                    )
+                                )
+                        break
+        return keys

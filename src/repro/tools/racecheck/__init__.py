@@ -1,0 +1,351 @@
+"""Concurrency sanitizer: lock-order graph + shared-counter audit.
+
+The checker installs instrumented factories into the
+:mod:`repro.util.locks` construction seam, so every mutex and shared
+counter mapping the federation creates during a checked run is
+observed without monkeypatching production code:
+
+- each :class:`InstrumentedLock` records, on acquisition, one
+  *ordering edge* from every lock the acquiring thread already holds;
+  a cycle in that graph is a potential deadlock (two threads can
+  interleave the cyclic acquisitions and block forever), reported with
+  the stack of the first acquisition that created each edge;
+- each :class:`AuditedCounters` mapping records every write together
+  with the writing thread and whether the owning lock was held; a
+  counter written by two or more threads with at least one write
+  outside its lock is an unsynchronized shared-counter mutation.
+
+Use via the pytest plugin::
+
+    pytest tests/concurrency -p repro.tools.racecheck.plugin --racecheck
+
+or programmatically: ``monitor = RaceMonitor(); monitor.install()``,
+run the workload, ``monitor.uninstall()``, inspect
+``monitor.lock_cycles()`` / ``monitor.counter_violations()`` /
+``monitor.report()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.util import locks as lockseam
+
+__all__ = [
+    "AuditedCounters",
+    "InstrumentedLock",
+    "RaceMonitor",
+]
+
+#: Stack frames kept per recorded site (acquisition edge or counter
+#: write); enough to see the caller chain without drowning the report.
+_STACK_DEPTH = 14
+
+
+def _site_stack() -> str:
+    frames = traceback.extract_stack()[:-2][-_STACK_DEPTH:]
+    return "".join(traceback.format_list(frames)).rstrip()
+
+
+class InstrumentedLock:
+    """A ``threading.Lock`` stand-in that reports to a monitor."""
+
+    def __init__(self, label: str, monitor: "RaceMonitor") -> None:
+        self.label = label
+        self._inner = threading.Lock()
+        self._monitor = monitor
+        self._owner: Optional[int] = None
+        monitor._register_lock(self)
+
+    # -- lock protocol ----------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._monitor._on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._monitor._on_release(self)
+        self._owner = None
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"InstrumentedLock({self.label!r})"
+
+
+class AuditedCounters(dict):
+    """A counter mapping that audits writes against its owning lock."""
+
+    def __init__(
+        self,
+        initial: Dict[str, int],
+        lock: Any,
+        owner: str,
+        monitor: "RaceMonitor",
+    ) -> None:
+        super().__init__(initial)
+        self.owner = owner
+        self._lock = lock
+        self._monitor = monitor
+
+    def _lock_held(self) -> bool:
+        if isinstance(self._lock, InstrumentedLock):
+            return self._lock.held_by_current_thread()
+        locked = getattr(self._lock, "locked", None)
+        return bool(locked()) if callable(locked) else False
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._monitor._on_counter_write(self, key, self._lock_held())
+        super().__setitem__(key, value)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:  # type: ignore[override]
+        self._monitor._on_counter_write(self, "<update>", self._lock_held())
+        super().update(*args, **kwargs)
+
+    def __delitem__(self, key: str) -> None:
+        self._monitor._on_counter_write(self, key, self._lock_held())
+        super().__delitem__(key)
+
+
+class RaceMonitor:
+    """Collects lock-order edges and counter-write audits for one run."""
+
+    def __init__(self) -> None:
+        # The monitor's own guard is a *plain* lock, invisible to the
+        # graph it maintains.
+        self._guard = threading.Lock()
+        self._tls = threading.local()
+        self._locks: Dict[int, str] = {}
+        # (held lock id, acquired lock id) -> (labels, first stack)
+        self._edges: Dict[Tuple[int, int], Tuple[str, str, str]] = {}
+        self._acquisitions = 0
+        # id(counters) -> state
+        self._counters: Dict[int, Dict[str, Any]] = {}
+        self._installed: Optional[
+            Tuple[lockseam.LockFactory, lockseam.CounterFactory]
+        ] = None
+
+    # -- seam wiring ------------------------------------------------------
+
+    def install(self) -> None:
+        """Install instrumented factories into the lock seam."""
+        if self._installed is not None:
+            raise RuntimeError("race monitor already installed")
+        self._installed = lockseam.install(
+            lock_factory=lambda label: InstrumentedLock(label, self),
+            counter_factory=lambda initial, lock, owner: AuditedCounters(
+                initial, lock, owner, self
+            ),
+        )
+
+    def uninstall(self) -> None:
+        if self._installed is not None:
+            lockseam.restore(self._installed)
+            self._installed = None
+
+    # -- event intake (called by the instruments) -------------------------
+
+    def _register_lock(self, lock: InstrumentedLock) -> None:
+        with self._guard:
+            self._locks[id(lock)] = lock.label
+
+    def _held_stack(self) -> List[InstrumentedLock]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _on_acquire(self, lock: InstrumentedLock) -> None:
+        held = self._held_stack()
+        new_edges = [
+            (id(previous), id(lock), previous.label, lock.label)
+            for previous in held
+            if previous is not lock
+        ]
+        held.append(lock)
+        if not new_edges:
+            with self._guard:
+                self._acquisitions += 1
+            return
+        stack = None
+        with self._guard:
+            self._acquisitions += 1
+            for source, target, source_label, target_label in new_edges:
+                if (source, target) not in self._edges:
+                    if stack is None:
+                        stack = _site_stack()
+                    self._edges[(source, target)] = (
+                        source_label,
+                        target_label,
+                        stack,
+                    )
+
+    def _on_release(self, lock: InstrumentedLock) -> None:
+        held = self._held_stack()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is lock:
+                del held[index]
+                break
+
+    def _on_counter_write(
+        self, counters: AuditedCounters, key: str, locked: bool
+    ) -> None:
+        ident = threading.get_ident()
+        with self._guard:
+            state = self._counters.get(id(counters))
+            if state is None:
+                state = {
+                    "owner": counters.owner,
+                    "threads": set(),
+                    "unlocked": 0,
+                    "writes": 0,
+                    "unlocked_sample": None,
+                }
+                self._counters[id(counters)] = state
+            state["writes"] += 1
+            state["threads"].add(ident)
+            if not locked:
+                state["unlocked"] += 1
+                if state["unlocked_sample"] is None:
+                    state["unlocked_sample"] = (key, _site_stack())
+
+    # -- analysis ---------------------------------------------------------
+
+    def lock_cycles(self) -> List[List[str]]:
+        """Cycles in the lock-order graph, as label chains.
+
+        A cycle ``A -> B -> A`` means one thread acquired B while
+        holding A and another (or the same code path elsewhere)
+        acquired A while holding B: the interleaving where each holds
+        its first lock deadlocks.
+        """
+        with self._guard:
+            edges = dict(self._edges)
+            labels = dict(self._locks)
+        graph: Dict[int, Set[int]] = {}
+        for source, target in edges:
+            graph.setdefault(source, set()).add(target)
+
+        cycles: List[List[str]] = []
+        seen_cycles: Set[Tuple[int, ...]] = set()
+        visiting: List[int] = []
+        on_path: Set[int] = set()
+        done: Set[int] = set()
+
+        def visit(node: int) -> None:
+            visiting.append(node)
+            on_path.add(node)
+            for successor in sorted(graph.get(node, ())):
+                if successor in on_path:
+                    start = visiting.index(successor)
+                    cycle = visiting[start:] + [successor]
+                    key = tuple(sorted(set(cycle)))
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        cycles.append(
+                            [labels.get(n, f"<lock {n}>") for n in cycle]
+                        )
+                elif successor not in done:
+                    visit(successor)
+            on_path.discard(node)
+            visiting.pop()
+            done.add(node)
+
+        for node in sorted(graph):
+            if node not in done:
+                visit(node)
+        return cycles
+
+    def counter_violations(self) -> List[Dict[str, Any]]:
+        """Counters mutated by several threads with unlocked writes."""
+        with self._guard:
+            states = [dict(state) for state in self._counters.values()]
+        violations = []
+        for state in states:
+            if len(state["threads"]) >= 2 and state["unlocked"] > 0:
+                violations.append(state)
+        return violations
+
+    def edge_report(self) -> List[str]:
+        with self._guard:
+            edges = list(self._edges.values())
+        return sorted(
+            f"{source} -> {target}" for source, target, _ in edges
+        )
+
+    def report(self) -> str:
+        """Human-readable summary with stacks for every finding."""
+        with self._guard:
+            lock_count = len(self._locks)
+            acquisitions = self._acquisitions
+            edge_count = len(self._edges)
+            write_count = sum(
+                state["writes"] for state in self._counters.values()
+            )
+            edges = dict(self._edges)
+        cycles = self.lock_cycles()
+        violations = self.counter_violations()
+
+        lines = [
+            f"racecheck: {lock_count} locks, {acquisitions} acquisitions, "
+            f"{edge_count} ordering edges, {write_count} counter writes",
+        ]
+        if not cycles:
+            lines.append("lock-order cycles: none")
+        else:
+            lines.append(f"lock-order cycles: {len(cycles)}")
+            for cycle in cycles:
+                lines.append("  cycle: " + " -> ".join(cycle))
+                for (labels_stack) in edges.values():
+                    source, target, stack = labels_stack
+                    if source in cycle and target in cycle:
+                        lines.append(
+                            f"    edge {source} -> {target} first taken at:"
+                        )
+                        lines.extend(
+                            "      " + frame
+                            for frame in stack.splitlines()
+                        )
+        if not violations:
+            lines.append("unsynchronized counter writes: none")
+        else:
+            lines.append(
+                f"unsynchronized counter writes: {len(violations)}"
+            )
+            for state in violations:
+                lines.append(
+                    f"  {state['owner']}: {state['writes']} writes from "
+                    f"{len(state['threads'])} threads, "
+                    f"{state['unlocked']} without the owning lock"
+                )
+                sample = state["unlocked_sample"]
+                if sample is not None:
+                    key, stack = sample
+                    lines.append(
+                        f"    first unlocked write (key {key!r}) at:"
+                    )
+                    lines.extend(
+                        "      " + frame for frame in stack.splitlines()
+                    )
+        return "\n".join(lines)
+
+    @property
+    def clean(self) -> bool:
+        return not self.lock_cycles() and not self.counter_violations()

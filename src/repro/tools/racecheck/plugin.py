@@ -1,0 +1,71 @@
+"""pytest plugin wiring the race monitor around a test run.
+
+Enable with::
+
+    pytest tests/concurrency -p repro.tools.racecheck.plugin --racecheck
+
+While active, every lock and shared-counter mapping created through
+the :mod:`repro.util.locks` seam is instrumented.  After the run the
+terminal summary carries a ``racecheck`` section; any lock-order cycle
+or unsynchronized counter write turns a passing run into exit status 3
+so CI cannot miss it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.tools.racecheck import RaceMonitor
+
+#: Exit status used when tests pass but the sanitizer found races.
+RACECHECK_EXIT = 3
+
+_monitor: Optional[RaceMonitor] = None
+
+
+def pytest_addoption(parser: Any) -> None:
+    group = parser.getgroup("racecheck")
+    group.addoption(
+        "--racecheck",
+        action="store_true",
+        default=False,
+        help=(
+            "instrument repro.util.locks and fail the run on "
+            "lock-order cycles or unsynchronized counter writes"
+        ),
+    )
+
+
+def pytest_configure(config: Any) -> None:
+    global _monitor
+    if config.getoption("--racecheck"):
+        _monitor = RaceMonitor()
+        _monitor.install()
+
+
+def pytest_sessionfinish(session: Any, exitstatus: int) -> None:
+    if _monitor is None:
+        return
+    if int(exitstatus) == 0 and not _monitor.clean:
+        session.exitstatus = RACECHECK_EXIT
+
+
+def pytest_terminal_summary(
+    terminalreporter: Any, exitstatus: int, config: Any
+) -> None:
+    if _monitor is None:
+        return
+    terminalreporter.section("racecheck")
+    terminalreporter.write_line(_monitor.report())
+    if not _monitor.clean:
+        terminalreporter.write_line(
+            "racecheck: FAILED (see findings above); "
+            f"exit status forced to {RACECHECK_EXIT}"
+        )
+
+
+def pytest_unconfigure(config: Any) -> None:
+    global _monitor
+    if _monitor is not None:
+        _monitor.uninstall()
+        _monitor = None

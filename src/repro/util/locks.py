@@ -1,0 +1,89 @@
+"""The federation's lock-construction seam.
+
+Every lock guarding shared fetch-path state (per-source index mutexes,
+the fetcher's pool lock, fault-injection counters) is created through
+:func:`new_lock` instead of ``threading.Lock()`` directly, and every
+shared counter dict through :func:`make_counters`.  In production both
+return the plain stdlib objects with zero overhead; the concurrency
+sanitizer (:mod:`repro.tools.racecheck`) installs instrumented
+factories here for the duration of a checked test run, so the code
+under test never needs monkeypatching or test-only branches.
+
+The label passed to :func:`new_lock` names the *allocation site*
+(``"LocusLinkStore._fetch_mutex"``), which is what the sanitizer's
+lock-order reports show; the lock object itself is what cycle
+detection runs on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: A lock factory takes the site label and returns a lock-like object
+#: (``acquire``/``release``/context manager).
+LockFactory = Callable[[str], Any]
+
+#: A counter factory takes the initial mapping, the owning lock, and
+#: the owner label, and returns a mutable mapping.
+CounterFactory = Callable[[Dict[str, int], Any, str], Dict[str, int]]
+
+
+def _default_lock_factory(label: str) -> threading.Lock:
+    return threading.Lock()
+
+
+def _default_counter_factory(
+    initial: Dict[str, int], lock: Any, owner: str
+) -> Dict[str, int]:
+    return dict(initial)
+
+
+_lock_factory: LockFactory = _default_lock_factory
+_counter_factory: CounterFactory = _default_counter_factory
+
+
+def new_lock(label: str) -> Any:
+    """A mutex for ``label`` from the currently installed factory."""
+    return _lock_factory(label)
+
+
+def make_counters(
+    initial: Dict[str, int], lock: Any, owner: str
+) -> Dict[str, int]:
+    """A shared counter mapping guarded (by convention) by ``lock``.
+
+    The default is a plain dict; under the race checker the returned
+    mapping audits every write against the owning lock.
+    """
+    return _counter_factory(initial, lock, owner)
+
+
+def install(
+    lock_factory: Optional[LockFactory] = None,
+    counter_factory: Optional[CounterFactory] = None,
+) -> Tuple[LockFactory, CounterFactory]:
+    """Swap in instrumented factories; returns the previous pair so
+    the caller can restore them (see :func:`restore`)."""
+    global _lock_factory, _counter_factory
+    previous = (_lock_factory, _counter_factory)
+    if lock_factory is not None:
+        _lock_factory = lock_factory
+    if counter_factory is not None:
+        _counter_factory = counter_factory
+    return previous
+
+
+def restore(
+    previous: Tuple[LockFactory, CounterFactory],
+) -> None:
+    """Reinstall a factory pair captured by :func:`install`."""
+    global _lock_factory, _counter_factory
+    _lock_factory, _counter_factory = previous
+
+
+def reset() -> None:
+    """Back to the zero-overhead production factories."""
+    global _lock_factory, _counter_factory
+    _lock_factory = _default_lock_factory
+    _counter_factory = _default_counter_factory

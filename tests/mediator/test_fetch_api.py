@@ -61,7 +61,7 @@ class TestWrapperFetchMigration:
 
     def test_legacy_empty_conditions_shim(self, ll_wrapper):
         with pytest.warns(DeprecationWarning):
-            legacy = ll_wrapper.fetch(())
+            legacy = ll_wrapper.fetch(())  # annoda: noqa=ANN001 -- the shim's empty-default path is exactly what this test covers
         assert legacy == ll_wrapper.fetch(FetchRequest())
 
     def test_request_path_emits_no_warning(self, ll_wrapper, recwarn):

@@ -1,0 +1,8 @@
+"""ANN001 corpus: raw-conditions fetch shim uses (all must fire)."""
+
+
+def legacy_calls(wrapper):
+    wrapper.fetch([("Organism", "=", "Homo sapiens")])  # list literal
+    wrapper.fetch((("GoID", "=", "GO:1"),))  # tuple literal
+    wrapper.fetch()  # the shim's empty default
+    wrapper.fetch(list(condition for condition in ()))  # list() call

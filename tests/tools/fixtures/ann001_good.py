@@ -1,0 +1,10 @@
+"""ANN001 corpus: FetchRequest-path fetches (none may fire)."""
+
+from repro.mediator.fetch import FetchRequest
+
+
+def request_calls(wrapper, request):
+    wrapper.fetch(FetchRequest((("Organism", "=", "Homo sapiens"),)))
+    wrapper.fetch(FetchRequest())
+    wrapper.fetch(request)  # a name: cannot be proven raw, passes
+    wrapper.fetch(request=FetchRequest())

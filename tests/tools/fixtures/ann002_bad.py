@@ -1,0 +1,16 @@
+# annoda: module=repro.sources.fake
+"""ANN002 corpus: unsynchronized store-state writes (all must fire)."""
+
+
+class FakeStore(DataSource):  # noqa: F821 (fixture, never imported)
+    def rebuild(self, records):
+        self._records = list(records)  # plain assignment, no lock
+
+    def add(self, record):
+        self._records.append(record)  # mutating call, no lock
+
+    def index(self, key, value):
+        self._by_id[key] = value  # subscript store, no lock
+
+    def chain(self, key, value):
+        self._by_symbol.setdefault(key, []).append(value)  # chained

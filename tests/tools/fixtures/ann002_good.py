@@ -1,0 +1,18 @@
+# annoda: module=repro.sources.fake
+"""ANN002 corpus: synchronized store-state writes (none may fire)."""
+
+
+class FakeStore(DataSource):  # noqa: F821 (fixture, never imported)
+    def rebuild(self, records):
+        with self._fetch_mutex():
+            self._records = list(records)  # under the lock
+
+    def add(self, record):
+        self._records.append(record)  # ok: method bumps version
+        self._version += 1
+
+    def _adopt_locked(self, index):
+        self._indexes.append(index)  # _locked: caller holds the mutex
+
+    def touch_public(self, value):
+        self.public_field = value  # public attr: not indexed state

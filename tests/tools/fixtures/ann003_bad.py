@@ -1,0 +1,31 @@
+# annoda: module=repro.mediator.fake
+"""ANN003 corpus: nondeterminism in answer-affecting code (all fire)."""
+
+import random
+import time
+from datetime import datetime
+from random import Random
+
+
+def stamp():
+    return time.time()
+
+
+def stamp_ns():
+    return time.time_ns()
+
+
+def today():
+    return datetime.now()
+
+
+def draw():
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def rng():
+    return Random()  # unseeded

@@ -1,0 +1,17 @@
+# annoda: module=repro.mediator.fake
+"""ANN003 corpus: deterministic equivalents (none may fire)."""
+
+import time
+from random import Random
+
+
+def elapsed(start):
+    return time.perf_counter() - start
+
+
+def rng(seed):
+    return Random(seed)  # seeded: reproducible
+
+
+def rng_fixed():
+    return Random(1729)

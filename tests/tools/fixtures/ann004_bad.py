@@ -1,0 +1,17 @@
+"""ANN004 corpus: blocking calls under a lock (all must fire)."""
+
+import time
+
+
+class Holder:
+    def stall(self):
+        with self._lock:
+            time.sleep(0.5)  # sleep while holding the lock
+
+    def load(self, path):
+        with self._fetch_mutex():
+            return open(path).read()  # file I/O under the mutex
+
+    def snapshot(self, path, payload):
+        with self.state_lock:
+            path.write_text(payload)  # pathlib write under the lock

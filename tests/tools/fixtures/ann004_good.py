@@ -1,0 +1,21 @@
+"""ANN004 corpus: I/O kept outside the lock (none may fire)."""
+
+import time
+
+
+class Holder:
+    def stall(self):
+        time.sleep(0.5)  # no lock held
+        with self._lock:
+            self.counter += 1
+
+    def load(self, path):
+        payload = open(path).read()  # read first...
+        with self._fetch_mutex():
+            self.cache = payload  # ...publish under the lock
+
+    def closure_is_deferred(self):
+        with self._lock:
+            def later():
+                time.sleep(0.1)  # runs after release, not under lock
+            self.callback = later

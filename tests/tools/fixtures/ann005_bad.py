@@ -1,0 +1,26 @@
+"""ANN005 corpus: a stats counter never folded into the report."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ExecutionStats:
+    rows_fetched: int = 0
+    retries: int = 0
+    orphaned_counter: int = 0  # written by the executor, shown nowhere
+    _scratch: int = 0  # private: exempt
+
+    def total_rows_fetched(self) -> int:
+        return self.rows_fetched
+
+
+@dataclass
+class ExecutionReport:
+    stats: "ExecutionStats" = field(default_factory=lambda: ExecutionStats())
+
+    def describe(self) -> str:
+        return (
+            f"rows {self.stats.total_rows_fetched()} / "
+            f"retries {self.stats.retries}"
+        )

@@ -1,0 +1,10 @@
+"""ANN005 cross-file corpus: counter keys a stats module folds in
+(lint together with ann005_counters_stats.py)."""
+
+
+class FakeStore:
+    def _fetchpath_counters(self):
+        return {
+            "index_hits": 0,
+            "scan_queries": 0,
+        }

@@ -1,0 +1,21 @@
+"""ANN005 cross-file corpus: the stats side folding both keys."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ExecutionStats:
+    index_hits: int = 0
+    scan_fetches: int = 0
+
+    def fold(self, counters) -> None:
+        self.index_hits += counters.get("index_hits", 0)
+        self.scan_fetches += counters.get("scan_queries", 0)
+
+
+class ExecutionReport:
+    def __init__(self, stats) -> None:
+        self.stats = stats
+
+    def describe(self) -> str:
+        return f"{self.stats.index_hits} / {self.stats.scan_fetches}"

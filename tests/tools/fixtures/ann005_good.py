@@ -1,0 +1,25 @@
+"""ANN005 corpus: every stats counter is folded into the report."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ExecutionStats:
+    rows_fetched: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+
+    def total_rows_fetched(self) -> int:
+        return self.rows_fetched
+
+
+@dataclass
+class ExecutionReport:
+    stats: "ExecutionStats" = field(default_factory=lambda: ExecutionStats())
+
+    def describe(self) -> str:
+        return (
+            f"rows {self.stats.total_rows_fetched()} / "
+            f"retries {self.stats.retries} in {self.stats.wall_seconds}s"
+        )

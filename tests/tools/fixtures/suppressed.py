@@ -1,0 +1,5 @@
+"""Suppression corpus: a real ANN001 violation, waived with a reason."""
+
+
+def deliberate_legacy_call(wrapper):
+    return wrapper.fetch(())  # annoda: noqa=ANN001 -- exercising the shim on purpose

@@ -1,0 +1,5 @@
+"""Suppression corpus: naming a code the registry does not know."""
+
+
+def fine_code():
+    return 1  # annoda: noqa=ANN777 -- typo'd code must be reported

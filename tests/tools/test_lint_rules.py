@@ -1,0 +1,157 @@
+"""Fixture-driven tests for the ANN lint rules and the engine.
+
+Every rule code has a bad fixture that must fire (so the test fails if
+the rule is deleted or stops matching) and a good fixture that must
+stay silent (so the rule cannot over-reach).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import (
+    META_SYNTAX_ERROR,
+    META_UNKNOWN_SUPPRESSION,
+    REGISTRY,
+    SourceModule,
+    lint_file,
+    lint_paths,
+    lint_texts,
+    resolve_codes,
+)
+from repro.tools.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def fixture_path(name: str) -> str:
+    return str(FIXTURES / name)
+
+
+def lint_fixture(name: str, code: str):
+    findings = lint_file(fixture_path(name), select={code})
+    assert all(finding.code == code for finding in findings)
+    return findings
+
+
+class TestRulePairs:
+    """One good/bad fixture pair per registered rule code."""
+
+    @pytest.mark.parametrize(
+        "code,expected_bad_lines",
+        [
+            ("ANN001", {5, 6, 7, 8}),
+            ("ANN002", {7, 10, 13, 16}),
+            ("ANN003", {11, 15, 19, 23, 27, 31}),
+            ("ANN004", {9, 13, 17}),
+            ("ANN005", {11}),
+        ],
+    )
+    def test_bad_fixture_fires(self, code, expected_bad_lines):
+        findings = lint_fixture(f"{code.lower()}_bad.py", code)
+        assert findings, f"{code} bad fixture produced no findings"
+        assert {finding.line for finding in findings} == expected_bad_lines
+
+    @pytest.mark.parametrize(
+        "code", ["ANN001", "ANN002", "ANN003", "ANN004", "ANN005"]
+    )
+    def test_good_fixture_is_clean(self, code):
+        assert lint_fixture(f"{code.lower()}_good.py", code) == []
+
+    def test_every_registered_rule_has_a_fixture_pair(self):
+        for code in REGISTRY:
+            assert (FIXTURES / f"{code.lower()}_bad.py").is_file()
+            assert (FIXTURES / f"{code.lower()}_good.py").is_file()
+
+
+class TestCrossFileCounterRule:
+    def _lint_pair(self, counters_fixture: str):
+        sources = []
+        for name in (counters_fixture, "ann005_counters_stats.py"):
+            path = fixture_path(name)
+            sources.append((path, Path(path).read_text(encoding="utf-8")))
+        return [
+            finding
+            for finding in lint_texts(sources, select={"ANN005"})
+            if finding.code == "ANN005"
+        ]
+
+    def test_unfolded_counter_key_fires(self):
+        findings = self._lint_pair("ann005_counters_bad.py")
+        assert len(findings) == 1
+        assert "mystery_counter" in findings[0].message
+
+    def test_folded_counter_keys_are_clean(self):
+        assert self._lint_pair("ann005_counters_good.py") == []
+
+
+class TestSuppressions:
+    def test_noqa_suppresses_the_named_code(self):
+        assert lint_file(fixture_path("suppressed.py")) == []
+
+    def test_violation_returns_when_noqa_removed(self):
+        path = fixture_path("suppressed.py")
+        text = Path(path).read_text(encoding="utf-8")
+        stripped = text.replace(
+            "  # annoda: noqa=ANN001 -- exercising the shim on purpose", ""
+        )
+        assert stripped != text
+        findings = lint_texts([(path, stripped)], select={"ANN001"})
+        assert [finding.code for finding in findings] == ["ANN001"]
+
+    def test_suppression_reason_is_recorded(self):
+        path = fixture_path("suppressed.py")
+        module = SourceModule(path, Path(path).read_text(encoding="utf-8"))
+        assert module.suppression_reasons == {
+            5: "exercising the shim on purpose"
+        }
+
+    def test_unknown_suppressed_code_is_reported(self):
+        findings = lint_file(fixture_path("unknown_code.py"))
+        assert [finding.code for finding in findings] == [
+            META_UNKNOWN_SUPPRESSION
+        ]
+        assert "ANN777" in findings[0].message
+
+
+class TestEngine:
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ValueError, match="ANN999"):
+            resolve_codes(["ANN999"])
+
+    def test_cli_rejects_unknown_select_code(self, capsys):
+        assert main(["--select", "ANN999", "src"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_syntax_error_becomes_diagnostic(self):
+        findings = lint_texts([("broken.py", "def f(:\n")])
+        assert [finding.code for finding in findings] == [META_SYNTAX_ERROR]
+
+    def test_module_directive_controls_scoped_rules(self):
+        text = (
+            "# annoda: module=repro.mediator.fake\n"
+            "import time\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        assert lint_texts([("x.py", text)], select={"ANN003"})
+        unscoped = text.replace(
+            "# annoda: module=repro.mediator.fake\n", ""
+        )
+        assert lint_texts([("x.py", unscoped)], select={"ANN003"}) == []
+
+    def test_fixture_corpus_is_excluded_from_path_walks(self):
+        findings = lint_paths([str(FIXTURES.parent)])
+        assert [f for f in findings if "fixtures" in f.path] == []
+
+
+class TestProjectGate:
+    def test_repo_tree_is_lint_clean(self, capsys):
+        paths = [
+            str(REPO_ROOT / name)
+            for name in ("src", "tests", "benchmarks")
+        ]
+        exit_code = main(paths)
+        output = capsys.readouterr()
+        assert exit_code == 0, output.out

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.mediator.fetch import FetchRequest
 from repro.oem import OEMGraph, OEMType, write_figure3
 from repro.sources import AnnotationCorpus, CorpusParameters
 from repro.util.errors import QueryError
@@ -112,7 +113,9 @@ class TestLocalModel:
 
 class TestPushdown:
     def test_supported_condition_translated(self, ll_wrapper):
-        hits = ll_wrapper.fetch([("Organism", "=", "Homo sapiens")])
+        hits = ll_wrapper.fetch(
+            FetchRequest((("Organism", "=", "Homo sapiens"),))
+        )
         assert hits
         assert all(hit["Organism"] == "Homo sapiens" for hit in hits)
 
@@ -122,7 +125,9 @@ class TestPushdown:
             for record in corpus.locuslink.records()
             if record["GoIDs"]
         )
-        hits = ll_wrapper.fetch([("GoID", "=", annotated["GoIDs"][0])])
+        hits = ll_wrapper.fetch(
+            FetchRequest((("GoID", "=", annotated["GoIDs"][0]),))
+        )
         assert any(hit["LocusID"] == annotated["LocusID"] for hit in hits)
 
     def test_supports_reflects_source_capabilities(self, ll_wrapper):
@@ -133,7 +138,7 @@ class TestPushdown:
 
     def test_unsupported_condition_raises(self, ll_wrapper):
         with pytest.raises(QueryError):
-            ll_wrapper.fetch([("Description", "=", "x")])
+            ll_wrapper.fetch(FetchRequest((("Description", "=", "x"),)))
 
     def test_unknown_label_raises(self, ll_wrapper):
         with pytest.raises(QueryError):
