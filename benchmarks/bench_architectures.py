@@ -12,7 +12,6 @@ Expected shape (paper section 5 + Table 1):
 - ANNODA answers in one automated query, reconciled and always fresh.
 """
 
-import time
 
 import pytest
 
@@ -27,6 +26,7 @@ from repro.evaluation import AnnodaSystem
 from repro.evaluation.metrics import answer_quality
 from repro.sources import AnnotationCorpus, CorpusParameters
 from repro.util.text import table
+from repro.util.timer import Timer
 from repro.wrappers import default_wrappers
 
 SIZES = (100, 300, 1000)
@@ -97,9 +97,11 @@ def test_architecture_comparison_artifact(benchmark, results_dir):
             systems = _systems(corpus)
             truth = corpus.ground_truth.figure5b_expected()
             for name, system in systems.items():
-                started = time.perf_counter()
-                answer, effort = system.integrated_gene_disease_query()
-                elapsed = time.perf_counter() - started
+                with Timer() as timer:
+                    answer, effort = (
+                        system.integrated_gene_disease_query()
+                    )
+                elapsed = timer.elapsed
                 quality = answer_quality(answer, truth)
                 collected.append(
                     [
@@ -159,9 +161,9 @@ def test_warehouse_pays_etl_and_staleness(benchmark, results_dir):
                 warehouse.integrated_gene_disease_query()
             )
             fresh_answer, _ = annoda.integrated_gene_disease_query()
-            started = time.perf_counter()
-            warehouse.etl()
-            etl_cost = time.perf_counter() - started
+            with Timer() as timer:
+                warehouse.etl()
+            etl_cost = timer.elapsed
             reloaded_answer, _ = warehouse.integrated_gene_disease_query()
         finally:
             corpus.locuslink.remove(900001)

@@ -33,10 +33,10 @@ import argparse
 import json
 import pathlib
 import tempfile
-import time
 
 from repro.sources import AnnotationCorpus, CorpusParameters, NativeCondition
 from repro.sources.persistence import adopt_persisted_indexes, load_stores, save_corpus
+from repro.util.timer import Timer
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -97,10 +97,10 @@ def _probe_plan(originals):
 
 def _run_probes(stores, plan):
     answers = []
-    started = time.perf_counter()
-    for name, condition in plan:
-        answers.append(stores[name].native_query([condition]))
-    return time.perf_counter() - started, answers
+    with Timer() as timer:
+        for name, condition in plan:
+            answers.append(stores[name].native_query([condition]))
+    return timer.elapsed, answers
 
 
 def _measure(directory, plan, rounds, adopt):
@@ -110,12 +110,12 @@ def _measure(directory, plan, rounds, adopt):
     best_seconds, best_answers, best_stores = float("inf"), None, None
     for _ in range(rounds):
         stores = load_stores(directory, adopt_indexes=False)
-        started = time.perf_counter()
-        if adopt:
-            adopted = adopt_persisted_indexes(directory, stores)
-            assert all(adopted.values()), f"adoption failed: {adopted}"
-        probe_seconds, answers = _run_probes(stores, plan)
-        seconds = (time.perf_counter() - started) if adopt else probe_seconds
+        with Timer() as timer:
+            if adopt:
+                adopted = adopt_persisted_indexes(directory, stores)
+                assert all(adopted.values()), f"adoption failed: {adopted}"
+            probe_seconds, answers = _run_probes(stores, plan)
+        seconds = timer.elapsed if adopt else probe_seconds
         if seconds < best_seconds:
             best_seconds, best_answers, best_stores = (
                 seconds, answers, stores,

@@ -26,13 +26,13 @@ Run standalone (CI smoke)::
 import argparse
 import json
 import pathlib
-import time
 
 from repro.mediator import GlobalQuery, LinkConstraint, Mediator
 from repro.mediator.decompose import Condition
 from repro.mediator.fetch import FederationPolicy, FlakyWrapper
 from repro.sources import AnnotationCorpus, CorpusParameters
 from repro.util.text import table
+from repro.util.timer import Timer
 from repro.wrappers import default_wrappers
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -124,9 +124,9 @@ def _run_once(corpus, workers, fault_rate, latency):
         corpus, policy, latency=latency, fault_rate=fault_rate
     )
     query = _bench_query()
-    started = time.perf_counter()
-    result = mediator.query(query, use_cache=False)
-    return time.perf_counter() - started, result
+    with Timer() as timer:
+        result = mediator.query(query, use_cache=False)
+    return timer.elapsed, result
 
 
 def _best_of(rounds, run):

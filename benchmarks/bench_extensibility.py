@@ -6,7 +6,6 @@ two-step plug-in (MDSM matching + mediator interface) and verifies the
 federation answers four-source questions immediately afterwards.
 """
 
-import time
 
 import pytest
 
@@ -14,6 +13,7 @@ from benchmarks.conftest import write_artifact
 from repro.core import Annoda
 from repro.sources import AnnotationCorpus, CorpusParameters
 from repro.util.text import table
+from repro.util.timer import Timer
 from repro.wrappers import PubmedLikeWrapper, default_wrappers
 
 
@@ -49,15 +49,15 @@ def test_extensibility_artifact(benchmark, results_dir):
         annoda = _fresh_annoda()
         store = annoda.corpus.make_citation_store(count=200)
 
-        started = time.perf_counter()
-        correspondences = annoda.add_source(PubmedLikeWrapper(store))
-        plug_in_seconds = time.perf_counter() - started
+        with Timer() as timer:
+            correspondences = annoda.add_source(PubmedLikeWrapper(store))
+        plug_in_seconds = timer.elapsed
 
-        started = time.perf_counter()
-        result = annoda.ask(
-            "genes cited in some PubMed article", enrich_links=False
-        )
-        first_query_seconds = time.perf_counter() - started
+        with Timer() as timer:
+            result = annoda.ask(
+                "genes cited in some PubMed article", enrich_links=False
+            )
+        first_query_seconds = timer.elapsed
 
         gml_graph, gml_root = annoda.gml()
         source_names = [

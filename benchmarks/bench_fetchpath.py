@@ -19,7 +19,6 @@ trajectory ``BENCH_fetchpath.json`` at the repo root.
 
 import json
 import pathlib
-import time
 
 from benchmarks.conftest import write_artifact
 from repro.mediator import (
@@ -34,6 +33,7 @@ from repro.questions.catalog import QuestionCatalog
 from repro.sources import AnnotationCorpus, CorpusParameters
 from repro.sources.base import NativeCondition
 from repro.util.text import table
+from repro.util.timer import Timer
 from repro.wrappers import default_wrappers
 
 SIZES = (100, 500, 1000, 2000)
@@ -59,9 +59,9 @@ def _corpus(loci):
 def _best_of(rounds, run):
     best = float("inf")
     for _ in range(rounds):
-        started = time.perf_counter()
-        run()
-        best = min(best, time.perf_counter() - started)
+        with Timer() as timer:
+            run()
+        best = min(best, timer.elapsed)
     return best
 
 

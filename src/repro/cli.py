@@ -83,6 +83,25 @@ def build_parser():
     ask.add_argument("--audit", action="store_true",
                      help="also print the reconciliation report")
 
+    explain = commands.add_parser(
+        "explain",
+        help=(
+            "answer a question with the query flight recorder on and "
+            "render the span tree (stages, wall-times, counters)"
+        ),
+    )
+    explain.add_argument("question")
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full trace (with timings) as JSON",
+    )
+    explain.add_argument(
+        "--plan",
+        action="store_true",
+        help="also print the optimizer's plan",
+    )
+
     lorel = commands.add_parser(
         "lorel", help="evaluate raw Lorel against ANNODA-GML"
     )
@@ -176,6 +195,21 @@ def _command_ask(annoda, args, out):
         print(result.reconciliation.render(), file=out)
 
 
+def _command_explain(annoda, args, out):
+    from repro.trace import render_trace, trace_to_json
+
+    result = annoda.trace(args.question)
+    if args.plan:
+        print(annoda.explain(args.question), file=out)
+        print(file=out)
+    if args.json:
+        print(trace_to_json(result.trace), file=out)
+        return
+    print(render_trace(result.trace), file=out)
+    print(file=out)
+    print(result.report.describe(), file=out)
+
+
 def _command_lorel(annoda, args, out):
     engine = annoda.mediator.lorel_engine()
     result = engine.query(args.query)
@@ -230,6 +264,8 @@ def main(argv=None, out=None):
             _command_describe(annoda, args, out)
         elif args.command == "ask":
             _command_ask(annoda, args, out)
+        elif args.command == "explain":
+            _command_explain(annoda, args, out)
         elif args.command == "lorel":
             _command_lorel(annoda, args, out)
         elif args.command == "figures":

@@ -125,7 +125,8 @@ class Annoda:
 
     # -- asking questions ----------------------------------------------------------------
 
-    def ask(self, question, enrich_links=True, use_cache=True):
+    def ask(self, question, enrich_links=True, use_cache=True,
+            recorder=None):
         """Answer a biological question.
 
         ``question`` may be constrained-English text, a
@@ -135,10 +136,37 @@ class Annoda:
         Cached answers are version-keyed (always as fresh as a
         recomputation); pass ``use_cache=False`` to force live
         execution, e.g. when measuring latency.
+
+        Pass a fresh :class:`~repro.trace.recorder.TraceRecorder` as
+        ``recorder`` to flight-record the query: the result's
+        :attr:`~repro.mediator.executor.IntegratedResult.trace` becomes
+        the closed span tree (see :meth:`trace`).
         """
+        if recorder is None:
+            from repro.trace.recorder import NULL_RECORDER
+
+            recorder = NULL_RECORDER
         global_query = self._to_global_query(question)
         return self.mediator.query(
-            global_query, enrich_links=enrich_links, use_cache=use_cache
+            global_query, enrich_links=enrich_links, use_cache=use_cache,
+            recorder=recorder,
+        )
+
+    def trace(self, question, enrich_links=True):
+        """Answer a question with the flight recorder on.
+
+        Convenience over :meth:`ask`: builds a fresh
+        :class:`~repro.trace.recorder.TraceRecorder`, runs the query
+        live (traces never replay from the result cache) and returns
+        the :class:`~repro.mediator.executor.IntegratedResult` whose
+        ``trace`` attribute is the recorded span tree — feed it to
+        :func:`repro.trace.render_trace` or
+        :func:`repro.trace.trace_to_json`.
+        """
+        from repro.trace.recorder import TraceRecorder
+
+        return self.ask(
+            question, enrich_links=enrich_links, recorder=TraceRecorder()
         )
 
     def explain(self, question):

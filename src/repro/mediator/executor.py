@@ -27,7 +27,15 @@ from repro.mediator.fetch import (
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
 from repro.sources.base import NativeCondition, _evaluate
+from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
+
+
+def _delta_counter(span, name, delta):
+    """Attach a phase-local counter delta to ``span`` (zeros are
+    omitted so traces only carry counters that did work)."""
+    if delta:
+        span.set_counter(name, delta)
 
 
 @dataclass
@@ -242,6 +250,10 @@ class IntegratedResult:
         self.stats = stats
         self.report = ExecutionReport(stats, reconciliation)
         self.plan = plan
+        #: The query flight-recorder tree (a
+        #: :class:`~repro.trace.recorder.Span`), set by the mediator
+        #: when the query ran with tracing on; ``None`` otherwise.
+        self.trace = None
         # GeneID -> gene dict, first occurrence winning, so lookups are
         # O(1) instead of a scan per call.
         self._genes_by_id = {}
@@ -355,7 +367,8 @@ class Executor:
 
     # -- entry point ------------------------------------------------------------
 
-    def execute(self, plan, query, enrich_links=True):
+    def execute(self, plan, query, enrich_links=True,
+                recorder=NULL_RECORDER):
         started = time.perf_counter()
         stats = ExecutionStats()
         counters_before = self._fetchpath_snapshot()
@@ -365,6 +378,54 @@ class Executor:
 
         anchor_wrapper = self.wrappers[plan.anchor.source_name]
 
+        with recorder.span(
+            "execute",
+            attributes={
+                "anchor": plan.anchor.source_name,
+                "link_steps": len(plan.link_steps),
+            },
+        ) as execute_span:
+            result = self._execute_traced(
+                plan, query, enrich_links, recorder, stats, report,
+                anchor_wrapper,
+            )
+            counters_after = self._fetchpath_snapshot()
+            stats.index_hits = (
+                counters_after["index_hits"] - counters_before["index_hits"]
+            )
+            stats.scan_fetches = (
+                counters_after["scan_queries"]
+                - counters_before["scan_queries"]
+            )
+            stats.indexes_rebuilt = (
+                counters_after["index_builds"]
+                - counters_before["index_builds"]
+            )
+            stats.indexes_adopted = (
+                counters_after["index_adoptions"]
+                - counters_before["index_adoptions"]
+            )
+            # The fetch-path counters are whole-execution deltas over
+            # the sources' cumulative accounting, so they belong to the
+            # execute span itself, not to any one fetch below it.
+            _delta_counter(execute_span, "index_hits", stats.index_hits)
+            _delta_counter(execute_span, "scan_fetches", stats.scan_fetches)
+            _delta_counter(
+                execute_span, "indexes_rebuilt", stats.indexes_rebuilt
+            )
+            _delta_counter(
+                execute_span, "indexes_adopted", stats.indexes_adopted
+            )
+            stats.wall_seconds = time.perf_counter() - started
+            if stats.degraded_sources:
+                execute_span.set(
+                    "degraded", sorted(stats.degraded_sources)
+                )
+        return result
+
+    def _execute_traced(self, plan, query, enrich_links, recorder, stats,
+                        report, anchor_wrapper):
+        """The execute body, running inside the ``execute`` span."""
         # -- concurrent prefetch batch -------------------------------------
         # Every conditioned link-step fetch is independent of every
         # other, and of the (non-semijoin) anchor fetch: one batch on
@@ -376,32 +437,46 @@ class Executor:
                 jobs.append((step, self.wrappers[step.source_name]))
         if plan.anchor.semijoin is None:
             jobs.append((plan.anchor, anchor_wrapper))
-        replies = self.fetcher.fetch_all(
-            (wrapper, FetchRequest(tuple(step.pushed), purpose=step.purpose))
-            for step, wrapper in jobs
-        )
-        if len(jobs) > 1 and self.policy.max_workers > 1:
-            stats.concurrent_batches += 1
 
         self._degraded_steps = set()
         step_records = {}
         anchor_records = None
-        for (step, wrapper), reply in zip(jobs, replies):
-            stats.record_reply(reply)
-            if not reply.ok:
-                self._degrade_or_raise(reply, stats)
-                if step is plan.anchor:
-                    anchor_records = []
-                else:
-                    self._degraded_steps.add(id(step))
-                continue
-            records = self._apply_residual(
-                wrapper, step, list(reply.records), stats
+        with recorder.span(
+            "fetch", attributes={"jobs": len(jobs)}
+        ) as fetch_span:
+            residual_before = stats.residual_evaluations
+            replies = self.fetcher.fetch_all(
+                (
+                    (wrapper,
+                     FetchRequest(tuple(step.pushed), purpose=step.purpose))
+                    for step, wrapper in jobs
+                ),
+                recorder=recorder,
             )
-            if step is plan.anchor:
-                anchor_records = records
-            else:
-                step_records[id(step)] = records
+            if len(jobs) > 1 and self.policy.max_workers > 1:
+                stats.concurrent_batches += 1
+                fetch_span.incr("concurrent_batches")
+
+            for (step, wrapper), reply in zip(jobs, replies):
+                stats.record_reply(reply)
+                if not reply.ok:
+                    self._degrade_or_raise(reply, stats)
+                    if step is plan.anchor:
+                        anchor_records = []
+                    else:
+                        self._degraded_steps.add(id(step))
+                    continue
+                records = self._apply_residual(
+                    wrapper, step, list(reply.records), stats
+                )
+                if step is plan.anchor:
+                    anchor_records = records
+                else:
+                    step_records[id(step)] = records
+            _delta_counter(
+                fetch_span, "residual_evaluations",
+                stats.residual_evaluations - residual_before,
+            )
 
         # -- per-step state computed once, not per anchor record ----------
         # The allowed-id set of conditioned link steps, and the symbol
@@ -426,59 +501,76 @@ class Executor:
                 self._build_symbol_index(step, stats)
 
         if anchor_records is None:
-            anchor_records = self._semijoin_anchor(
-                plan, allowed_by_step, stats
-            )
-        stats.anchors_considered = len(anchor_records)
-
-        surviving = []
-        matched_links = []
-        for record in anchor_records:
-            links_for_record = {}
-            keep = True
-            for step in plan.link_steps:
-                if id(step) in self._degraded_steps:
-                    # Degraded source: its constraint cannot be
-                    # evaluated, so it is skipped — the YeastMed-style
-                    # partial answer is computed from the sources that
-                    # responded, and the report marks the gap.
-                    links_for_record[step.source_name] = []
-                    continue
-                matched = self._match_link(
-                    step, anchor_wrapper, record, stats, report,
-                    allowed_by_step.get(id(step)),
+            with recorder.span(
+                "anchor",
+                attributes={"source": plan.anchor.source_name},
+            ) as anchor_span:
+                residual_before = stats.residual_evaluations
+                batched_before = stats.batched_fetches
+                anchor_records = self._semijoin_anchor(
+                    plan, allowed_by_step, stats, recorder
                 )
-                links_for_record[step.source_name] = matched
-                if step.link.mode == "include" and not matched:
-                    keep = False
-                    break
-                if step.link.mode == "exclude" and matched:
-                    keep = False
-                    break
-            if keep:
-                surviving.append(record)
-                matched_links.append(links_for_record)
-        stats.anchors_returned = len(surviving)
+                _delta_counter(
+                    anchor_span, "batched_fetches",
+                    stats.batched_fetches - batched_before,
+                )
+                _delta_counter(
+                    anchor_span, "residual_evaluations",
+                    stats.residual_evaluations - residual_before,
+                )
+                anchor_span.set("records", len(anchor_records))
 
-        genes, graph, root = self._combine(
-            plan, query, anchor_wrapper, surviving, matched_links,
-            enrich_links, stats,
-        )
-        counters_after = self._fetchpath_snapshot()
-        stats.index_hits = (
-            counters_after["index_hits"] - counters_before["index_hits"]
-        )
-        stats.scan_fetches = (
-            counters_after["scan_queries"] - counters_before["scan_queries"]
-        )
-        stats.indexes_rebuilt = (
-            counters_after["index_builds"] - counters_before["index_builds"]
-        )
-        stats.indexes_adopted = (
-            counters_after["index_adoptions"]
-            - counters_before["index_adoptions"]
-        )
-        stats.wall_seconds = time.perf_counter() - started
+        with recorder.span("reconcile") as reconcile_span:
+            stats.anchors_considered = len(anchor_records)
+
+            surviving = []
+            matched_links = []
+            for record in anchor_records:
+                links_for_record = {}
+                keep = True
+                for step in plan.link_steps:
+                    if id(step) in self._degraded_steps:
+                        # Degraded source: its constraint cannot be
+                        # evaluated, so it is skipped — the
+                        # YeastMed-style partial answer is computed from
+                        # the sources that responded, and the report
+                        # marks the gap.
+                        links_for_record[step.source_name] = []
+                        continue
+                    matched = self._match_link(
+                        step, anchor_wrapper, record, stats, report,
+                        allowed_by_step.get(id(step)),
+                    )
+                    links_for_record[step.source_name] = matched
+                    if step.link.mode == "include" and not matched:
+                        keep = False
+                        break
+                    if step.link.mode == "exclude" and matched:
+                        keep = False
+                        break
+                if keep:
+                    surviving.append(record)
+                    matched_links.append(links_for_record)
+            stats.anchors_returned = len(surviving)
+            reconcile_span.set_counter(
+                "anchors_considered", stats.anchors_considered
+            )
+            reconcile_span.set_counter(
+                "anchors_returned", stats.anchors_returned
+            )
+            _delta_counter(reconcile_span, "conflicts", report.count())
+            _delta_counter(
+                reconcile_span, "repaired", report.repaired_count()
+            )
+
+        with recorder.span(
+            "navigate", attributes={"enrich": bool(enrich_links)}
+        ) as navigate_span:
+            genes, graph, root = self._combine(
+                plan, query, anchor_wrapper, surviving, matched_links,
+                enrich_links, stats, recorder,
+            )
+            navigate_span.set("genes", len(genes))
         return IntegratedResult(graph, root, genes, report, stats, plan)
 
     # -- fetching ---------------------------------------------------------------
@@ -566,7 +658,8 @@ class Executor:
                 index.setdefault(anchor_ref, set()).add(record[key_field])
         return index, conditioned_keys
 
-    def _semijoin_anchor(self, plan, allowed_by_step, stats):
+    def _semijoin_anchor(self, plan, allowed_by_step, stats,
+                         recorder=NULL_RECORDER):
         """Retrieve the anchor by link-id equality instead of scanning.
 
         The driving link's allowed-id set is already computed; one
@@ -595,6 +688,7 @@ class Executor:
             reply = self.fetcher.fetch(
                 wrapper,
                 FetchRequest(tuple(plan.anchor.pushed), purpose="anchor"),
+                recorder=recorder,
             )
             stats.record_reply(reply)
             if not reply.ok:
@@ -620,6 +714,7 @@ class Executor:
                     + ((via_label, "in", tuple(ordered_ids)),),
                     purpose="anchor-semijoin",
                 ),
+                recorder=recorder,
             )
             stats.record_reply(reply)
             if reply.ok:
@@ -637,6 +732,7 @@ class Executor:
                         + ((via_label, "=", link_id),),
                         purpose="anchor-per-id",
                     ),
+                    recorder=recorder,
                 )
                 stats.record_reply(reply)
                 if not reply.ok:
@@ -775,7 +871,7 @@ class Executor:
     # -- combination into the integrated OEM view --------------------------------------
 
     def _combine(self, plan, query, anchor_wrapper, records, matched_links,
-                 enrich_links, stats):
+                 enrich_links, stats, recorder=NULL_RECORDER):
         graph = OEMGraph("integrated-view")
         root = graph.new_complex()
         graph.set_root("IntegratedView", root)
@@ -783,7 +879,7 @@ class Executor:
         enrichment = {}
         if enrich_links:
             enrichment = self._enrichment_indexes(
-                plan, matched_links, stats
+                plan, matched_links, stats, recorder
             )
 
         genes = []
@@ -806,7 +902,8 @@ class Executor:
             graph.add_edge(root, "Gene", gene_object)
         return genes, graph, root
 
-    def _enrichment_indexes(self, plan, matched_links, stats):
+    def _enrichment_indexes(self, plan, matched_links, stats,
+                            recorder=NULL_RECORDER):
         """Per link source: id -> translated record, for view detail.
 
         Only the ids the surviving anchors actually matched are needed,
@@ -820,6 +917,32 @@ class Executor:
         degrades to id-only link children instead of killing the query
         (under a degrading policy).
         """
+        with recorder.span(
+            "enrichment", attributes={"sources": len(plan.link_steps)}
+        ) as span:
+            cache_before = stats.enrichment_cache_hits
+            batched_before = stats.batched_fetches
+            concurrent_before = stats.concurrent_batches
+            indexes = self._enrichment_fetch(
+                plan, matched_links, stats, recorder
+            )
+            _delta_counter(
+                span, "enrichment_cache_hits",
+                stats.enrichment_cache_hits - cache_before,
+            )
+            _delta_counter(
+                span, "batched_fetches",
+                stats.batched_fetches - batched_before,
+            )
+            _delta_counter(
+                span, "concurrent_batches",
+                stats.concurrent_batches - concurrent_before,
+            )
+        return indexes
+
+    def _enrichment_fetch(self, plan, matched_links, stats, recorder):
+        """The enrichment body, running inside the ``enrichment``
+        span."""
         indexes = {}
         pending = []
         for step in plan.link_steps:
@@ -866,9 +989,12 @@ class Executor:
         if not pending:
             return indexes
         replies = self.fetcher.fetch_all(
-            (wrapper, request)
-            for _step, wrapper, _cached, _missing, _key, request, _b
-            in pending
+            (
+                (wrapper, request)
+                for _step, wrapper, _cached, _missing, _key, request, _b
+                in pending
+            ),
+            recorder=recorder,
         )
         if len(pending) > 1 and self.policy.max_workers > 1:
             stats.concurrent_batches += 1

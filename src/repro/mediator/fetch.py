@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
 from repro.util.locks import new_lock
 from repro.util.rng import DeterministicRng
@@ -255,33 +256,85 @@ class FederatedFetcher:
 
     # -- dispatch ------------------------------------------------------------
 
-    def fetch(self, wrapper: Any, request: FetchRequest) -> FetchReply:
+    def fetch(self, wrapper: Any, request: FetchRequest,
+              recorder: Any = NULL_RECORDER) -> FetchReply:
         """Run one request to completion (retries included)."""
-        return self._run_job(wrapper, request)
+        return self._run_job(
+            wrapper, request, recorder, recorder.current(),
+            recorder.next_sequence(),
+        )
 
     def fetch_all(
-        self, jobs: Iterable[Tuple[Any, FetchRequest]]
+        self,
+        jobs: Iterable[Tuple[Any, FetchRequest]],
+        recorder: Any = NULL_RECORDER,
     ) -> List[FetchReply]:
         """Run ``(wrapper, request)`` jobs concurrently.
 
         Replies come back in job order.  With ``max_workers=1`` (or a
         single job) the jobs run sequentially on the calling thread —
         the seed's exact execution order.
+
+        Tracing stays deterministic under the pool: the calling thread
+        captures its current span as the shared parent and reserves
+        one sequence slot per job *in job order*, so the per-request
+        spans the workers build always export as siblings in job
+        order, regardless of completion order.
         """
         jobs = list(jobs)
+        parent = recorder.current()
+        sequences = [recorder.next_sequence() for _ in jobs]
         if len(jobs) <= 1 or self.policy.max_workers <= 1:
-            return [self._run_job(wrapper, request)
-                    for wrapper, request in jobs]
+            return [
+                self._run_job(wrapper, request, recorder, parent, sequence)
+                for (wrapper, request), sequence in zip(jobs, sequences)
+            ]
         pool = self._ensure_pool()
         futures = [
-            pool.submit(self._run_job, wrapper, request)
-            for wrapper, request in jobs
+            pool.submit(
+                self._run_job, wrapper, request, recorder, parent, sequence
+            )
+            for (wrapper, request), sequence in zip(jobs, sequences)
         ]
         return [future.result() for future in futures]
 
     # -- one job -------------------------------------------------------------
 
-    def _run_job(self, wrapper: Any, request: FetchRequest) -> FetchReply:
+    def _run_job(self, wrapper: Any, request: FetchRequest,
+                 recorder: Any = NULL_RECORDER, parent: Any = None,
+                 sequence: Optional[int] = None) -> FetchReply:
+        if not recorder.enabled:
+            # The zero-cost-when-off path: no span, no name formatting.
+            return self._run_request(wrapper, request)
+        attributes = {"source": wrapper.name, "purpose": request.purpose}
+        trace_attributes = getattr(wrapper, "trace_attributes", None)
+        if trace_attributes is not None:
+            attributes.update(trace_attributes())
+        span = recorder.open_span(
+            f"fetch:{wrapper.name}",
+            attributes=attributes,
+            parent=parent,
+            sequence=sequence,
+        )
+        try:
+            reply = self._run_request(wrapper, request)
+        except BaseException as exc:
+            recorder.close_span(span, error=exc)
+            raise
+        span.incr("rows", len(reply.records))
+        span.incr("attempts", len(reply.attempts))
+        span.incr("retries", reply.retries)
+        span.incr("timeouts", reply.timeouts)
+        span.set("status", reply.status)
+        if reply.error is not None:
+            span.set("error", reply.error)
+        if reply.index_hits or reply.scan_queries:
+            span.set("reply_index_hits", reply.index_hits)
+            span.set("reply_scan_queries", reply.scan_queries)
+        recorder.close_span(span)
+        return reply
+
+    def _run_request(self, wrapper: Any, request: FetchRequest) -> FetchReply:
         policy = self.policy
         timeout = (
             request.timeout if request.timeout is not None else policy.timeout

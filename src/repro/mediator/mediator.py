@@ -15,6 +15,7 @@ from repro.mediator.gml import ROOT_NAME, GmlBuilder
 from repro.mediator.mapping import MappingModule
 from repro.mediator.optimizer import Optimizer, OptimizerOptions
 from repro.mediator.reconcile import Reconciler
+from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
 
 
@@ -136,13 +137,23 @@ class Mediator:
 
     # -- global query answering -------------------------------------------------------
 
-    def plan(self, query):
+    def plan(self, query, recorder=NULL_RECORDER):
         """Decompose and optimize ``query`` into an execution plan."""
         decomposer = QueryDecomposer(self.mapping_module)
         optimizer = Optimizer(self._wrappers, self.optimizer_options)
-        return optimizer.plan(decomposer.decompose(query))
+        with recorder.span("decompose") as span:
+            subqueries = decomposer.decompose(query)
+            span.set("subqueries", len(subqueries))
+        with recorder.span("optimize") as span:
+            plan = optimizer.plan(subqueries)
+            span.set("anchor", plan.anchor.source_name)
+            span.set("link_steps", len(plan.link_steps))
+            if plan.anchor.semijoin is not None:
+                span.set("semijoin", plan.anchor.semijoin[0])
+        return plan
 
-    def query(self, query, enrich_links=True, use_cache=True):
+    def query(self, query, enrich_links=True, use_cache=True,
+              recorder=NULL_RECORDER):
         """Answer a :class:`~repro.mediator.decompose.GlobalQuery`.
 
         Results are cached keyed on the query *and every source's
@@ -150,20 +161,37 @@ class Mediator:
         recomputation — a repeat question costs nothing, while any
         source update invalidates automatically (the federated
         freshness guarantee is never traded away).
+
+        Pass a :class:`~repro.trace.recorder.TraceRecorder` to record
+        the query flight: the result's :attr:`IntegratedResult.trace`
+        becomes the closed span tree.  A traced query never reads the
+        result cache (a cache hit would replay nothing and the trace
+        would be empty), but it still populates the cache for later
+        untraced repeats.
         """
+        tracing = recorder.enabled
         cache_key = None
         if use_cache:
             cache_key = self._cache_key(query, enrich_links)
-            cached = self._result_cache.get(cache_key)
-            if cached is not None:
-                return cached
-        plan = self.plan(query)
-        executor = Executor(
-            self._wrappers, self.mapping_module, self.reconciler,
-            enrichment_cache=self._fetch_cache,
-            fetcher=self._fetcher, policy=self.federation,
-        )
-        result = executor.execute(plan, query, enrich_links=enrich_links)
+            if not tracing:
+                cached = self._result_cache.get(cache_key)
+                if cached is not None:
+                    return cached
+        with recorder.span(
+            "query", attributes={"anchor": query.anchor_source}
+        ) as query_span:
+            plan = self.plan(query, recorder=recorder)
+            executor = Executor(
+                self._wrappers, self.mapping_module, self.reconciler,
+                enrichment_cache=self._fetch_cache,
+                fetcher=self._fetcher, policy=self.federation,
+            )
+            result = executor.execute(
+                plan, query, enrich_links=enrich_links, recorder=recorder
+            )
+            query_span.set("genes", len(result.genes))
+        if tracing:
+            result.trace = recorder.root
         if cache_key is not None:
             if len(self._result_cache) >= self.RESULT_CACHE_SIZE:
                 # Drop the oldest entry (insertion order).

@@ -3,16 +3,8 @@
 from repro.mediator.fetch import FetchRequest
 from repro.navigation.links import extract_links, make_web_link, resolve_url
 from repro.oem.graph import OEMGraph
+from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError, QueryError
-
-#: The key OML label per source, used to fetch one record by id.
-_KEY_LABELS = {
-    "LocusLink": "LocusID",
-    "GO": "GoID",
-    "OMIM": "MimNumber",
-    "PubMed": "Pmid",
-    "SwissProt": "Accession",
-}
 
 
 class ObjectView:
@@ -46,8 +38,9 @@ class ObjectView:
 class Navigator:
     """Resolve and follow links against a mediator's wrappers."""
 
-    def __init__(self, mediator):
+    def __init__(self, mediator, recorder=NULL_RECORDER):
         self.mediator = mediator
+        self.recorder = recorder
 
     def follow_url(self, url):
         """Navigate a raw URL to its :class:`ObjectView`."""
@@ -63,12 +56,21 @@ class Navigator:
         return extract_links(graph, obj)
 
     def _view(self, source_name, target_id):
+        with self.recorder.span(
+            "navigate:follow",
+            attributes={"source": source_name, "target": str(target_id)},
+        ) as span:
+            view = self._resolve_view(source_name, target_id)
+            span.set("links", len(view.links))
+            return view
+
+    def _resolve_view(self, source_name, target_id):
         if source_name not in self.mediator.sources():
             raise IntegrationError(
                 f"link points at unregistered source {source_name!r}"
             )
         wrapper = self.mediator.wrapper(source_name)
-        key_label = _KEY_LABELS.get(source_name)
+        key_label = wrapper.key_label
         if key_label is None:
             raise QueryError(
                 f"source {source_name!r} has no navigation key configured"

@@ -369,13 +369,14 @@ class NondeterminismRule(Rule):
         "affecting modules"
     )
     rationale = (
-        "Worker count must be answer-invariant: mediator, sources and "
-        "reconciliation may only use monotonic timers for accounting "
-        "(perf_counter) and seeded RNGs (DeterministicRng); wall-clock "
-        "reads and global random draws make answers irreproducible."
+        "Worker count must be answer-invariant: mediator, sources, "
+        "reconciliation and the trace recorder may only use monotonic "
+        "timers for accounting (perf_counter, the repro.util.clock "
+        "seam) and seeded RNGs (DeterministicRng); wall-clock reads "
+        "and global random draws make answers irreproducible."
     )
 
-    _SCOPES = ("repro.mediator", "repro.sources")
+    _SCOPES = ("repro.mediator", "repro.sources", "repro.trace")
     _TIME_BANNED = {"time.time", "time.time_ns"}
     _DATETIME_RECEIVERS = {"datetime", "datetime.datetime", "datetime.date"}
     _DATETIME_CALLS = {"now", "utcnow", "today"}
@@ -539,8 +540,10 @@ class DroppedCounterRule(Rule):
         "Counters that are written but never surfaced rot silently: "
         "each ExecutionStats field must be referenced by "
         "ExecutionReport (directly or via a stats method it calls), "
-        "and each fetch-path counter key must be folded into the "
-        "executor's snapshot."
+        "each fetch-path counter key must be folded into the "
+        "executor's snapshot, and each counter declared in a metrics "
+        "registry must be attached to some span (incr / set_counter / "
+        "_delta_counter) somewhere in the project."
     )
 
     def check(self, module: SourceModule) -> List[Diagnostic]:
@@ -574,6 +577,13 @@ class DroppedCounterRule(Rule):
         return findings
 
     def finish(self, project: Project) -> List[Diagnostic]:
+        findings = self._check_fetchpath_keys(project)
+        findings.extend(self._check_registered_metrics(project))
+        return findings
+
+    def _check_fetchpath_keys(
+        self, project: Project
+    ) -> List[Diagnostic]:
         stats_literals: Set[str] = set()
         stats_seen = False
         for module in project.modules:
@@ -606,6 +616,119 @@ class DroppedCounterRule(Rule):
                         )
                     )
         return findings
+
+    def _check_registered_metrics(
+        self, project: Project
+    ) -> List[Diagnostic]:
+        """A counter registered in a metrics registry must be attached
+        to a span somewhere in the linted project."""
+        attached: Set[str] = set()
+        registrations: List[
+            Tuple[SourceModule, str, int, int]
+        ] = []
+        for module in project.modules:
+            attached.update(self._attached_counter_names(module.tree))
+            for name, line, col in self._metric_registrations(
+                module.tree
+            ):
+                registrations.append((module, name, line, col))
+        findings = []
+        for module, name, line, col in registrations:
+            if name not in attached:
+                findings.append(
+                    Diagnostic(
+                        module.path,
+                        line,
+                        col,
+                        self.code,
+                        f"metric {name!r} is registered in the metrics "
+                        "registry but never attached to any span "
+                        "(no incr/set_counter/_delta_counter names it)",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _metric_registrations(
+        tree: ast.Module,
+    ) -> List[Tuple[str, int, int]]:
+        """``(name, line, col)`` for every counter registered on a
+        registry instance constructed in this module, i.e. a
+        ``.register("name", ...)`` call whose receiver was assigned
+        from a ``MetricsRegistry(...)`` call."""
+        registries: Set[str] = set()
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            callee = _dotted(node.value.func)
+            if (
+                callee is not None
+                and callee.split(".")[-1] == "MetricsRegistry"
+            ):
+                registries.update(
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                )
+        if not registries:
+            return []
+        registrations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "register"
+                and _dotted(func.value) in registries
+            ):
+                continue
+            if (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                registrations.append(
+                    (
+                        node.args[0].value,
+                        node.lineno,
+                        node.col_offset,
+                    )
+                )
+        return registrations
+
+    @staticmethod
+    def _attached_counter_names(tree: ast.Module) -> Set[str]:
+        """Counter names attached to spans in this module: the literal
+        first argument of ``.incr()`` / ``.set_counter()`` calls and
+        the literal second argument of ``_delta_counter()`` calls."""
+        attached: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("incr", "set_counter")
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                attached.add(node.args[0].value)
+                continue
+            dotted = _dotted(func)
+            if (
+                dotted is not None
+                and dotted.split(".")[-1] == "_delta_counter"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                attached.add(node.args[1].value)
+        return attached
 
     @staticmethod
     def _class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:

@@ -1,0 +1,138 @@
+"""Trace export: JSON documents, golden shapes, and the rendered tree.
+
+Three views of one span tree, used by different consumers:
+
+- :func:`trace_to_dict` / :func:`trace_to_json` — the full trace with
+  timings, for tooling and the CLI's ``explain --json``;
+- :func:`trace_shape` — the *deterministic* subset (names, nesting,
+  statuses, attributes, counters — no timings), which the golden-trace
+  conformance suite checks in;
+- :func:`render_trace` — the human tree ``explain`` prints, wall-times
+  and counters inline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+def _jsonable(value: Any) -> Any:
+    """Attributes restricted to JSON-stable scalars and containers."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def trace_to_dict(span: Any, timings: bool = True) -> Dict[str, Any]:
+    """One span (and its subtree) as a plain dict."""
+    document: Dict[str, Any] = {
+        "name": span.name,
+        "status": span.status,
+    }
+    if span.error is not None:
+        document["error"] = span.error
+    if timings:
+        document["start"] = span.start
+        document["end"] = span.end
+        document["duration"] = span.duration
+    if span.attributes:
+        document["attributes"] = _jsonable(dict(span.attributes))
+    if span.counters:
+        document["counters"] = {
+            name: span.counters[name] for name in sorted(span.counters)
+        }
+    children = [
+        trace_to_dict(child, timings=timings) for child in span.children
+    ]
+    if children:
+        document["children"] = children
+    return document
+
+
+def trace_to_json(span: Any, timings: bool = True, indent: int = 2) -> str:
+    """The span tree as a JSON document."""
+    return json.dumps(
+        trace_to_dict(span, timings=timings), indent=indent, sort_keys=True
+    )
+
+
+def trace_shape(span: Any) -> Dict[str, Any]:
+    """The timing-free, fully deterministic view of a span tree.
+
+    Same corpus + same query + same policy ⇒ identical shape, no
+    matter how the fetch pool interleaved — sibling order comes from
+    reserved sequence numbers, and volatile fields (start/end/duration,
+    error text) are excluded.
+    """
+    document = trace_to_dict(span, timings=False)
+
+    def strip(node: Dict[str, Any]) -> None:
+        node.pop("error", None)
+        attributes = node.get("attributes")
+        if attributes:
+            attributes.pop("error", None)
+        for child in node.get("children", ()):
+            strip(child)
+
+    strip(document)
+    return document
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _span_line(span: Any) -> str:
+    parts = [span.name]
+    duration = span.duration
+    if duration is not None:
+        parts.append(f"{duration * 1e3:.1f}ms")
+    if span.status != "ok":
+        parts.append(f"status={span.status}")
+        if span.error:
+            parts.append(f"error={span.error!r}")
+    shown_attributes = [
+        f"{key}={_format_value(value)}"
+        for key, value in span.attributes.items()
+    ]
+    if shown_attributes:
+        parts.append(" ".join(shown_attributes))
+    if span.counters:
+        counters = " ".join(
+            f"{name}={span.counters[name]}" for name in sorted(span.counters)
+        )
+        parts.append(f"[{counters}]")
+    return "  ".join(parts)
+
+
+def render_trace(span: Optional[Any]) -> str:
+    """The span tree as indented text, one line per span.
+
+    ``None`` (an untraced result) renders as a hint rather than a
+    crash, so CLI plumbing can call this unconditionally.
+    """
+    if span is None:
+        return "no trace recorded (tracing was off for this query)"
+    lines: List[str] = []
+
+    def walk(node: Any, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_span_line(node))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + _span_line(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = node.children
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(span, "", True, True)
+    return "\n".join(lines)

@@ -5,6 +5,7 @@ identifier allocation, deterministic pseudo-random streams, error
 hierarchy roots, text formatting, and a wall-clock timer.
 """
 
+from repro.util.clock import Clock, FakeClock, MonotonicClock, default_clock
 from repro.util.errors import (
     AnnodaError,
     ConfigurationError,
@@ -18,11 +19,15 @@ from repro.util.timer import Timer
 
 __all__ = [
     "AnnodaError",
+    "Clock",
     "ConfigurationError",
     "DataFormatError",
     "DeterministicRng",
+    "FakeClock",
     "IntegrationError",
+    "MonotonicClock",
     "OidAllocator",
     "QueryError",
     "Timer",
+    "default_clock",
 ]

@@ -1,0 +1,101 @@
+"""The federation's clock-construction seam.
+
+Every module that timestamps work — the benchmark harness's
+:class:`~repro.util.timer.Timer`, the query flight recorder
+(:mod:`repro.trace`) and anything else that measures elapsed seconds —
+reads time through a :class:`Clock` instead of calling
+``time.perf_counter()`` directly.  In production the default
+:class:`MonotonicClock` is exactly ``perf_counter`` with zero
+overhead; tests install a :class:`FakeClock` to make timings exact and
+assertable, the same pattern as the lock seam in
+:mod:`repro.util.locks`.
+
+The seam keeps traced modules ANN003-clean: no wall-clock reads ever
+enter answer-affecting code, only monotonic accounting time, and the
+one place that decides *which* monotonic time is this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.util.locks import new_lock
+
+
+class Clock:
+    """Monotonic seconds provider (``now()`` only ever moves forward)."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock: ``time.perf_counter``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """A deterministic clock tests drive by hand.
+
+    ``tick`` seconds elapse on every :meth:`now` read (so consecutive
+    reads are strictly increasing when ``tick > 0``); :meth:`advance`
+    jumps time forward explicitly.  Reads and advances are
+    lock-protected so concurrent fetch workers observe a consistent,
+    monotonic sequence.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        self._now = start
+        self._tick = tick
+        self._lock = new_lock("FakeClock._lock")
+
+    def now(self) -> float:
+        with self._lock:
+            value = self._now
+            self._now += self._tick
+            return value
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot move backwards")
+        with self._lock:
+            self._now += seconds
+
+
+#: The shared production clock instance.
+MONOTONIC_CLOCK = MonotonicClock()
+
+_default_clock: Clock = MONOTONIC_CLOCK
+
+
+def default_clock() -> Clock:
+    """The currently installed process-default clock."""
+    return _default_clock
+
+
+def install(clock: Clock) -> Clock:
+    """Swap the default clock; returns the previous one so the caller
+    can restore it (see :func:`restore`)."""
+    global _default_clock
+    previous = _default_clock
+    _default_clock = clock
+    return previous
+
+
+def restore(previous: Optional[Clock]) -> None:
+    """Reinstall a clock captured by :func:`install`."""
+    global _default_clock
+    _default_clock = previous if previous is not None else MONOTONIC_CLOCK
+
+
+def reset() -> None:
+    """Back to the zero-overhead production clock."""
+    global _default_clock
+    _default_clock = MONOTONIC_CLOCK

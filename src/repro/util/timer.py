@@ -1,10 +1,21 @@
-"""Wall-clock timing helper used by the benchmark harness."""
+"""Wall-clock timing helper used by the benchmark harness.
 
-import time
+Timings are read through the :mod:`repro.util.clock` seam, so bench
+timings and trace timings share one clock source and tests can assert
+exact elapsed values by installing a
+:class:`~repro.util.clock.FakeClock`.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Optional, Type
+
+from repro.util.clock import Clock, default_clock
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Context manager measuring elapsed monotonic seconds.
 
     >>> with Timer() as timer:
     ...     _ = sum(range(100))
@@ -12,14 +23,21 @@ class Timer:
     True
     """
 
-    def __init__(self):
-        self._start = None
-        self.elapsed = 0.0
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else default_clock()
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
 
-    def __enter__(self):
-        self._start = time.perf_counter()
+    def __enter__(self) -> "Timer":
+        self._start = self._clock.now()
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback):
-        self.elapsed = time.perf_counter() - self._start
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> bool:
+        if self._start is not None:
+            self.elapsed = self._clock.now() - self._start
         return False

@@ -33,6 +33,10 @@ class Wrapper(abc.ABC):
     #: OML label under which one record appears.
     entry_label = "Entry"
 
+    #: OML label of the record's primary key (the label the navigator
+    #: joins on and trace spans report); ``None`` for keyless sources.
+    key_label = None
+
     def __init__(self, source):
         self.source = source
         self._model_cache = None
@@ -51,6 +55,18 @@ class Wrapper(abc.ABC):
     @property
     def version(self):
         return self.source.version
+
+    def trace_attributes(self):
+        """Descriptive attributes a fetch span carries for this source.
+
+        Kept tiny and JSON-stable: the entry label, the key label (when
+        declared) and the source version — enough for ``explain`` output
+        to identify the source without touching record data.
+        """
+        attributes = {"entry": self.entry_label, "version": self.version}
+        if self.key_label is not None:
+            attributes["key"] = self.key_label
+        return attributes
 
     # -- subclass contract -----------------------------------------------------
 

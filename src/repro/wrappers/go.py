@@ -15,6 +15,7 @@ class GoWrapper(Wrapper):
     """
 
     entry_label = "Term"
+    key_label = "GoID"
 
     _SPECS = {
         "GoID": ("GoID", OEMType.STRING, False,

@@ -21,6 +21,7 @@ class LocusLinkWrapper(Wrapper):
     """
 
     entry_label = "Locus"
+    key_label = "LocusID"
 
     _SPECS = {
         "LocusID": ("LocusID", OEMType.INTEGER, False,

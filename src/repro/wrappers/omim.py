@@ -17,6 +17,7 @@ class OmimWrapper(Wrapper):
     """
 
     entry_label = "Disease"
+    key_label = "MimNumber"
 
     _SPECS = {
         "MimNumber": ("MimNumber", OEMType.INTEGER, False,

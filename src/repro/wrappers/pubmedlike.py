@@ -22,6 +22,7 @@ class PubmedLikeWrapper(Wrapper):
     :class:`~repro.sources.pubmedlike.CitationStore`."""
 
     entry_label = "Citation"
+    key_label = "Pmid"
 
     _SPECS = {
         "Pmid": ("Pmid", OEMType.INTEGER, False,

@@ -19,6 +19,7 @@ class SwissProtLikeWrapper(Wrapper):
     :class:`~repro.sources.swissprotlike.ProteinStore`."""
 
     entry_label = "Protein"
+    key_label = "Accession"
 
     _SPECS = {
         "Accession": ("Accession", OEMType.STRING, False,

@@ -1,0 +1,27 @@
+"""Repo-wide pytest configuration.
+
+Adds ``--regen-golden``: golden-file suites (the trace conformance
+tests in ``tests/integration/test_golden_traces.py``) rewrite their
+checked-in expectations from the current implementation instead of
+comparing against them.  Regenerate deliberately, inspect the diff,
+and commit it with the change that moved the behaviour.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite checked-in golden files from the current "
+            "implementation instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request):
+    return request.config.getoption("--regen-golden")

@@ -1,0 +1,147 @@
+"""Golden-trace conformance: the flight recorder's contract, pinned.
+
+For every question in :class:`repro.questions.catalog.QuestionCatalog`
+this suite runs a fresh, seeded five-source federation with the
+recorder on and compares two things against a checked-in golden JSON
+document:
+
+- the *integrated answer* (the sorted gene ids), and
+- the *span-tree shape* (names, nesting, statuses, attributes and
+  counters — :func:`repro.trace.trace_shape`, which excludes all
+  timings),
+
+so any change to decomposition, planning, fetch batching, caching,
+reconciliation or combination shows up as a reviewable golden diff.
+Each question gets its own freshly built federation: traces never
+depend on what an earlier test warmed up.
+
+Run ``pytest --regen-golden tests/integration/test_golden_traces.py``
+to rewrite the goldens after an intentional behaviour change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Annoda
+from repro.questions.catalog import QuestionCatalog
+from repro.sources.corpus import CorpusParameters
+from repro.trace import trace_shape
+from repro.wrappers import PubmedLikeWrapper, SwissProtLikeWrapper
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The corpus every golden runs against — small enough to build per
+#: test, rich enough that every question returns a non-trivial answer.
+SEED = 13
+PARAMETERS = dict(loci=120, go_terms=80, omim_entries=50,
+                  conflict_rate=0.2)
+
+#: Question name -> factory over the catalog.  Parameterized questions
+#: get concrete, corpus-stable arguments: ``GO:0000002`` has
+#: descendants in every corpus (ids are assigned in generation order)
+#: and ``binding`` occurs in the synthetic GO vocabulary.
+QUESTIONS = {
+    "figure5b": lambda catalog: catalog.figure5b(),
+    "disease_genes": lambda catalog: catalog.disease_genes(),
+    "unannotated_genes": lambda catalog: catalog.unannotated_genes(),
+    "genes_by_annotation_keyword": lambda catalog: (
+        catalog.genes_by_annotation_keyword("binding")
+    ),
+    "genes_under_term": lambda catalog: (
+        catalog.genes_under_term("GO:0000002")
+    ),
+    "cited_disease_genes": lambda catalog: catalog.cited_disease_genes(),
+}
+
+#: Stages the acceptance contract requires every catalog question's
+#: trace to cover.
+REQUIRED_STAGES = ("decompose", "optimize", "reconcile", "navigate")
+
+
+def build_federation():
+    """A fresh five-source federation (three defaults + PubMed-like +
+    SwissProt-like), fully deterministic from ``SEED``."""
+    annoda = Annoda.with_default_sources(
+        seed=SEED, parameters=CorpusParameters(**PARAMETERS)
+    )
+    annoda.add_source(
+        PubmedLikeWrapper(annoda.corpus.make_citation_store(count=60))
+    )
+    annoda.add_source(
+        SwissProtLikeWrapper(annoda.corpus.make_protein_store())
+    )
+    return annoda
+
+
+def run_traced(name):
+    """(result, golden-document) for one catalog question on a fresh
+    federation."""
+    annoda = build_federation()
+    question = QUESTIONS[name](annoda.catalog)
+    result = annoda.trace(question)
+    document = {
+        "question": name,
+        "gene_ids": sorted(result.gene_ids()),
+        "trace": trace_shape(result.trace),
+    }
+    return result, document
+
+
+def golden_path(name):
+    return GOLDEN_DIR / f"trace_{name}.json"
+
+
+@pytest.mark.parametrize("name", sorted(QUESTIONS))
+def test_golden_trace(name, regen_golden):
+    result, document = run_traced(name)
+
+    # The acceptance contract, independent of the golden file: the
+    # trace covers every pipeline stage and at least one per-source
+    # fetch, for every catalog question.
+    trace = result.trace
+    assert trace is not None and trace.name == "query"
+    for stage in REQUIRED_STAGES:
+        assert trace.find(stage) is not None, f"trace misses {stage!r}"
+    fetch_spans = [
+        span for span in trace.walk() if span.name.startswith("fetch:")
+    ]
+    assert fetch_spans, "trace carries no per-source fetch span"
+    for span in trace.walk():
+        assert span.closed
+
+    path = golden_path(name)
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        return
+    assert path.exists(), (
+        f"golden file {path} is missing; run pytest --regen-golden "
+        "tests/integration/test_golden_traces.py"
+    )
+    expected = json.loads(path.read_text())
+    assert document["gene_ids"] == expected["gene_ids"]
+    assert document["trace"] == expected["trace"]
+
+
+def test_golden_traces_deterministic_across_runs():
+    """Two fresh federations produce byte-identical golden documents
+    (sequence-ordered siblings make the concurrent fetches stable)."""
+    _, first = run_traced("figure5b")
+    _, second = run_traced("figure5b")
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def test_every_catalog_question_is_covered():
+    """New catalog questions must come with a golden trace."""
+    catalog_names = set(QuestionCatalog.all_names())
+    covered = set(QUESTIONS)
+    assert catalog_names <= covered, (
+        f"catalog questions without a golden trace: "
+        f"{sorted(catalog_names - covered)}"
+    )

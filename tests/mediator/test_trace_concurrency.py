@@ -1,0 +1,160 @@
+"""Trace thread-correctness under the fetcher pool and fault injection.
+
+These tests hammer the recorder from the :class:`FederatedFetcher`'s
+worker threads — many concurrent fetches, injected faults, degrading
+and raising policies — and assert the resulting tree is well-formed
+and deterministic.  They are part of the ``--racecheck`` matrix: the
+recorder's only shared mutable state (the span buffer and the
+sequence counter) is guarded by a lock created through the
+``repro.util.locks`` seam, so the race monitor audits every access.
+"""
+
+import pytest
+
+from repro.mediator import (
+    FederatedFetcher,
+    FederationPolicy,
+    FetchRequest,
+    FlakyWrapper,
+    GlobalQuery,
+    LinkConstraint,
+    Mediator,
+)
+from repro.mediator.decompose import Condition
+from repro.trace import TraceRecorder, trace_shape
+from repro.util.clock import FakeClock
+from repro.util.errors import IntegrationError
+from repro.wrappers import default_wrappers
+
+
+@pytest.fixture()
+def wrappers(corpus):
+    return default_wrappers(corpus)
+
+
+class TestConcurrentFetchSpans:
+    def test_many_concurrent_fetches_order_deterministically(
+        self, wrappers
+    ):
+        """32 jobs on 4 workers: span order follows job order, not
+        completion order."""
+        locuslink, go, omim = wrappers
+        fetcher = FederatedFetcher(FederationPolicy(max_workers=4))
+        try:
+            jobs = [
+                ((locuslink, go, omim)[index % 3], FetchRequest(()))
+                for index in range(32)
+            ]
+            recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+            with recorder.span("query") as root:
+                replies = fetcher.fetch_all(jobs, recorder=recorder)
+            assert all(reply.ok for reply in replies)
+            names = [span.name for span in root.children]
+            assert names == [
+                f"fetch:{wrapper.name}" for wrapper, _request in jobs
+            ]
+            for span in root.walk():
+                assert span.closed
+        finally:
+            fetcher.close()
+
+    def test_shape_is_stable_across_runs(self, wrappers):
+        locuslink, go, omim = wrappers
+
+        def run():
+            fetcher = FederatedFetcher(FederationPolicy(max_workers=4))
+            try:
+                recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+                with recorder.span("query"):
+                    fetcher.fetch_all(
+                        [
+                            (locuslink, FetchRequest(())),
+                            (go, FetchRequest(())),
+                            (omim, FetchRequest(())),
+                        ],
+                        recorder=recorder,
+                    )
+                return trace_shape(recorder.root)
+            finally:
+                fetcher.close()
+
+        assert run() == run()
+
+
+class TestFaultInjectedTraces:
+    QUERY = GlobalQuery(
+        anchor_source="LocusLink",
+        links=(
+            LinkConstraint(
+                "GO",
+                "include",
+                via="AnnotationID",
+                conditions=(
+                    Condition("Aspect", "=", "molecular_function"),
+                ),
+            ),
+            LinkConstraint("OMIM", "exclude", via="DiseaseID"),
+        ),
+    )
+
+    def _mediator(self, corpus, policy, **flaky_kwargs):
+        mediator = Mediator(federation=policy)
+        locuslink, go, omim = default_wrappers(corpus)
+        mediator.register_wrapper(locuslink)
+        mediator.register_wrapper(FlakyWrapper(go, **flaky_kwargs))
+        mediator.register_wrapper(omim)
+        return mediator
+
+    def test_degraded_source_closes_every_span(self, corpus):
+        mediator = self._mediator(
+            corpus,
+            FederationPolicy(max_workers=4, on_failure="degrade"),
+            blackout=True,
+        )
+        recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+        result = mediator.query(
+            self.QUERY, use_cache=False, recorder=recorder
+        )
+        assert result.report.degraded == ("GO",)
+        root = recorder.root
+        assert root is result.trace
+        for span in root.walk():
+            assert span.closed
+        go_span = root.find("fetch:GO")
+        assert go_span is not None
+        assert go_span.attributes["status"] == "error"
+        assert root.find("execute").attributes["degraded"] == ["GO"]
+
+    def test_raising_policy_closes_every_span_too(self, corpus):
+        mediator = self._mediator(
+            corpus,
+            FederationPolicy(max_workers=4, on_failure="raise"),
+            blackout=True,
+        )
+        recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+        with pytest.raises(IntegrationError):
+            mediator.query(self.QUERY, use_cache=False, recorder=recorder)
+        root = recorder.root
+        assert root is not None
+        for span in root.walk():
+            assert span.closed
+        assert root.status == "error"
+        assert root.find("execute").status == "error"
+
+    def test_retries_counted_on_the_fetch_span(self, corpus):
+        mediator = self._mediator(
+            corpus,
+            FederationPolicy(
+                max_workers=4, retries=2, backoff=0.0,
+                on_failure="raise",
+            ),
+            fail_first=1,
+        )
+        recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+        result = mediator.query(
+            self.QUERY, use_cache=False, recorder=recorder
+        )
+        go_span = result.trace.find("fetch:GO")
+        assert go_span.counters["retries"] == 1
+        assert go_span.counters["attempts"] == 2
+        assert go_span.attributes["status"] == "ok"

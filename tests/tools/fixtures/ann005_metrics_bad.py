@@ -1,0 +1,19 @@
+"""ANN005 corpus: a metric registered but never attached to a span."""
+
+
+class MetricsRegistry:
+    def __init__(self):
+        self._metrics = {}
+
+    def register(self, name, stage, description=""):
+        self._metrics[name] = (stage, description)
+        return name
+
+
+METRICS = MetricsRegistry()
+METRICS.register("rows", stage="fetch", description="records per reply")
+METRICS.register("ghost_metric", stage="fetch")  # no span ever carries it
+
+
+def instrument(span, reply):
+    span.incr("rows", len(reply.records))

@@ -1,0 +1,27 @@
+"""ANN005 corpus: every registered metric is attached to a span."""
+
+
+class MetricsRegistry:
+    def __init__(self):
+        self._metrics = {}
+
+    def register(self, name, stage, description=""):
+        self._metrics[name] = (stage, description)
+        return name
+
+
+METRICS = MetricsRegistry()
+METRICS.register("rows", stage="fetch", description="records per reply")
+METRICS.register("anchors_considered", stage="reconcile")
+METRICS.register("conflicts", stage="reconcile")
+
+
+def _delta_counter(span, name, delta):
+    if delta:
+        span.set_counter(name, delta)
+
+
+def instrument(span, reply, report):
+    span.incr("rows", len(reply.records))
+    span.set_counter("anchors_considered", report.considered)
+    _delta_counter(span, "conflicts", report.count())

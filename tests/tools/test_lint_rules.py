@@ -86,6 +86,41 @@ class TestCrossFileCounterRule:
         assert self._lint_pair("ann005_counters_good.py") == []
 
 
+class TestRegisteredMetricsRule:
+    """ANN005's metrics-registry extension: a counter registered via
+    ``METRICS.register(...)`` must be attached to some span."""
+
+    def test_unattached_metric_fires(self):
+        findings = lint_fixture("ann005_metrics_bad.py", "ANN005")
+        assert len(findings) == 1
+        assert findings[0].line == 15
+        assert "ghost_metric" in findings[0].message
+
+    def test_attached_metrics_are_clean(self):
+        assert lint_fixture("ann005_metrics_good.py", "ANN005") == []
+
+    def test_attachment_in_another_module_counts(self):
+        """The attach site may live anywhere in the linted project."""
+        path = fixture_path("ann005_metrics_bad.py")
+        sources = [
+            (path, Path(path).read_text(encoding="utf-8")),
+            (
+                "attach.py",
+                'def f(span):\n    span.incr("ghost_metric", 1)\n',
+            ),
+        ]
+        assert lint_texts(sources, select={"ANN005"}) == []
+
+    def test_non_registry_register_calls_are_ignored(self):
+        """``.register`` on something that is not a MetricsRegistry
+        (e.g. a wrapper registrar) must not trip the rule."""
+        text = (
+            "mediator = Mediator()\n"
+            'mediator.register("not_a_metric")\n'
+        )
+        assert lint_texts([("x.py", text)], select={"ANN005"}) == []
+
+
 class TestSuppressions:
     def test_noqa_suppresses_the_named_code(self):
         assert lint_file(fixture_path("suppressed.py")) == []

@@ -1,0 +1,92 @@
+"""Unit tests for trace export: dicts, JSON, golden shapes, trees."""
+
+import json
+
+from repro.trace import (
+    TraceRecorder,
+    render_trace,
+    trace_shape,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.util.clock import FakeClock
+
+
+def build_trace():
+    recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+    with recorder.span("query", attributes={"anchor": "LocusLink"}):
+        with recorder.span("fetch", attributes={"jobs": 2}) as fetch:
+            fetch.incr("rows", 7)
+        try:
+            with recorder.span("reconcile"):
+                raise ConnectionError("simulated outage")
+        except ConnectionError:
+            pass
+    return recorder.root
+
+
+class TestTraceToDict:
+    def test_structure_with_timings(self):
+        document = trace_to_dict(build_trace())
+        assert document["name"] == "query"
+        assert document["attributes"] == {"anchor": "LocusLink"}
+        assert document["start"] == 0.0
+        assert document["duration"] == 5.0
+        fetch, reconcile = document["children"]
+        assert fetch["counters"] == {"rows": 7}
+        assert reconcile["status"] == "error"
+        assert reconcile["error"] == "simulated outage"
+
+    def test_timings_can_be_excluded(self):
+        document = trace_to_dict(build_trace(), timings=False)
+        assert "start" not in document
+        assert "duration" not in document
+
+    def test_non_scalar_attributes_become_repr(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        with recorder.span("stage") as span:
+            span.set("degraded", ["GO", "OMIM"])
+            span.set("policy", object())
+        document = trace_to_dict(recorder.root)
+        assert document["attributes"]["degraded"] == ["GO", "OMIM"]
+        assert document["attributes"]["policy"].startswith("<object")
+
+
+class TestTraceToJson:
+    def test_round_trips_and_sorts_keys(self):
+        text = trace_to_json(build_trace())
+        document = json.loads(text)
+        assert document["name"] == "query"
+        # sort_keys makes the export byte-deterministic.
+        assert text == trace_to_json(build_trace())
+
+
+class TestTraceShape:
+    def test_shape_excludes_timings_and_error_text(self):
+        shape = trace_shape(build_trace())
+        assert "start" not in shape and "duration" not in shape
+        reconcile = shape["children"][1]
+        assert reconcile["status"] == "error"
+        assert "error" not in reconcile
+
+    def test_shape_is_deterministic(self):
+        assert trace_shape(build_trace()) == trace_shape(build_trace())
+
+
+class TestRenderTrace:
+    def test_tree_lines(self):
+        text = render_trace(build_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert "anchor=LocusLink" in lines[0]
+        assert any(
+            line.startswith("├─ fetch") and "[rows=7]" in line
+            for line in lines
+        )
+        assert any(
+            "status=error" in line and "simulated outage" in line
+            for line in lines
+        )
+
+    def test_none_renders_a_hint(self):
+        assert "no trace recorded" in render_trace(None)

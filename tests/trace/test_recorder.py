@@ -1,0 +1,193 @@
+"""Unit tests for the flight recorder's span model."""
+
+import threading
+
+import pytest
+
+from repro.trace import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    TraceError,
+    TraceRecorder,
+)
+from repro.util.clock import FakeClock
+
+
+class TestSpanTree:
+    def test_nested_context_managers_build_a_tree(self):
+        recorder = TraceRecorder(clock=FakeClock(tick=1.0))
+        with recorder.span("query") as query:
+            with recorder.span("decompose"):
+                pass
+            with recorder.span("execute") as execute:
+                with recorder.span("fetch"):
+                    pass
+        assert recorder.root is query
+        assert [child.name for child in query.children] == [
+            "decompose", "execute",
+        ]
+        assert [child.name for child in execute.children] == ["fetch"]
+
+    def test_fake_clock_makes_timings_exact(self):
+        recorder = TraceRecorder(clock=FakeClock(start=10.0, tick=1.0))
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                pass
+        # Reads: outer open (10), inner open (11), inner close (12),
+        # outer close (13).
+        assert outer.start == 10.0
+        assert inner.start == 11.0
+        assert inner.end == 12.0
+        assert outer.end == 13.0
+        assert outer.duration == 3.0
+        assert inner.duration == 1.0
+
+    def test_attributes_and_counters(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        with recorder.span("fetch", attributes={"source": "GO"}) as span:
+            span.set("purpose", "link")
+            span.incr("rows", 5)
+            span.incr("rows", 2)
+            span.set_counter("scan_fetches", 3)
+        assert span.attributes == {"source": "GO", "purpose": "link"}
+        assert span.counters == {"rows": 7, "scan_fetches": 3}
+
+    def test_walk_and_find(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        with recorder.span("query"):
+            with recorder.span("execute"):
+                with recorder.span("fetch:GO"):
+                    pass
+                with recorder.span("fetch:OMIM"):
+                    pass
+        root = recorder.root
+        assert [span.name for span in root.walk()] == [
+            "query", "execute", "fetch:GO", "fetch:OMIM",
+        ]
+        assert root.find("fetch:OMIM").name == "fetch:OMIM"
+        assert root.find("missing") is None
+        assert len(root.find_all("fetch:GO")) == 1
+
+
+class TestWellFormedness:
+    def test_error_in_span_marks_status_and_closes(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with recorder.span("boom") as span:
+                raise ValueError("broken source")
+        assert span.closed
+        assert span.status == "error"
+        assert span.error == "broken source"
+
+    def test_double_close_raises(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        span = recorder.open_span("once")
+        recorder.close_span(span)
+        with pytest.raises(TraceError):
+            recorder.close_span(span)
+
+    def test_context_cannot_be_reentered(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        context = recorder.span("stage")
+        with context:
+            pass
+        with pytest.raises(TraceError):
+            context.__enter__()
+
+    def test_second_root_raises(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        with recorder.span("first"):
+            pass
+        with pytest.raises(TraceError):
+            recorder.open_span("second")
+
+    def test_duration_is_none_while_open(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        span = recorder.open_span("open")
+        assert span.duration is None
+        assert not span.closed
+        recorder.close_span(span)
+        assert span.closed
+
+
+class TestSequenceOrdering:
+    def test_children_sorted_by_reserved_sequence(self):
+        """Siblings order by reservation, not by completion."""
+        recorder = TraceRecorder(clock=FakeClock())
+        with recorder.span("parent") as parent:
+            first = recorder.next_sequence()
+            second = recorder.next_sequence()
+            # Open in reverse reservation order (a late worker winning
+            # the race), close out of order too.
+            span_b = recorder.open_span(
+                "b", parent=parent, sequence=second
+            )
+            span_a = recorder.open_span(
+                "a", parent=parent, sequence=first
+            )
+            recorder.close_span(span_b)
+            recorder.close_span(span_a)
+        assert [child.name for child in parent.children] == ["a", "b"]
+
+    def test_cross_thread_parent_attachment(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        with recorder.span("dispatch") as parent:
+            sequences = [recorder.next_sequence() for _ in range(4)]
+
+            def worker(index):
+                span = recorder.open_span(
+                    f"job:{index}", parent=parent,
+                    sequence=sequences[index],
+                )
+                recorder.close_span(span)
+
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in reversed(range(4))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert [child.name for child in parent.children] == [
+            "job:0", "job:1", "job:2", "job:3",
+        ]
+
+    def test_worker_stack_is_thread_local(self):
+        recorder = TraceRecorder(clock=FakeClock())
+        seen = {}
+        with recorder.span("main") as parent:
+            def worker():
+                # The dispatching thread's current span is invisible
+                # here; the parent must be passed explicitly.
+                seen["current"] = recorder.current()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert recorder.current() is parent
+        assert seen["current"] is None
+
+
+class TestNullRecorder:
+    def test_null_recorder_is_disabled_and_rootless(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.root is None
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_every_operation_is_a_shared_noop(self):
+        with NULL_RECORDER.span("anything") as span:
+            span.set("key", "value")
+            span.incr("rows")
+            span.set_counter("rows", 10)
+        assert span is NULL_SPAN
+        assert span.attributes == {}
+        assert span.counters == {}
+        assert NULL_RECORDER.open_span("x") is NULL_SPAN
+        assert NULL_RECORDER.close_span(NULL_SPAN) is NULL_SPAN
+        assert NULL_RECORDER.current() is None
+        assert NULL_RECORDER.next_sequence() == 0
+        assert list(NULL_SPAN.walk()) == []
+        assert NULL_SPAN.find("x") is None
+        assert NULL_SPAN.find_all("x") == []

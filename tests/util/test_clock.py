@@ -1,0 +1,71 @@
+"""Unit tests for the clock-construction seam."""
+
+import pytest
+
+from repro.util import clock as clock_module
+from repro.util.clock import (
+    MONOTONIC_CLOCK,
+    FakeClock,
+    MonotonicClock,
+    default_clock,
+)
+
+
+class TestMonotonicClock:
+    def test_moves_forward(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_base_class_is_abstract_in_spirit(self):
+        with pytest.raises(NotImplementedError):
+            clock_module.Clock().now()
+
+
+class TestFakeClock:
+    def test_tick_advances_every_read(self):
+        clock = FakeClock(start=5.0, tick=0.5)
+        assert clock.now() == 5.0
+        assert clock.now() == 5.5
+        assert clock.now() == 6.0
+
+    def test_advance_jumps_forward(self):
+        clock = FakeClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock(tick=-1.0)
+
+    def test_negative_advance_rejected(self):
+        clock = FakeClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+
+class TestDefaultClockSeam:
+    def test_default_is_the_production_clock(self):
+        clock_module.reset()
+        assert default_clock() is MONOTONIC_CLOCK
+
+    def test_install_and_restore(self):
+        fake = FakeClock(start=1.0)
+        previous = clock_module.install(fake)
+        try:
+            assert default_clock() is fake
+        finally:
+            clock_module.restore(previous)
+        assert default_clock() is previous
+
+    def test_restore_none_falls_back_to_production(self):
+        fake = FakeClock()
+        clock_module.install(fake)
+        clock_module.restore(None)
+        assert default_clock() is MONOTONIC_CLOCK
+
+    def test_reset(self):
+        clock_module.install(FakeClock())
+        clock_module.reset()
+        assert default_clock() is MONOTONIC_CLOCK

@@ -2,7 +2,8 @@
 
 import time
 
-from repro.util import Timer
+from repro.util import FakeClock, Timer
+from repro.util import clock as clock_module
 
 
 class TestTimer:
@@ -21,3 +22,26 @@ class TestTimer:
         except ValueError:
             pass
         assert timer.elapsed >= 0.0
+
+
+class TestTimerClockSeam:
+    def test_injected_fake_clock_makes_elapsed_exact(self):
+        clock = FakeClock(start=100.0)
+        with Timer(clock=clock) as timer:
+            clock.advance(2.5)
+        assert timer.elapsed == 2.5
+
+    def test_tick_clock_counts_the_two_reads(self):
+        with Timer(clock=FakeClock(tick=1.0)) as timer:
+            pass
+        assert timer.elapsed == 1.0
+
+    def test_timer_uses_the_installed_default_clock(self):
+        fake = FakeClock(start=0.0)
+        previous = clock_module.install(fake)
+        try:
+            with Timer() as timer:
+                fake.advance(7.0)
+        finally:
+            clock_module.restore(previous)
+        assert timer.elapsed == 7.0
