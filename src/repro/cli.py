@@ -17,7 +17,7 @@ Corpus knobs (``--seed``, ``--loci``, ``--go-terms``,
 import argparse
 import sys
 
-from repro.core.annoda import Annoda
+from repro.core.annoda import Annoda, AnnodaConfig
 from repro.sources.corpus import CorpusParameters
 
 FIGURE_NAMES = (
@@ -58,6 +58,14 @@ def build_parser():
             "like --data-dir, but also adopt the snapshot's persisted "
             "equality indexes for a cheap cold start (invalid index "
             "files fall back to lazy rebuild with a warning)"
+        ),
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        help=(
+            "enable the content-addressed stage artifact cache and "
+            "persist its artifacts under this directory (repeated "
+            "queries reuse finished executor stages across runs)"
         ),
     )
 
@@ -148,10 +156,19 @@ def build_parser():
 
 
 def _build_annoda(args):
+    config = None
+    if getattr(args, "artifact_dir", None):
+        config = AnnodaConfig(
+            stage_artifacts=True, artifact_dir=args.artifact_dir
+        )
     if args.snapshot_dir:
-        return Annoda.from_directory(args.snapshot_dir, adopt_indexes=True)
+        return Annoda.from_directory(
+            args.snapshot_dir, config=config, adopt_indexes=True
+        )
     if args.data_dir:
-        return Annoda.from_directory(args.data_dir, adopt_indexes=False)
+        return Annoda.from_directory(
+            args.data_dir, config=config, adopt_indexes=False
+        )
     parameters = CorpusParameters(
         loci=args.loci,
         go_terms=args.go_terms,
@@ -159,7 +176,7 @@ def _build_annoda(args):
         conflict_rate=args.conflict_rate,
     )
     return Annoda.with_default_sources(
-        seed=args.seed, parameters=parameters
+        seed=args.seed, parameters=parameters, config=config
     )
 
 

@@ -1,7 +1,9 @@
 """The Annoda facade and its configuration."""
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.mediator.artifacts import ArtifactStore
 from repro.mediator.fetch import FederationPolicy
 from repro.mediator.mediator import Mediator
 from repro.mediator.optimizer import OptimizerOptions
@@ -32,6 +34,15 @@ class AnnodaConfig:
     #: per-attempt timeout, retry budget/backoff, and whether a failed
     #: source degrades the answer (partial result) or aborts the query.
     federation: FederationPolicy = field(default_factory=FederationPolicy)
+    #: Columnar batch execution across the wrapper boundary (the
+    #: default); ``False`` restores record-at-a-time fetches.
+    columnar: bool = True
+    #: Enable the content-addressed stage artifact cache (repeated or
+    #: overlapping queries skip finished executor stages).
+    stage_artifacts: bool = False
+    #: Directory backing the artifact cache on disk (implies
+    #: ``stage_artifacts``); ``None`` keeps artifacts in memory only.
+    artifact_dir: Optional[str] = None
 
 
 class Annoda:
@@ -49,10 +60,15 @@ class Annoda:
 
     def __init__(self, config=None):
         self.config = config or AnnodaConfig()
+        artifacts = None
+        if self.config.stage_artifacts or self.config.artifact_dir:
+            artifacts = ArtifactStore(directory=self.config.artifact_dir)
         self.mediator = Mediator(
             optimizer_options=self.config.optimizer,
             reconciler=Reconciler(self.config.reconciliation),
             federation=self.config.federation,
+            columnar=self.config.columnar,
+            artifacts=artifacts,
         )
         self.navigator = Navigator(self.mediator)
         self.parser = QuestionParser()

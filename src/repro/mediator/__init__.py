@@ -13,6 +13,7 @@ Pipeline::
         --execute (via wrappers + reconciler)--> IntegratedResult (OEM)
 """
 
+from repro.mediator.artifacts import ArtifactStore, stage_key
 from repro.mediator.decompose import (
     GlobalQuery,
     LinkConstraint,
@@ -45,6 +46,7 @@ from repro.mediator.reconcile import (
 )
 
 __all__ = [
+    "ArtifactStore",
     "ExecutionPlan",
     "ExecutionReport",
     "ExecutionStats",
@@ -70,4 +72,5 @@ __all__ = [
     "SourceReport",
     "SubQuery",
     "TransformRegistry",
+    "stage_key",
 ]

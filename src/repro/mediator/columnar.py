@@ -1,0 +1,106 @@
+"""Vectorized operators over :class:`~repro.sources.batch.RecordBatch`.
+
+The executor's record-at-a-time loops resolve wrapper labels and index
+into a fresh dict once per record per condition; these operators hoist
+every per-record constant out of the loop — labels resolve once, each
+condition walks one column, dedup walks one key column — so the
+semijoin speedup curve keeps growing at 100k+ loci instead of
+flattening on per-record overhead.
+
+Each operator is a *position* transform: it consumes and produces row
+positions into a batch (or ``(batch_index, row)`` pairs across several
+batches), and the caller gathers survivors once at the end with
+``batch.take``.  Semantics mirror the record path exactly — the
+fetchpath equivalence properties compare the two paths end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.sources.base import NativeCondition, _evaluate
+from repro.sources.batch import RecordBatch
+
+#: One residual predicate bound to its source field: the executor
+#: resolves the wrapper's label -> field mapping once per step, not
+#: once per record.
+BoundCondition = Tuple[str, NativeCondition]
+
+
+def filter_positions(
+    batch: RecordBatch,
+    bound: Sequence[BoundCondition],
+    positions: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Positions whose row satisfies every bound condition.
+
+    Vectorized per condition: each predicate walks one column of the
+    surviving positions (identical outcome to evaluating
+    ``record.get(field)`` per record, including the missing-field →
+    no-match rule).
+    """
+    keep = list(range(len(batch)) if positions is None else positions)
+    for field, condition in bound:
+        values = batch.values(field)
+        keep = [
+            position
+            for position in keep
+            if _evaluate(values[position], condition)
+        ]
+    return keep
+
+
+def bind_residual(wrapper: Any, residual: Sequence[Any]) -> List[BoundCondition]:
+    """Resolve residual ``(label, op, value)`` triples against one
+    wrapper's field mapping, once per step."""
+    return [
+        (wrapper.source_field(label), NativeCondition(label, op, value))
+        for label, op, value in residual
+    ]
+
+
+def dedup_rows(
+    batches: Sequence[RecordBatch], key_field: str
+) -> List[Tuple[Any, int, int]]:
+    """First occurrence of each key across batches, in encounter order.
+
+    Returns ``(key, batch_index, row)`` triples — the columnar twin of
+    the semijoin's ``seen``-set dedup over record dicts.
+    """
+    seen: set = set()
+    unique: List[Tuple[Any, int, int]] = []
+    for batch_index, batch in enumerate(batches):
+        keys = batch.values(key_field)
+        for row in range(len(batch)):
+            key = keys[row]
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append((key, batch_index, row))
+    return unique
+
+
+def merge_rows(
+    batches: Sequence[RecordBatch],
+    rows: Sequence[Tuple[Any, int, int]],
+) -> RecordBatch:
+    """One batch holding the given ``(key, batch_index, row)`` rows in
+    order.  A single source batch gathers positionally; the multi-batch
+    case (the per-id fetch fallback) goes through record dicts, since
+    distinct replies may disagree on field order."""
+    if not rows:
+        return RecordBatch.empty(
+            batches[0].fields if batches else ()
+        )
+    batch_indexes = {batch_index for _key, batch_index, _row in rows}
+    if len(batch_indexes) == 1:
+        only = next(iter(batch_indexes))
+        return batches[only].take(
+            [row for _key, _batch_index, row in rows]
+        )
+    return RecordBatch.from_records(
+        [
+            batches[batch_index].record_at(row)
+            for _key, batch_index, row in rows
+        ]
+    )

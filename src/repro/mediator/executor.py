@@ -19,6 +19,13 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
+from repro.mediator.artifacts import stage_key
+from repro.mediator.columnar import (
+    bind_residual,
+    dedup_rows,
+    filter_positions,
+    merge_rows,
+)
 from repro.mediator.fetch import (
     FederatedFetcher,
     FederationPolicy,
@@ -27,6 +34,7 @@ from repro.mediator.fetch import (
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
 from repro.sources.base import NativeCondition, _evaluate
+from repro.sources.batch import RecordBatch
 from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
 
@@ -87,6 +95,16 @@ class ExecutionStats:
     retries: int = 0
     timeouts: int = 0
     concurrent_batches: int = 0
+    #: Rows that crossed the wrapper boundary inside columnar
+    #: :class:`~repro.sources.batch.RecordBatch` replies (0 on the
+    #: record-at-a-time path).
+    batch_rows: int = 0
+    #: Stage artifact cache accounting: stages skipped because a
+    #: content-addressed artifact existed, stages that had to run, and
+    #: artifact bytes moved (read on hits + written on stores).
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_bytes: int = 0
     #: Sources that failed but were tolerated (degrading policy): the
     #: answer is partial with respect to them.
     degraded_sources: list = field(default_factory=list)
@@ -192,6 +210,9 @@ class ExecutionReport:
             f"kept / residual evaluations {stats.residual_evaluations}",
             f"  retries {stats.retries} / timeouts {stats.timeouts} / "
             f"concurrent batches {stats.concurrent_batches}",
+            f"  columnar rows {stats.batch_rows} / artifact hits "
+            f"{stats.artifact_hits} / misses {stats.artifact_misses} / "
+            f"bytes {stats.artifact_bytes}",
         ]
         for name in sorted(stats.source_reports):
             report = stats.source_reports[name]
@@ -301,6 +322,15 @@ class Executor:
     applies the ``policy``'s timeout/retry/degradation semantics; the
     owning mediator shares one fetcher (and its thread pool) across
     executions.
+
+    ``columnar`` (the default) requests
+    :class:`~repro.sources.batch.RecordBatch` replies across the
+    wrapper boundary and runs the vectorized residual/semijoin/
+    reconcile operators of :mod:`repro.mediator.columnar`; ``False``
+    restores the record-at-a-time loops (the benchmarks compare the
+    two).  ``artifacts`` (an
+    :class:`~repro.mediator.artifacts.ArtifactStore`, or ``None`` to
+    disable) lets finished stages be skipped by content address.
     """
 
     #: Upper bound on shared-cache entries (stale versions are evicted
@@ -309,11 +339,13 @@ class Executor:
 
     def __init__(self, wrappers_by_name, mapping_module, reconciler,
                  enrichment_cache=None, batch_fetch=True, fetcher=None,
-                 policy=None):
+                 policy=None, columnar=True, artifacts=None):
         self.wrappers = wrappers_by_name
         self.mapping_module = mapping_module
         self.reconciler = reconciler
         self.batch_fetch = batch_fetch
+        self.columnar = columnar
+        self.artifacts = artifacts
         if fetcher is None:
             self.policy = policy or FederationPolicy()
             self.fetcher = FederatedFetcher(self.policy)
@@ -416,6 +448,19 @@ class Executor:
             _delta_counter(
                 execute_span, "indexes_adopted", stats.indexes_adopted
             )
+            # Columnar/artifact accounting is likewise whole-execution:
+            # rows arriving as batches, and stages skipped or run
+            # against the content-addressed artifact store.
+            _delta_counter(execute_span, "batch_rows", stats.batch_rows)
+            _delta_counter(
+                execute_span, "artifact_hits", stats.artifact_hits
+            )
+            _delta_counter(
+                execute_span, "artifact_misses", stats.artifact_misses
+            )
+            _delta_counter(
+                execute_span, "artifact_bytes", stats.artifact_bytes
+            )
             stats.wall_seconds = time.perf_counter() - started
             if stats.degraded_sources:
                 execute_span.set(
@@ -426,6 +471,25 @@ class Executor:
     def _execute_traced(self, plan, query, enrich_links, recorder, stats,
                         report, anchor_wrapper):
         """The execute body, running inside the ``execute`` span."""
+        # -- whole-answer artifact ------------------------------------------
+        # The answer key is computable from the plan and the sources'
+        # versions alone, so a repeated query can skip fetch,
+        # reconcile and answer construction in one probe.  Traced
+        # runs never read it (a hit would replay nothing and the
+        # trace would be empty — the same rule as the result cache)
+        # but still store, priming later untraced repeats.
+        answer_key = self._answer_artifact_key(
+            plan, query, anchor_wrapper, enrich_links
+        )
+        if answer_key is not None and not recorder.enabled:
+            answer = self._artifact_get(answer_key, stats)
+            if answer is not None:
+                report.issues.extend(answer["issues"])
+                return IntegratedResult(
+                    answer["graph"], answer["root"], answer["genes"],
+                    report, stats, plan,
+                )
+
         # -- concurrent prefetch batch -------------------------------------
         # Every conditioned link-step fetch is independent of every
         # other, and of the (non-semijoin) anchor fetch: one batch on
@@ -448,7 +512,8 @@ class Executor:
             replies = self.fetcher.fetch_all(
                 (
                     (wrapper,
-                     FetchRequest(tuple(step.pushed), purpose=step.purpose))
+                     FetchRequest(tuple(step.pushed), purpose=step.purpose,
+                                  columnar=self.columnar))
                     for step, wrapper in jobs
                 ),
                 recorder=recorder,
@@ -462,13 +527,13 @@ class Executor:
                 if not reply.ok:
                     self._degrade_or_raise(reply, stats)
                     if step is plan.anchor:
-                        anchor_records = []
+                        anchor_records = (
+                            RecordBatch.empty() if self.columnar else []
+                        )
                     else:
                         self._degraded_steps.add(id(step))
                     continue
-                records = self._apply_residual(
-                    wrapper, step, list(reply.records), stats
-                )
+                records = self._ingest_reply(wrapper, step, reply, stats)
                 if step is plan.anchor:
                     anchor_records = records
                 else:
@@ -523,34 +588,41 @@ class Executor:
         with recorder.span("reconcile") as reconcile_span:
             stats.anchors_considered = len(anchor_records)
 
-            surviving = []
-            matched_links = []
-            for record in anchor_records:
-                links_for_record = {}
-                keep = True
-                for step in plan.link_steps:
-                    if id(step) in self._degraded_steps:
-                        # Degraded source: its constraint cannot be
-                        # evaluated, so it is skipped — the
-                        # YeastMed-style partial answer is computed from
-                        # the sources that responded, and the report
-                        # marks the gap.
-                        links_for_record[step.source_name] = []
-                        continue
-                    matched = self._match_link(
-                        step, anchor_wrapper, record, stats, report,
-                        allowed_by_step.get(id(step)),
+            artifact_key = self._reconcile_artifact_key(plan, anchor_wrapper)
+            cached_reconcile = (
+                None
+                if artifact_key is None
+                else self._artifact_get(artifact_key, stats)
+            )
+            if cached_reconcile is not None:
+                surviving = cached_reconcile["surviving"]
+                matched_links = cached_reconcile["matched_links"]
+                report.issues.extend(cached_reconcile["issues"])
+            else:
+                issues_before = len(report.issues)
+                if isinstance(anchor_records, RecordBatch):
+                    surviving, matched_links = self._reconcile_columnar(
+                        plan, anchor_wrapper, anchor_records, stats,
+                        report, allowed_by_step,
                     )
-                    links_for_record[step.source_name] = matched
-                    if step.link.mode == "include" and not matched:
-                        keep = False
-                        break
-                    if step.link.mode == "exclude" and matched:
-                        keep = False
-                        break
-                if keep:
-                    surviving.append(record)
-                    matched_links.append(links_for_record)
+                else:
+                    surviving, matched_links = self._reconcile_records(
+                        plan, anchor_wrapper, anchor_records, stats,
+                        report, allowed_by_step,
+                    )
+                if artifact_key is not None:
+                    self._artifact_put(
+                        artifact_key,
+                        {
+                            "surviving": surviving,
+                            "matched_links": matched_links,
+                            "issues": list(
+                                report.issues[issues_before:]
+                            ),
+                        },
+                        stats,
+                        sources=self._plan_sources(plan),
+                    )
             stats.anchors_returned = len(surviving)
             reconcile_span.set_counter(
                 "anchors_considered", stats.anchors_considered
@@ -571,6 +643,25 @@ class Executor:
                 enrich_links, stats, recorder,
             )
             navigate_span.set("genes", len(genes))
+        # Only a clean run is a reusable answer: a degraded execution
+        # is missing data that these source versions *can* provide.
+        if (
+            answer_key is not None
+            and not self._degraded_steps
+            and not stats.degraded_sources
+        ):
+            self._artifact_put(
+                answer_key,
+                {
+                    "genes": genes,
+                    "graph": graph,
+                    "root": root,
+                    "issues": list(report.issues),
+                },
+                stats,
+                sources=self._plan_sources(plan),
+                live=True,
+            )
         return IntegratedResult(graph, root, genes, report, stats, plan)
 
     # -- fetching ---------------------------------------------------------------
@@ -596,6 +687,38 @@ class Executor:
             if self._residual_ok(wrapper, record, step.residual):
                 kept.append(record)
         return kept
+
+    def _ingest_reply(self, wrapper, step, reply, stats):
+        """One ok reply -> residual-filtered records (or batch).
+
+        On the columnar path the reply carries a
+        :class:`RecordBatch`; a plain record list (a wrapper that
+        ignores ``columnar``) is pivoted on arrival so every operator
+        downstream sees one representation.
+        """
+        if not self.columnar and not isinstance(reply.records, RecordBatch):
+            return self._apply_residual(
+                wrapper, step, list(reply.records), stats
+            )
+        batch = self._as_batch(reply.records)
+        stats.batch_rows += len(batch)
+        return self._apply_residual_batch(wrapper, step, batch, stats)
+
+    @staticmethod
+    def _as_batch(records):
+        if isinstance(records, RecordBatch):
+            return records
+        return RecordBatch.from_records(list(records))
+
+    def _apply_residual_batch(self, wrapper, step, batch, stats):
+        """Vectorized residual predicates: each condition walks one
+        column (same per-record accounting as the record path)."""
+        if not step.residual:
+            return batch
+        stats.residual_evaluations += len(step.residual) * len(batch)
+        return batch.take(
+            filter_positions(batch, bind_residual(wrapper, step.residual))
+        )
 
     def _build_symbol_index(self, step, stats):
         """Version-keyed symbol-join index for one step (cached)."""
@@ -651,6 +774,15 @@ class Executor:
         )
         index = {}
         conditioned_keys = set()
+        if isinstance(records, RecordBatch):
+            # Columnar: two column walks instead of per-record lookups.
+            for key, anchor_ref in zip(
+                records.values(key_field), records.values(gene_field)
+            ):
+                conditioned_keys.add(key)
+                if anchor_ref:
+                    index.setdefault(anchor_ref, set()).add(key)
+            return index, conditioned_keys
         for record in records:
             conditioned_keys.add(record[key_field])
             anchor_ref = record.get(gene_field)
@@ -687,21 +819,45 @@ class Executor:
         if id(driver_step) in self._degraded_steps:
             reply = self.fetcher.fetch(
                 wrapper,
-                FetchRequest(tuple(plan.anchor.pushed), purpose="anchor"),
+                FetchRequest(tuple(plan.anchor.pushed), purpose="anchor",
+                             columnar=self.columnar),
                 recorder=recorder,
             )
             stats.record_reply(reply)
             if not reply.ok:
                 self._degrade_or_raise(reply, stats)
-                return []
-            return self._apply_residual(
-                wrapper, plan.anchor, list(reply.records), stats
-            )
+                return RecordBatch.empty() if self.columnar else []
+            return self._ingest_reply(wrapper, plan.anchor, reply, stats)
         allowed = allowed_by_step[id(driver_step)]
         # Ensure the anchor source appears in the fetch accounting
         # exactly once even when the driving link matched nothing.
         stats.add_fetch(wrapper.name, 0)
         ordered_ids = sorted(allowed, key=str)
+
+        # The stage's content address: the driving link's output (the
+        # id set itself) plus the anchor's version and conditions fully
+        # determine the deduped, residual-filtered, sorted anchor set.
+        artifact_key = None
+        if self.artifacts is not None:
+            driver_wrapper = self.wrappers[driver_source]
+            artifact_key = stage_key(
+                "anchor-semijoin",
+                source=wrapper.name,
+                version=wrapper.version,
+                conditions=tuple(plan.anchor.pushed)
+                + tuple(plan.anchor.residual),
+                upstream=(
+                    (driver_source, driver_wrapper.version),
+                    tuple(ordered_ids),
+                ),
+                extra=(via_label, bool(self.columnar)),
+            )
+            payload = self._artifact_get(artifact_key, stats)
+            if payload is not None:
+                if self.columnar:
+                    return RecordBatch.from_payload(payload)
+                return list(payload["records"])
+
         batches = []
         anchor_failed = False
         if not ordered_ids:
@@ -713,6 +869,7 @@ class Executor:
                     tuple(plan.anchor.pushed)
                     + ((via_label, "in", tuple(ordered_ids)),),
                     purpose="anchor-semijoin",
+                    columnar=self.columnar,
                 ),
                 recorder=recorder,
             )
@@ -731,6 +888,7 @@ class Executor:
                         tuple(plan.anchor.pushed)
                         + ((via_label, "=", link_id),),
                         purpose="anchor-per-id",
+                        columnar=self.columnar,
                     ),
                     recorder=recorder,
                 )
@@ -741,7 +899,17 @@ class Executor:
                     break
                 batches.append(reply.records)
         if anchor_failed:
-            return []
+            return RecordBatch.empty() if self.columnar else []
+        if self.columnar:
+            result = self._dedup_anchor_columnar(
+                plan, wrapper, key_field, batches, stats
+            )
+            if artifact_key is not None:
+                self._artifact_put(
+                    artifact_key, result.to_payload(), stats,
+                    sources=(wrapper.name, driver_source),
+                )
+            return result
         seen = set()
         records = []
         for fetched in batches:
@@ -758,7 +926,44 @@ class Executor:
                         continue
                 records.append(record)
         records.sort(key=lambda record: record[key_field])
+        if artifact_key is not None:
+            self._artifact_put(
+                artifact_key, {"records": records}, stats,
+                sources=(wrapper.name, driver_source),
+            )
         return records
+
+    def _dedup_anchor_columnar(self, plan, wrapper, key_field, batches,
+                               stats):
+        """Columnar dedup + residual + sort over the semijoin's fetch
+        batches (exact twin of the record loop below, including the
+        per-unique-record residual accounting)."""
+        batches = [self._as_batch(fetched) for fetched in batches]
+        for batch in batches:
+            stats.batch_rows += len(batch)
+        unique = dedup_rows(batches, key_field)
+        if plan.anchor.residual:
+            bound = bind_residual(wrapper, plan.anchor.residual)
+            residual_count = len(plan.anchor.residual)
+            kept = []
+            columns_by_batch = {}
+            for key, batch_index, row in unique:
+                stats.residual_evaluations += residual_count
+                columns = columns_by_batch.get(batch_index)
+                if columns is None:
+                    columns = [
+                        (batches[batch_index].values(field), condition)
+                        for field, condition in bound
+                    ]
+                    columns_by_batch[batch_index] = columns
+                if all(
+                    _evaluate(values[row], condition)
+                    for values, condition in columns
+                ):
+                    kept.append((key, batch_index, row))
+            unique = kept
+        unique.sort(key=lambda entry: entry[0])
+        return merge_rows(batches, unique)
 
     @staticmethod
     def _residual_ok(wrapper, record, conditions):
@@ -768,6 +973,284 @@ class Executor:
             if not _evaluate(field_value, condition):
                 return False
         return True
+
+    # -- reconciliation ------------------------------------------------------------
+
+    def _reconcile_records(self, plan, anchor_wrapper, anchor_records,
+                           stats, report, allowed_by_step):
+        """Record-at-a-time link matching with include/exclude break
+        semantics (the pre-columnar reconcile loop)."""
+        surviving = []
+        matched_links = []
+        for record in anchor_records:
+            links_for_record = {}
+            keep = True
+            for step in plan.link_steps:
+                if id(step) in self._degraded_steps:
+                    # Degraded source: its constraint cannot be
+                    # evaluated, so it is skipped — the
+                    # YeastMed-style partial answer is computed from
+                    # the sources that responded, and the report
+                    # marks the gap.
+                    links_for_record[step.source_name] = []
+                    continue
+                matched = self._match_link(
+                    step, anchor_wrapper, record, stats, report,
+                    allowed_by_step.get(id(step)),
+                )
+                links_for_record[step.source_name] = matched
+                if step.link.mode == "include" and not matched:
+                    keep = False
+                    break
+                if step.link.mode == "exclude" and matched:
+                    keep = False
+                    break
+            if keep:
+                surviving.append(record)
+                matched_links.append(links_for_record)
+        return surviving, matched_links
+
+    def _reconcile_columnar(self, plan, anchor_wrapper, batch, stats,
+                            report, allowed_by_step):
+        """Vectorized reconcile: label resolution and field extraction
+        hoisted out of the row loop into whole-column gathers.
+
+        The per-row matching (with the record path's exact
+        include/exclude break semantics) still runs row-wise — the
+        reconciler's validations are inherently per anchor — but each
+        row touches pre-gathered columns instead of building and
+        indexing dicts.  Survivors materialize as record dicts only
+        once, at the end.
+        """
+        gathered = self._gather_link_columns(
+            plan, anchor_wrapper, batch
+        )
+        anchor_ids = gathered["anchor_ids"]
+        step_columns = gathered["steps"]
+        surviving_rows = []
+        matched_links = []
+        for row in range(len(batch)):
+            anchor_id = anchor_ids[row]
+            links_for_record = {}
+            keep = True
+            for step in plan.link_steps:
+                if id(step) in self._degraded_steps:
+                    links_for_record[step.source_name] = []
+                    continue
+                columns = step_columns[id(step)]
+                raw = (
+                    None
+                    if columns["via"] is None
+                    else columns["via"][row]
+                )
+                if columns["symbols"] is not None:
+                    values, present = columns["symbols"]
+                    symbol = values[row] if present[row] else ""
+                else:
+                    symbol = ""
+                aliases = (
+                    []
+                    if columns["aliases"] is None
+                    else columns["aliases"][row] or []
+                )
+                matched = self._match_link_values(
+                    step, anchor_id, raw, symbol, aliases, report,
+                    allowed_by_step.get(id(step)),
+                )
+                links_for_record[step.source_name] = matched
+                if step.link.mode == "include" and not matched:
+                    keep = False
+                    break
+                if step.link.mode == "exclude" and matched:
+                    keep = False
+                    break
+            if keep:
+                surviving_rows.append(row)
+                matched_links.append(links_for_record)
+        # Borrow, don't copy: everything downstream (translate,
+        # answer construction, artifact pickling) only reads these.
+        surviving = batch.take(surviving_rows).borrow_records()
+        return surviving, matched_links
+
+    def _gather_link_columns(self, plan, anchor_wrapper, batch):
+        """Per-execution column gather for the reconcile loop: the
+        anchor-id column plus, per link step, its via column and (for
+        symbol joins) the shared symbol/alias columns."""
+        key_field = anchor_wrapper.source_field(
+            self.mapping_module.to_local_label(
+                anchor_wrapper.name, "GeneID"
+            )
+        )
+        steps = {}
+        symbol_pair = None
+        alias_values = None
+        symbol_gathered = False
+        for step in plan.link_steps:
+            if id(step) in self._degraded_steps:
+                steps[id(step)] = {
+                    "via": None, "symbols": None, "aliases": None
+                }
+                continue
+            via = None
+            if not step.link.reverse_join:
+                via_field = anchor_wrapper.source_field(
+                    self.mapping_module.to_local_label(
+                        anchor_wrapper.name, step.link.via
+                    )
+                )
+                via = batch.values(via_field)
+            symbols = None
+            aliases = None
+            if (
+                step.link.symbol_join
+                and step.source_name in self._symbol_indexes
+            ):
+                if not symbol_gathered:
+                    symbol_field = anchor_wrapper.source_field(
+                        self.mapping_module.to_local_label(
+                            anchor_wrapper.name, "GeneSymbol"
+                        )
+                    )
+                    symbol_pair = batch.column_pair(symbol_field)
+                    alias_local = self.mapping_module.correspondences(
+                        anchor_wrapper.name
+                    ).to_local("AliasSymbol")
+                    if alias_local is not None:
+                        alias_values = batch.values(
+                            anchor_wrapper.source_field(alias_local)
+                        )
+                    symbol_gathered = True
+                symbols = symbol_pair
+                aliases = alias_values
+            steps[id(step)] = {
+                "via": via, "symbols": symbols, "aliases": aliases
+            }
+        return {"anchor_ids": batch.values(key_field), "steps": steps}
+
+    def _step_fingerprints(self, plan, degraded=None):
+        """One stable tuple per link step, covering every plan input
+        that shapes its output (source id + version, link shape, the
+        pushed/residual/closure condition sets).
+
+        ``degraded`` (the run's degraded-step set) appends each step's
+        degradation flag — the reconcile key includes it because
+        degradation changes the stage's semantics; the answer key
+        omits it and instead only ever *stores* clean runs.
+        """
+        steps = []
+        for position, step in enumerate(plan.link_steps):
+            wrapper = self.wrappers[step.source_name]
+            entry = (
+                position,
+                step.source_name,
+                wrapper.version,
+                step.link.mode,
+                step.link.via,
+                bool(step.link.reverse_join),
+                bool(step.link.symbol_join),
+                bool(step.pruned),
+                tuple(step.pushed),
+                tuple(step.residual),
+                tuple(step.closure),
+            )
+            if degraded is not None:
+                entry += (id(step) in degraded,)
+            steps.append(entry)
+        return steps
+
+    def _reconcile_artifact_key(self, plan, anchor_wrapper):
+        """The reconcile stage's content address, or ``None`` when the
+        artifact store is off.
+
+        Every input the stage consumes is derived from (source,
+        version, plan conditions): the anchor set, each step's
+        allowed-id set or reverse index, and the symbol indexes.  The
+        reconciler's policy and the run's degraded steps (which change
+        semantics) are part of the key.
+        """
+        if self.artifacts is None:
+            return None
+        return stage_key(
+            "reconcile",
+            source=plan.anchor.source_name,
+            version=anchor_wrapper.version,
+            conditions=tuple(plan.anchor.pushed)
+            + tuple(plan.anchor.residual),
+            upstream=self._step_fingerprints(
+                plan, degraded=self._degraded_steps
+            ),
+            extra=(
+                plan.anchor.semijoin,
+                repr(self.reconciler.policy),
+                bool(self.columnar),
+            ),
+        )
+
+    def _answer_artifact_key(self, plan, query, anchor_wrapper,
+                             enrich_links):
+        """The answer-construction stage's content address, or
+        ``None`` when the artifact store is off.
+
+        The integrated answer is fully determined by the plan (which
+        embeds every pushed/residual condition), the participating
+        sources' versions, the projection, link enrichment, and the
+        reconciler's policy — so the key is computable *before any
+        fetch*, and a hit answers the whole query from the store.
+        Degradation state is deliberately absent: only clean runs are
+        stored, so a hit always serves a complete answer for these
+        exact source versions.
+        """
+        if self.artifacts is None:
+            return None
+        return stage_key(
+            "answer",
+            source=plan.anchor.source_name,
+            version=anchor_wrapper.version,
+            conditions=tuple(plan.anchor.pushed)
+            + tuple(plan.anchor.residual),
+            upstream=self._step_fingerprints(plan),
+            extra=(
+                plan.anchor.semijoin,
+                repr(self.reconciler.policy),
+                bool(self.columnar),
+                bool(enrich_links),
+                tuple(query.select),
+            ),
+        )
+
+    def _plan_sources(self, plan):
+        """Every source participating in a plan (artifact tags)."""
+        names = {plan.anchor.source_name}
+        names.update(step.source_name for step in plan.link_steps)
+        return tuple(sorted(names))
+
+    # -- stage artifacts -----------------------------------------------------------
+
+    def _artifact_get(self, key, stats):
+        """Probe the artifact store (when on), folding hit/miss/byte
+        accounting into ``stats``."""
+        if self.artifacts is None:
+            return None
+        found = self.artifacts.get(key)
+        if found is None:
+            stats.artifact_misses += 1
+            return None
+        payload, size = found
+        stats.artifact_hits += 1
+        stats.artifact_bytes += size
+        return payload
+
+    def _artifact_put(self, key, payload, stats, sources=(), live=False):
+        """Store one finished stage's payload (when the store is on).
+
+        ``live`` passes through to the store: the payload object is
+        kept and later shared by reference (answer stage only).
+        """
+        if self.artifacts is None:
+            return
+        stats.artifact_bytes += self.artifacts.put(
+            key, payload, sources=sources, live=live
+        )
 
     # -- link matching -------------------------------------------------------------
 
@@ -779,19 +1262,48 @@ class Executor:
         fetch (``None`` for pruned steps: any valid id counts).
         """
         link = step.link
-        link_wrapper = self.wrappers[step.source_name]
         anchor_id = self._anchor_id(anchor_wrapper, record)
-
-        if link.reverse_join:
-            reverse = self._reverse_indexes[id(step)]
-            matched = sorted(reverse.get(anchor_id, ()), key=str)
-        else:
+        raw = None
+        if not link.reverse_join:
             via_field = anchor_wrapper.source_field(
                 self.mapping_module.to_local_label(
                     anchor_wrapper.name, link.via
                 )
             )
-            raw_ids = record.get(via_field) or []
+            raw = record.get(via_field)
+        symbol = ""
+        aliases = []
+        if link.symbol_join and step.source_name in self._symbol_indexes:
+            symbol_field = anchor_wrapper.source_field(
+                self.mapping_module.to_local_label(
+                    anchor_wrapper.name, "GeneSymbol"
+                )
+            )
+            symbol = record.get(symbol_field, "")
+            alias_local = self.mapping_module.correspondences(
+                anchor_wrapper.name
+            ).to_local("AliasSymbol")
+            if alias_local is not None:
+                aliases = record.get(
+                    anchor_wrapper.source_field(alias_local)
+                ) or []
+        return self._match_link_values(
+            step, anchor_id, raw, symbol, aliases, report, allowed
+        )
+
+    def _match_link_values(self, step, anchor_id, raw, symbol, aliases,
+                           report, allowed):
+        """The matching core shared by the record and columnar paths:
+        consumes pre-extracted field values, so the columnar reconcile
+        feeds it straight from gathered columns."""
+        link = step.link
+        link_wrapper = self.wrappers[step.source_name]
+
+        if link.reverse_join:
+            reverse = self._reverse_indexes[id(step)]
+            matched = sorted(reverse.get(anchor_id, ()), key=str)
+        else:
+            raw_ids = raw or []
             if not isinstance(raw_ids, list):
                 raw_ids = [raw_ids]
             valid = self._validated_ids(
@@ -804,22 +1316,9 @@ class Executor:
             ]
 
         if link.symbol_join and step.source_name in self._symbol_indexes:
-            symbol_field = anchor_wrapper.source_field(
-                self.mapping_module.to_local_label(
-                    anchor_wrapper.name, "GeneSymbol"
-                )
-            )
-            alias_local = self.mapping_module.correspondences(
-                anchor_wrapper.name
-            ).to_local("AliasSymbol")
-            aliases = []
-            if alias_local is not None:
-                aliases = record.get(
-                    anchor_wrapper.source_field(alias_local)
-                ) or []
             via_symbols = self.reconciler.disease_ids_via_symbols(
                 anchor_id,
-                record.get(symbol_field, ""),
+                symbol,
                 aliases,
                 link_wrapper,
                 report,
@@ -839,7 +1338,10 @@ class Executor:
             step.source_name, step.link.via
         )
         key_field = link_wrapper.source_field(key_local)
-        allowed = {record[key_field] for record in records}
+        if isinstance(records, RecordBatch):
+            allowed = set(records.values(key_field))
+        else:
+            allowed = {record[key_field] for record in records}
         for label, _op, value in step.closure:
             if label != key_local:
                 raise IntegrationError(
@@ -977,13 +1479,33 @@ class Executor:
                 continue
             ordered = tuple(sorted(missing, key=str))
             batched = self.batch_fetch and wrapper.supports(key_local, "in")
+            artifact_key = None
+            if self.artifacts is not None:
+                artifact_key = stage_key(
+                    "enrichment",
+                    source=step.source_name,
+                    version=wrapper.version,
+                    conditions=(
+                        ((key_local, "in", ordered),) if batched else ()
+                    ),
+                    extra=(ordered, bool(batched)),
+                )
+                payload = self._artifact_get(artifact_key, stats)
+                if payload is not None:
+                    cached["index"].update(payload["index"])
+                    if payload["complete"]:
+                        cached["complete"] = True
+                    cached["known"].update(missing)
+                    cached["known"].update(cached["index"])
+                    indexes[step.source_name] = cached["index"]
+                    continue
             request = FetchRequest(
                 ((key_local, "in", ordered),) if batched else (),
                 purpose="enrichment" if batched else "enrichment-full",
             )
             pending.append(
                 (step, wrapper, cached, missing, key_field, request,
-                 batched)
+                 batched, artifact_key)
             )
             indexes[step.source_name] = cached["index"]
         if not pending:
@@ -991,15 +1513,15 @@ class Executor:
         replies = self.fetcher.fetch_all(
             (
                 (wrapper, request)
-                for _step, wrapper, _cached, _missing, _key, request, _b
-                in pending
+                for _step, wrapper, _cached, _missing, _key, request, _b,
+                _artifact_key in pending
             ),
             recorder=recorder,
         )
         if len(pending) > 1 and self.policy.max_workers > 1:
             stats.concurrent_batches += 1
         for (step, wrapper, cached, missing, key_field, _request,
-             batched), reply in zip(pending, replies):
+             batched, artifact_key), reply in zip(pending, replies):
             stats.record_reply(reply)
             if not reply.ok:
                 # Enrichment detail is decoration, not correctness: a
@@ -1010,15 +1532,24 @@ class Executor:
                 stats.batched_fetches += 1
             else:
                 cached["complete"] = True
+            added = {}
             for record in reply.records:
                 translated = self.mapping_module.translate_record(
                     step.source_name, record, wrapper
                 )
-                cached["index"][record[key_field]] = (translated, record)
+                added[record[key_field]] = (translated, record)
+            cached["index"].update(added)
             # Ids probed but absent from the source are remembered
             # too, so dangling references never re-fetch.
             cached["known"].update(missing)
             cached["known"].update(cached["index"])
+            if artifact_key is not None:
+                self._artifact_put(
+                    artifact_key,
+                    {"index": added, "complete": not batched},
+                    stats,
+                    sources=(step.source_name,),
+                )
         return indexes
 
     def _build_gene(self, graph, gene_dict, record, anchor_wrapper,
@@ -1029,7 +1560,7 @@ class Executor:
                 continue
             values = value if isinstance(value, list) else [value]
             for item in values:
-                graph.add_edge(gene, key, graph.new_atomic(item))
+                graph.attach_atomic(gene, key, item)
         # Linked detail objects (Annotation / Disease / Citation).
         for step in plan.link_steps:
             source_index = enrichment.get(step.source_name, {})
@@ -1037,21 +1568,16 @@ class Executor:
                 step.source_name, step.source_name
             )
             for link_id in links_for_record.get(step.source_name, ()):
-                child = graph.new_complex()
-                graph.add_edge(gene, child_label, child)
-                graph.add_edge(
-                    child, step.link.via, graph.new_atomic(link_id)
-                )
+                child = graph.attach_complex(gene, child_label)
+                graph.attach_atomic(child, step.link.via, link_id)
                 entry = source_index.get(link_id)
                 if entry is not None:
                     translated, _raw = entry
                     for key in ("Title", "Aspect", "Inheritance",
                                 "Journal", "Year", "SequenceLength"):
                         if translated.get(key) not in (None, "", []):
-                            graph.add_edge(
-                                child,
-                                key,
-                                graph.new_atomic(translated[key]),
+                            graph.attach_atomic(
+                                child, key, translated[key]
                             )
         # Web links for interactive navigation.  Built from the
         # *reconciled* answer (self + matched link ids), never from the
@@ -1059,24 +1585,21 @@ class Executor:
         # must only offer links that resolve.
         from repro.navigation.links import url_for
 
-        links_object = graph.new_complex()
-        graph.add_edge(gene, "Links", links_object)
+        links_object = graph.attach_complex(gene, "Links")
         anchor_id = self._anchor_id(anchor_wrapper, record)
-        graph.add_edge(
+        graph.attach_atomic(
             links_object,
             "Self",
-            graph.new_atomic(
-                url_for(anchor_wrapper.name, anchor_id), OEMType.URL
-            ),
+            url_for(anchor_wrapper.name, anchor_id),
+            OEMType.URL,
         )
         for step in plan.link_steps:
             for link_id in links_for_record.get(step.source_name, ()):
-                graph.add_edge(
+                graph.attach_atomic(
                     links_object,
                     step.source_name,
-                    graph.new_atomic(
-                        url_for(step.source_name, link_id), OEMType.URL
-                    ),
+                    url_for(step.source_name, link_id),
+                    OEMType.URL,
                 )
         return gene
 

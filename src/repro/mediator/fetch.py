@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.sources.batch import RecordBatch
 from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
 from repro.util.locks import new_lock
@@ -88,6 +89,10 @@ class FetchRequest:
     deadline: Optional[float] = None
     retries: Optional[int] = None
     backoff: Optional[float] = None
+    #: Ask the wrapper for a columnar
+    #: :class:`~repro.sources.batch.RecordBatch` instead of a record
+    #: list (the reply's ``records`` carries the batch).
+    columnar: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -131,7 +136,10 @@ class FetchReply:
 
     source: str
     request: FetchRequest
-    records: Tuple[Any, ...] = ()
+    #: Tuple of record dicts — or one :class:`RecordBatch` for a
+    #: columnar request (``len(reply.records)`` counts rows either
+    #: way).
+    records: Any = ()
     status: str = "ok"
     attempts: Tuple[FetchAttempt, ...] = ()
     elapsed: float = 0.0
@@ -353,7 +361,7 @@ class FederatedFetcher:
         started = time.perf_counter()
         counters_before = self._source_counters(wrapper)
         attempts: List[FetchAttempt] = []
-        records: Tuple[Any, ...] = ()
+        records: Any = ()
         status, error = "error", "no attempt made"
         for number in range(budget + 1):
             remaining = (
@@ -381,7 +389,12 @@ class FederatedFetcher:
                 FetchAttempt(number + 1, elapsed, outcome, attempt_error)
             )
             if outcome == "ok":
-                records, status, error = tuple(result), "ok", None
+                records = (
+                    result
+                    if isinstance(result, RecordBatch)
+                    else tuple(result)
+                )
+                status, error = "ok", None
                 break
             status, error = outcome, attempt_error
             if number < budget:

@@ -26,7 +26,8 @@ class Mediator:
     RESULT_CACHE_SIZE = 32
 
     def __init__(self, global_schema=None, matcher=None,
-                 optimizer_options=None, reconciler=None, federation=None):
+                 optimizer_options=None, reconciler=None, federation=None,
+                 columnar=True, artifacts=None):
         self.global_schema = global_schema or GlobalSchema()
         self.mapping_module = MappingModule(
             global_schema=self.global_schema,
@@ -39,6 +40,13 @@ class Mediator:
         #: every executor this mediator builds.
         self.federation = federation or FederationPolicy()
         self._fetcher = FederatedFetcher(self.federation)
+        #: Columnar batch execution across the wrapper boundary (the
+        #: default); ``False`` restores record-at-a-time fetches.
+        self.columnar = columnar
+        #: Optional content-addressed stage artifact store
+        #: (:class:`~repro.mediator.artifacts.ArtifactStore`), shared
+        #: by every execution; ``None`` disables stage reuse.
+        self.artifacts = artifacts
         self._wrappers = {}
         self._registration_order = []
         self._gml_cache = None
@@ -92,6 +100,12 @@ class Mediator:
             for key, value in self._result_cache.items()
             if all(name != source_name for name, _version in key[2])
         }
+        # Stage artifacts are tagged with their participating sources
+        # for exactly this hazard: a re-registered store may reuse the
+        # old version counters, so version-keyed content addresses
+        # would collide with the stale entries.
+        if self.artifacts is not None:
+            self.artifacts.invalidate_source(source_name)
 
     def sources(self):
         """Registered source names in registration order."""
@@ -185,6 +199,7 @@ class Mediator:
                 self._wrappers, self.mapping_module, self.reconciler,
                 enrichment_cache=self._fetch_cache,
                 fetcher=self._fetcher, policy=self.federation,
+                columnar=self.columnar, artifacts=self.artifacts,
             )
             result = executor.execute(
                 plan, query, enrich_links=enrich_links, recorder=recorder

@@ -135,6 +135,27 @@ class OEMGraph:
             )
         return parent.add_reference(label, child)
 
+    def attach_atomic(self, parent, label, value, oem_type=None):
+        """Allocate an atomic for ``value`` and reference it from
+        ``parent`` in one step.
+
+        The child's oid is fresh, so the reference cannot duplicate an
+        existing one and the duplicate check (and the ownership
+        re-validation of objects this graph just created) is skipped —
+        the answer-construction hot path allocates tens of thousands
+        of these per query.  Returns the new child.
+        """
+        child = self.new_atomic(value, oem_type)
+        parent.append_reference_unchecked(label, child)
+        return child
+
+    def attach_complex(self, parent, label):
+        """Allocate an empty complex object and reference it from
+        ``parent``; the fresh-oid twin of :meth:`attach_atomic`."""
+        child = self.new_complex()
+        parent.append_reference_unchecked(label, child)
+        return child
+
     def build(self, value, label_order=None):
         """Build a subtree from a plain Python structure and return its root.
 
@@ -158,7 +179,12 @@ class OEMGraph:
                 child_value = value[key]
                 for item in _fan_out(child_value):
                     child = self.build(item, label_order=label_order)
-                    self.add_edge(node, key, child)
+                    if isinstance(item, OEMObject):
+                        # A pre-existing object may already be
+                        # referenced under this label: dedup applies.
+                        self.add_edge(node, key, child)
+                    else:
+                        node.append_reference_unchecked(key, child)
             return node
         if isinstance(value, OEMObject):
             if value.oid not in self._objects:

@@ -49,7 +49,7 @@ class OEMObject:
         The atomic payload (``None`` for complex objects).
     """
 
-    __slots__ = ("oid", "type", "value", "_references")
+    __slots__ = ("oid", "type", "value", "_references", "_reference_set")
 
     def __init__(self, oid, oem_type, value=None):
         self.oid = oid
@@ -61,9 +61,15 @@ class OEMObject:
                 )
             self.value = None
             self._references = []
+            # Mirrors _references for O(1) duplicate checks; built
+            # lazily on the first checked add (fresh-reference appends
+            # never need it) and the list alone stays authoritative
+            # for order.
+            self._reference_set = None
         else:
             self.value = validate_value(value, oem_type)
             self._references = None
+            self._reference_set = None
 
     # -- classification -----------------------------------------------------
 
@@ -98,8 +104,30 @@ class OEMObject:
                 f"cannot add references to atomic object &{self.oid}"
             )
         ref = ObjectRef(label, child.oid, child.type)
-        if ref not in self._references:
+        if self._reference_set is None:
+            self._reference_set = set(self._references)
+        if ref not in self._reference_set:
+            self._reference_set.add(ref)
             self._references.append(ref)
+        return ref
+
+    def append_reference_unchecked(self, label, child):
+        """Append a reference *without* the duplicate check.
+
+        Only for callers that can prove the reference is new — e.g.
+        ``child`` was allocated moments ago and has never been
+        referenced, so no existing (label, oid) pair can collide.
+        Misuse would violate the set-of-pairs contract; prefer
+        :meth:`add_reference` when in doubt.
+        """
+        if self._references is None:
+            raise DataFormatError(
+                f"cannot add references to atomic object &{self.oid}"
+            )
+        ref = ObjectRef(label, child.oid, child.type)
+        self._references.append(ref)
+        if self._reference_set is not None:
+            self._reference_set.add(ref)
         return ref
 
     def remove_reference(self, label, child_oid):
@@ -111,6 +139,8 @@ class OEMObject:
         for index, ref in enumerate(self._references):
             if ref.label == label and ref.oid == child_oid:
                 del self._references[index]
+                if self._reference_set is not None:
+                    self._reference_set.discard(ref)
                 return
         raise DataFormatError(
             f"object &{self.oid} has no reference {label} -> &{child_oid}"

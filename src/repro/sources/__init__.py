@@ -22,6 +22,7 @@ reconciliation experiment measures.
 """
 
 from repro.sources.base import DataSource, NativeCondition
+from repro.sources.batch import RecordBatch
 from repro.sources.corpus import AnnotationCorpus, CorpusParameters
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "CorpusParameters",
     "DataSource",
     "NativeCondition",
+    "RecordBatch",
 ]

@@ -1,0 +1,437 @@
+"""Columnar record batches: the dict-of-columns exchange format.
+
+Record-at-a-time execution materializes one Python dict per record per
+stage, so the semijoin speedup curve flattens as locus counts grow —
+the per-record constant (dict allocation, per-field lookup, per-record
+copies) dominates.  A :class:`RecordBatch` holds the same data as one
+list per field plus a presence mask, so operators touch whole columns
+(one dict lookup per *field*, not per field per record) and the fetch
+layer gathers positions out of per-version column caches instead of
+copying dicts.
+
+Layout
+------
+``columns[field]`` is a plain list of cell values, ``present[field]``
+a parallel list of booleans distinguishing an *absent* field from one
+stored as ``None`` — the distinction ragged record dicts carry, which
+``to_records(from_records(rs)) == rs`` must preserve (a Hypothesis
+property pins that round-trip down).  All columns share one length.
+
+Late materialization
+--------------------
+A batch built by :meth:`from_records` keeps the record list and pivots
+a column only on the first columnar read of that field.  In pure
+Python the pivot itself is linear work per cell, so eagerly pivoting
+every field makes a columnar scan strictly *slower* than the record
+scan it replaces; lazily, a stage that reads two columns out of ten
+pays for two, ``take`` gathers one row list instead of N columns, and
+the row boundary (``record_at`` / ``to_records``) returns dict copies
+of the adopted records instead of reassembling dicts cell by cell.
+The pivot cache is filled idempotently: concurrent readers of a
+shared batch compute identical columns from the same adopted records
+(batches are frozen — see below), so the last assignment winning is
+harmless; the presence mask is published before its value column so a
+reader never observes one without the other.
+
+A batch **adopts** the records given to ``from_records``: the caller
+must not mutate those dicts afterwards (sources hand over
+freshly-materialized record dicts, exactly what the record path
+returns to its callers).
+
+This module sits below the wrapper boundary: it imports nothing from
+the mediator or wrapper layers, so sources, wrappers, the fetch
+protocol and the executor can all exchange batches freely.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: One source record, as exchanged across the wrapper boundary.
+Record = Dict[str, Any]
+
+#: Serialized batch layout version (see :meth:`RecordBatch.to_payload`).
+BATCH_PAYLOAD_SCHEMA = 1
+
+#: Cell marker distinguishing "absent" from "stored as None" while
+#: pivoting (never escapes this module).
+_ABSENT = object()
+
+
+class RecordBatch:
+    """A columnar batch of records: one list per field.
+
+    Construction through :meth:`from_records` / :meth:`from_columns`;
+    row-level access through :meth:`record_at` / :meth:`to_records`;
+    columnar access through :meth:`values` / :meth:`column_pair` and
+    the typed accessors.
+    """
+
+    __slots__ = (
+        "_fields",
+        "_field_set",
+        "_columns",
+        "_present",
+        "_rows",
+        "_records",
+        "_project",
+    )
+
+    def __init__(
+        self,
+        fields: Sequence[str],
+        columns: Dict[str, List[Any]],
+        present: Dict[str, List[bool]],
+        rows: int,
+        records: Optional[List[Record]] = None,
+        project: bool = False,
+    ) -> None:
+        self._fields = tuple(fields)
+        self._field_set = frozenset(self._fields)
+        self._columns = columns
+        self._present = present
+        self._rows = rows
+        #: Adopted row store backing lazy pivots (None once eager).
+        self._records = records
+        #: True when the adopted records may carry keys outside
+        #: ``fields`` (explicit narrowing), so row views must project.
+        self._project = project
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, fields: Sequence[str] = ()) -> "RecordBatch":
+        return cls(
+            tuple(fields),
+            {field: [] for field in fields},
+            {field: [] for field in fields},
+            0,
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Record],
+        fields: Optional[Sequence[str]] = None,
+        covering: bool = False,
+    ) -> "RecordBatch":
+        """Adopt a list of record dicts as a (lazily pivoted) batch.
+
+        Without an explicit ``fields`` sequence the column order is the
+        first-seen key order across the records (ragged records are
+        fine: missing cells get ``present=False``).  An explicit
+        ``fields`` narrower than the records' keys projects row views
+        onto those fields; pass ``covering=True`` to assert the fields
+        are a superset of every record's keys, which lets ``to_records``
+        skip the projection.  The records are adopted, not copied —
+        callers must not mutate them afterwards.
+        """
+        adopted = list(records)
+        project = fields is not None and not covering
+        if fields is None:
+            ordered: Dict[str, None] = {}
+            for record in adopted:
+                for key in record:
+                    ordered[key] = None
+            fields = tuple(ordered)
+        return cls(
+            tuple(fields),
+            {},
+            {},
+            len(adopted),
+            records=adopted,
+            project=project,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        fields: Sequence[str],
+        columns: Dict[str, List[Any]],
+        present: Optional[Dict[str, List[bool]]] = None,
+    ) -> "RecordBatch":
+        """Adopt pre-built columns (every cell present by default)."""
+        rows = len(columns[fields[0]]) if fields else 0
+        for field in fields:
+            if len(columns[field]) != rows:
+                raise ValueError(
+                    f"column {field!r} has {len(columns[field])} cells, "
+                    f"expected {rows}"
+                )
+        if present is None:
+            present = {field: [True] * rows for field in fields}
+        return cls(tuple(fields), dict(columns), present, rows)
+
+    # -- shape ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return self._fields
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordBatch):
+            return NotImplemented
+        if self._fields != other._fields or self._rows != other._rows:
+            return False
+        return all(
+            self._pair(field) == other._pair(field)
+            for field in self._fields
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordBatch({self._rows} rows x "
+            f"{len(self._fields)} columns)"
+        )
+
+    # -- lazy pivot ----------------------------------------------------------
+
+    def _pair(
+        self, field: str
+    ) -> Optional[Tuple[List[Any], List[bool]]]:
+        """``(values, present)`` of ``field``, pivoting on first read;
+        ``None`` for a field this batch does not carry."""
+        column = self._columns.get(field)
+        if column is not None:
+            return column, self._present[field]
+        if field not in self._field_set or self._records is None:
+            return None
+        absent = _ABSENT
+        cells = [record.get(field, absent) for record in self._records]
+        present = [cell is not absent for cell in cells]
+        column = [None if cell is absent else cell for cell in cells]
+        # Publish the mask first: readers key off the value column, so
+        # they never see a column without its mask (idempotent fill —
+        # see the module docstring).
+        self._present[field] = present
+        self._columns[field] = column
+        return column, present
+
+    def _materialize(self) -> None:
+        """Pivot every field and drop the row store (eager form)."""
+        if self._records is None:
+            return
+        for field in self._fields:
+            self._pair(field)
+        self._records = None
+        self._project = False
+
+    # -- columnar access -----------------------------------------------------
+
+    def values(self, field: str) -> List[Any]:
+        """The value column of ``field`` (``None`` for absent cells;
+        an unknown field is an all-``None`` column, mirroring
+        ``record.get``)."""
+        pair = self._pair(field)
+        if pair is None:
+            return [None] * self._rows
+        return pair[0]
+
+    def column_pair(self, field: str) -> Tuple[List[Any], List[bool]]:
+        """``(values, present)`` for one field, for presence-aware
+        columnar operators."""
+        pair = self._pair(field)
+        if pair is None:
+            return [None] * self._rows, [False] * self._rows
+        return pair
+
+    def present_values(self, field: str) -> List[Any]:
+        """Values of the cells actually present in ``field``."""
+        pair = self._pair(field)
+        if pair is None:
+            return []
+        column, present = pair
+        return [
+            value for value, here in zip(column, present) if here
+        ]
+
+    def cell(self, field: str, row: int, default: Any = None) -> Any:
+        """One cell, ``record.get(field, default)`` semantics."""
+        column = self._columns.get(field)
+        if column is not None:
+            return column[row] if self._present[field][row] else default
+        if self._records is not None and field in self._field_set:
+            return self._records[row].get(field, default)
+        return default
+
+    # -- typed accessors -----------------------------------------------------
+
+    def ints(self, field: str) -> List[Optional[int]]:
+        """The column coerced to ``int`` (``None`` cells stay None)."""
+        return [
+            None if value is None else int(value)
+            for value in self.values(field)
+        ]
+
+    def floats(self, field: str) -> List[Optional[float]]:
+        """The column coerced to ``float`` (``None`` cells stay None)."""
+        return [
+            None if value is None else float(value)
+            for value in self.values(field)
+        ]
+
+    def strings(self, field: str) -> List[Optional[str]]:
+        """The column coerced to ``str`` (``None`` cells stay None)."""
+        return [
+            None if value is None else str(value)
+            for value in self.values(field)
+        ]
+
+    # -- row-level views -----------------------------------------------------
+
+    def record_at(self, row: int) -> Record:
+        """Row ``row`` as a plain record dict (present cells only)."""
+        if self._records is not None:
+            record = self._records[row]
+            if not self._project:
+                return dict(record)
+            field_set = self._field_set
+            return {
+                key: value
+                for key, value in record.items()
+                if key in field_set
+            }
+        record: Record = {}
+        for field in self._fields:
+            if self._present[field][row]:
+                record[field] = self._columns[field][row]
+        return record
+
+    def to_records(self) -> List[Record]:
+        """The batch as a list of record dicts — the exact inverse of
+        :meth:`from_records` (ragged records round-trip)."""
+        if self._records is not None:
+            if not self._project:
+                return [dict(record) for record in self._records]
+            field_set = self._field_set
+            return [
+                {
+                    key: value
+                    for key, value in record.items()
+                    if key in field_set
+                }
+                for record in self._records
+            ]
+        fields = self._fields
+        columns = self._columns
+        present = self._present
+        records: List[Record] = []
+        for row in range(self._rows):
+            record: Record = {}
+            for field in fields:
+                if present[field][row]:
+                    record[field] = columns[field][row]
+            records.append(record)
+        return records
+
+    def borrow_records(self) -> List[Record]:
+        """The rows as record dicts **without copying** when the batch
+        still holds adopted records: the returned dicts are the
+        adopted originals and must be treated as read-only (the
+        adoption contract above).  Materialized or projecting batches
+        fall back to :meth:`to_records`."""
+        if self._records is not None and not self._project:
+            return self._records
+        return self.to_records()
+
+    def iter_records(self) -> Iterator[Record]:
+        for row in range(self._rows):
+            yield self.record_at(row)
+
+    # -- positional operators ------------------------------------------------
+
+    def take(self, positions: Sequence[int]) -> "RecordBatch":
+        """A new batch gathering the given row positions, in order."""
+        if self._records is not None:
+            rows = self._records
+            return RecordBatch(
+                self._fields,
+                {},
+                {},
+                len(positions),
+                records=[rows[p] for p in positions],
+                project=self._project,
+            )
+        columns: Dict[str, List[Any]] = {}
+        present: Dict[str, List[bool]] = {}
+        for field in self._fields:
+            source_values = self._columns[field]
+            source_present = self._present[field]
+            columns[field] = [source_values[p] for p in positions]
+            present[field] = [source_present[p] for p in positions]
+        return RecordBatch(
+            self._fields, columns, present, len(positions)
+        )
+
+    def filter(self, mask: Sequence[bool]) -> "RecordBatch":
+        """Rows whose mask entry is truthy, order preserved."""
+        if len(mask) != self._rows:
+            raise ValueError(
+                f"mask has {len(mask)} entries for {self._rows} rows"
+            )
+        return self.take(
+            [row for row in range(self._rows) if mask[row]]
+        )
+
+    def extend_fields(self, fields: Iterable[str]) -> "RecordBatch":
+        """A batch that also carries the named (all-absent) fields."""
+        added = [
+            field for field in fields if field not in self._field_set
+        ]
+        if not added:
+            return self
+        self._materialize()
+        columns = dict(self._columns)
+        present = dict(self._present)
+        for field in added:
+            columns[field] = [None] * self._rows
+            present[field] = [False] * self._rows
+        return RecordBatch(
+            self._fields + tuple(added), columns, present, self._rows
+        )
+
+    # -- serialization (artifact payloads) -----------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A plain-data, picklable snapshot of this batch."""
+        columns: Dict[str, List[Any]] = {}
+        present: Dict[str, List[bool]] = {}
+        for field in self._fields:
+            pair = self._pair(field)
+            assert pair is not None  # every own field resolves
+            columns[field] = list(pair[0])
+            present[field] = list(pair[1])
+        return {
+            "schema": BATCH_PAYLOAD_SCHEMA,
+            "fields": list(self._fields),
+            "columns": columns,
+            "present": present,
+            "rows": self._rows,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RecordBatch":
+        if payload.get("schema") != BATCH_PAYLOAD_SCHEMA:
+            raise ValueError(
+                f"unsupported batch payload schema "
+                f"{payload.get('schema')!r}"
+            )
+        fields = tuple(payload["fields"])
+        return cls(
+            fields,
+            {field: list(payload["columns"][field]) for field in fields},
+            {field: list(payload["present"][field]) for field in fields},
+            int(payload["rows"]),
+        )

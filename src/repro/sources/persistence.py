@@ -77,16 +77,21 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def _write_atomic(path: pathlib.Path, data: bytes) -> None:
+def write_atomic(path: pathlib.Path, data: bytes) -> None:
     """Write ``data`` (bytes) via temp file + rename, so a reader
     never observes a torn file and a crashed writer leaves the
-    previous version intact."""
+    previous version intact.  Public: the stage artifact store
+    (:mod:`repro.mediator.artifacts`) reuses the same discipline."""
     tmp = path.with_name(path.name + ".tmp")
     try:
         tmp.write_bytes(data)
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+
+
+#: Back-compat alias (pre-public name).
+_write_atomic = write_atomic
 
 
 def save_stores(

@@ -543,7 +543,9 @@ class DroppedCounterRule(Rule):
         "each fetch-path counter key must be folded into the "
         "executor's snapshot, and each counter declared in a metrics "
         "registry must be attached to some span (incr / set_counter / "
-        "_delta_counter) somewhere in the project."
+        "_delta_counter) somewhere in the project — and conversely, "
+        "a counter attached inside repro modules must be declared in "
+        "a registry (registered AND attached, never half-wired)."
     )
 
     def check(self, module: SourceModule) -> List[Diagnostic]:
@@ -620,8 +622,11 @@ class DroppedCounterRule(Rule):
     def _check_registered_metrics(
         self, project: Project
     ) -> List[Diagnostic]:
-        """A counter registered in a metrics registry must be attached
-        to a span somewhere in the linted project."""
+        """Registration and attachment must agree both ways: a counter
+        registered in a metrics registry must be attached to a span
+        somewhere in the linted project, and (within ``repro`` modules)
+        a counter attached to a span must be declared in a registry —
+        a new counter cannot ship half-wired."""
         attached: Set[str] = set()
         registrations: List[
             Tuple[SourceModule, str, int, int]
@@ -633,6 +638,7 @@ class DroppedCounterRule(Rule):
             ):
                 registrations.append((module, name, line, col))
         findings = []
+        registered = {name for _, name, _, _ in registrations}
         for module, name, line, col in registrations:
             if name not in attached:
                 findings.append(
@@ -646,6 +652,28 @@ class DroppedCounterRule(Rule):
                         "(no incr/set_counter/_delta_counter names it)",
                     )
                 )
+        if not registered:
+            # No registry in the linted set: nothing to agree with
+            # (single-file lints of unrelated fixtures stay silent).
+            return findings
+        for module in project.modules:
+            if not module.in_module("repro"):
+                continue
+            for name, line, col in self._attached_counter_sites(
+                module.tree
+            ):
+                if name not in registered:
+                    findings.append(
+                        Diagnostic(
+                            module.path,
+                            line,
+                            col,
+                            self.code,
+                            f"counter {name!r} is attached to a span "
+                            "but not registered in any metrics "
+                            "registry (undeclared counter)",
+                        )
+                    )
         return findings
 
     @staticmethod
@@ -700,12 +728,22 @@ class DroppedCounterRule(Rule):
                 )
         return registrations
 
+    @classmethod
+    def _attached_counter_names(cls, tree: ast.Module) -> Set[str]:
+        """Counter names attached to spans in this module."""
+        return {
+            name for name, _, _ in cls._attached_counter_sites(tree)
+        }
+
     @staticmethod
-    def _attached_counter_names(tree: ast.Module) -> Set[str]:
-        """Counter names attached to spans in this module: the literal
-        first argument of ``.incr()`` / ``.set_counter()`` calls and
-        the literal second argument of ``_delta_counter()`` calls."""
-        attached: Set[str] = set()
+    def _attached_counter_sites(
+        tree: ast.Module,
+    ) -> List[Tuple[str, int, int]]:
+        """``(name, line, col)`` per span attachment in this module:
+        the literal first argument of ``.incr()`` / ``.set_counter()``
+        calls and the literal second argument of ``_delta_counter()``
+        calls."""
+        sites: List[Tuple[str, int, int]] = []
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -717,7 +755,9 @@ class DroppedCounterRule(Rule):
                 and isinstance(node.args[0], ast.Constant)
                 and isinstance(node.args[0].value, str)
             ):
-                attached.add(node.args[0].value)
+                sites.append(
+                    (node.args[0].value, node.lineno, node.col_offset)
+                )
                 continue
             dotted = _dotted(func)
             if (
@@ -727,8 +767,10 @@ class DroppedCounterRule(Rule):
                 and isinstance(node.args[1], ast.Constant)
                 and isinstance(node.args[1].value, str)
             ):
-                attached.add(node.args[1].value)
-        return attached
+                sites.append(
+                    (node.args[1].value, node.lineno, node.col_offset)
+                )
+        return sites
 
     @staticmethod
     def _class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:

@@ -141,6 +141,26 @@ METRICS.register(
     "indexes_adopted", stage="execute",
     description="equality indexes adopted from a persisted snapshot",
 )
+METRICS.register(
+    "batch_rows", stage="execute",
+    description="rows that crossed the wrapper boundary in columnar "
+                "RecordBatch replies",
+)
+METRICS.register(
+    "artifact_hits", stage="execute",
+    description="executor stages skipped via a content-addressed "
+                "artifact",
+)
+METRICS.register(
+    "artifact_misses", stage="execute",
+    description="executor stages that probed the artifact store and "
+                "had to run",
+)
+METRICS.register(
+    "artifact_bytes", stage="execute",
+    description="artifact bytes moved (read on hits + written on "
+                "stores)",
+)
 
 
 def counter_totals(root: Any) -> Dict[str, int]:

@@ -12,8 +12,30 @@ import warnings
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
 from repro.sources.base import NativeCondition
+from repro.sources.batch import RecordBatch
 from repro.util.errors import QueryError
 from repro.wrappers.schema import elements_from_mapping
+
+
+def _batch_capable(source):
+    """True when ``source.native_query_batch`` honours whatever
+    ``native_query`` does.
+
+    The first class on the MRO defining either method decides: if it
+    defines the batch twin, the pair is coherent; if it defines only
+    ``native_query`` (an override without a batch twin — common in
+    test doubles injecting faults), the record path must stay
+    authoritative.  An instance-level ``native_query`` patch always
+    wins over any class-level batch method.
+    """
+    if "native_query" in getattr(source, "__dict__", ()):
+        return False
+    for klass in type(source).__mro__:
+        if "native_query_batch" in vars(klass):
+            return True
+        if "native_query" in vars(klass):
+            return False
+    return False
 
 
 class Wrapper(abc.ABC):
@@ -156,6 +178,12 @@ class Wrapper(abc.ABC):
         duck-typed so this module never imports the mediator layer).
         Passing a raw condition sequence still works but is deprecated;
         the shim exists only for pre-FetchRequest callers.
+
+        A request with ``columnar=True`` returns a
+        :class:`~repro.sources.batch.RecordBatch` instead of a record
+        list.  The dispatch lives *here* — not in the fetcher — so
+        fault-injecting decorators (``FlakyWrapper``) that intercept
+        ``fetch`` stay in the columnar path too.
         """
         conditions = getattr(request, "conditions", None)
         if conditions is None:
@@ -166,12 +194,31 @@ class Wrapper(abc.ABC):
                 stacklevel=2,
             )
             conditions = tuple(request)
+        if getattr(request, "columnar", False):
+            return self._fetch_native_batch(conditions)
         return self._fetch_native(conditions)
 
     def _fetch_native(self, conditions):
         """The pushdown fetch behind :meth:`fetch` (no shim, no
         deprecation — internal callers pass condition triples)."""
         return self.source.native_query(self.translate_conditions(conditions))
+
+    def _fetch_native_batch(self, conditions):
+        """Columnar pushdown: the source's ``native_query_batch`` when
+        it can be trusted, else its record list pivoted into a batch
+        (so custom sources stay pluggable without implementing the
+        columnar contract).
+
+        "Trusted" means ``native_query_batch`` is defined at least as
+        derived as ``native_query`` on the source's class — a source
+        (or test double) that overrides only ``native_query`` keeps
+        its behaviour on the columnar path instead of being silently
+        bypassed by an inherited or ``__getattr__``-delegated batch
+        twin."""
+        translated = self.translate_conditions(conditions)
+        if _batch_capable(self.source):
+            return self.source.native_query_batch(translated)
+        return RecordBatch.from_records(self.source.native_query(translated))
 
     def count(self):
         return self.source.count()

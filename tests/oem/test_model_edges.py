@@ -69,6 +69,64 @@ class TestReferenceMutation:
         assert ref.render() == f"(Symbol, &{child.oid}, String)"
 
 
+class TestFreshAttachment:
+    """The unchecked fast path used by answer construction: fresh
+    children skip the duplicate check but stay coherent with it."""
+
+    def test_attach_atomic_builds_the_same_edge_as_add_edge(self):
+        fast, slow = OEMGraph(), OEMGraph()
+        fast_parent = fast.new_complex()
+        slow_parent = slow.new_complex()
+        fast_child = fast.attach_atomic(fast_parent, "Symbol", "TP53")
+        slow_child = slow.new_atomic("TP53")
+        slow.add_edge(slow_parent, "Symbol", slow_child)
+        assert fast_parent.references == slow_parent.references
+        assert fast_child.type is slow_child.type
+
+    def test_attach_atomic_with_explicit_type(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.attach_atomic(
+            parent, "Self", "http://x", OEMType.URL
+        )
+        assert child.type is OEMType.URL
+
+    def test_attach_complex_returns_a_referenced_empty_child(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.attach_complex(parent, "Annotation")
+        assert child.is_complex and child.references == ()
+        assert parent.references[0].oid == child.oid
+
+    def test_later_checked_adds_see_fresh_references(self):
+        """The lazily built dedup set must include references that
+        were appended through the unchecked path before it existed."""
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.attach_atomic(parent, "Symbol", "TP53")
+        duplicate = graph.get(child.oid)
+        graph.add_edge(parent, "Symbol", duplicate)  # exact duplicate
+        assert len(parent.references) == 1
+
+    def test_unchecked_append_on_atomic_rejected(self):
+        graph = OEMGraph()
+        atom = graph.new_atomic(1)
+        with pytest.raises(DataFormatError):
+            atom.append_reference_unchecked("x", atom)
+
+    def test_remove_then_checked_readd(self):
+        graph = OEMGraph()
+        parent = graph.new_complex()
+        child = graph.attach_atomic(parent, "Symbol", "TP53")
+        graph.add_edge(parent, "Alias", child)  # builds the dedup set
+        parent.remove_reference("Symbol", child.oid)
+        graph.add_edge(parent, "Symbol", child)  # must not be deduped
+        assert [ref.label for ref in parent.references] == [
+            "Alias",
+            "Symbol",
+        ]
+
+
 class TestGraphEdges:
     def test_adopt_rejects_duplicate_oid(self):
         graph = OEMGraph()

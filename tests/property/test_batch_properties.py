@@ -1,0 +1,72 @@
+"""Property tests: RecordBatch is a lossless columnar pivot.
+
+``to_records(from_records(rs)) == rs`` for arbitrary ragged record
+lists — including records that miss fields other records carry, and
+fields explicitly stored as ``None`` (absence and ``None`` are
+different facts and both survive the pivot).  The positional
+operators and the payload snapshot must preserve the same content.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sources.batch import RecordBatch
+
+FIELD_NAMES = st.sampled_from(
+    ["LocusID", "Symbol", "Organism", "GoIDs", "OmimIDs", "x", "y"]
+)
+
+CELLS = st.one_of(
+    st.none(),
+    st.integers(),
+    st.text(max_size=8),
+    st.booleans(),
+    st.lists(st.integers(), max_size=3),
+)
+
+RECORDS = st.lists(
+    st.dictionaries(FIELD_NAMES, CELLS, max_size=5), max_size=12
+)
+
+
+class TestRoundTrip:
+    @given(RECORDS)
+    @settings(max_examples=200, deadline=None)
+    def test_ragged_round_trip(self, records):
+        assert RecordBatch.from_records(records).to_records() == records
+
+    @given(RECORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_payload_round_trip(self, records):
+        batch = RecordBatch.from_records(records)
+        assert RecordBatch.from_payload(batch.to_payload()) == batch
+
+    @given(RECORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_take_identity_permutation(self, records):
+        batch = RecordBatch.from_records(records)
+        assert batch.take(range(len(batch))).to_records() == records
+
+    @given(RECORDS, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_filter_matches_list_comprehension(self, records, data):
+        mask = data.draw(
+            st.lists(
+                st.booleans(),
+                min_size=len(records),
+                max_size=len(records),
+            )
+        )
+        batch = RecordBatch.from_records(records)
+        assert batch.filter(mask).to_records() == [
+            record for record, keep in zip(records, mask) if keep
+        ]
+
+    @given(RECORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_cell_matches_record_get(self, records):
+        batch = RecordBatch.from_records(records)
+        for row, record in enumerate(records):
+            for field in batch.fields:
+                assert batch.cell(field, row, default="?") == (
+                    record.get(field, "?")
+                )

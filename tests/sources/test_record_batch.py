@@ -1,0 +1,236 @@
+"""Tests for the columnar RecordBatch and the batch fetch path.
+
+The columnar representation must be an invisible optimization:
+``native_query_batch`` returns exactly ``native_query``'s records in
+the same order for every supported condition list, and the batch
+round-trips ragged record dicts losslessly.
+"""
+
+import pytest
+
+from repro.sources.base import NativeCondition
+from repro.sources.batch import BATCH_PAYLOAD_SCHEMA, RecordBatch
+from repro.sources.locuslink import LocusRecord
+from repro.sources.locuslink.store import LocusLinkStore
+
+
+@pytest.fixture()
+def store():
+    return LocusLinkStore(
+        [
+            LocusRecord(
+                locus_id=2354,
+                organism="Homo sapiens",
+                symbol="FOSB",
+                description="FBJ murine osteosarcoma viral oncogene",
+                go_ids=["GO:0003700", "GO:0005634"],
+                omim_ids=[164772],
+            ),
+            LocusRecord(
+                locus_id=11303,
+                organism="Mus musculus",
+                symbol="Abcd1",
+                description="ATP-binding cassette transporter",
+                go_ids=["GO:0005634"],
+            ),
+            LocusRecord(
+                locus_id=7157,
+                organism="Homo sapiens",
+                symbol="TP53",
+                description="tumor protein p53",
+                omim_ids=[191170],
+            ),
+        ]
+    )
+
+
+RAGGED = [
+    {"a": 1, "b": "x"},
+    {"b": None, "c": [1, 2]},
+    {},
+    {"a": None},
+]
+
+
+class TestConstruction:
+    def test_from_records_first_seen_field_order(self):
+        batch = RecordBatch.from_records(RAGGED)
+        assert batch.fields == ("a", "b", "c")
+        assert len(batch) == 4
+
+    def test_ragged_round_trip(self):
+        assert RecordBatch.from_records(RAGGED).to_records() == RAGGED
+
+    def test_absent_vs_none_distinction(self):
+        batch = RecordBatch.from_records(RAGGED)
+        values, present = batch.column_pair("a")
+        assert values == [1, None, None, None]
+        assert present == [True, False, False, True]
+
+    def test_empty(self):
+        batch = RecordBatch.empty(("a", "b"))
+        assert len(batch) == 0
+        assert batch.to_records() == []
+
+    def test_from_columns_defaults_to_all_present(self):
+        batch = RecordBatch.from_columns(
+            ("a", "b"), {"a": [1, 2], "b": [None, "y"]}
+        )
+        assert batch.to_records() == [
+            {"a": 1, "b": None},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_from_columns_rejects_ragged_columns(self):
+        with pytest.raises(ValueError):
+            RecordBatch.from_columns(("a", "b"), {"a": [1], "b": []})
+
+
+class TestAccess:
+    def test_values_of_unknown_field_is_all_none(self):
+        batch = RecordBatch.from_records(RAGGED)
+        assert batch.values("zzz") == [None] * 4
+
+    def test_cell_get_semantics(self):
+        batch = RecordBatch.from_records(RAGGED)
+        assert batch.cell("a", 0) == 1
+        assert batch.cell("a", 1, default="gone") == "gone"
+        assert batch.cell("zzz", 0, default=7) == 7
+
+    def test_present_values(self):
+        batch = RecordBatch.from_records(RAGGED)
+        assert batch.present_values("b") == ["x", None]
+
+    def test_typed_accessors(self):
+        batch = RecordBatch.from_records(
+            [{"n": "3", "f": 1}, {"n": 4, "f": None}]
+        )
+        assert batch.ints("n") == [3, 4]
+        assert batch.floats("f") == [1.0, None]
+        assert batch.strings("n") == ["3", "4"]
+
+    def test_record_at_and_iter(self):
+        batch = RecordBatch.from_records(RAGGED)
+        assert batch.record_at(2) == {}
+        assert list(batch.iter_records()) == RAGGED
+
+    def test_borrow_records_shares_adopted_dicts(self):
+        records = [{"a": 1}, {"a": 2, "b": "x"}]
+        lazy = RecordBatch.from_records(records)
+        borrowed = lazy.borrow_records()
+        assert all(
+            got is original for got, original in zip(borrowed, records)
+        )
+        # A projecting batch must still hide unselected fields ...
+        projected = RecordBatch.from_records(records, fields=("a",))
+        assert projected.borrow_records() == [{"a": 1}, {"a": 2}]
+        # ... and a materialized batch has no originals left to share.
+        materialized = RecordBatch.from_records(records).extend_fields(
+            ["c"]
+        )
+        rebuilt = materialized.borrow_records()
+        assert rebuilt == records  # "c" is all-absent: not in records
+        assert all(
+            got is not original
+            for got, original in zip(rebuilt, records)
+        )
+
+
+class TestOperators:
+    def test_take_gathers_in_order(self):
+        batch = RecordBatch.from_records(RAGGED)
+        assert batch.take([3, 0]).to_records() == [RAGGED[3], RAGGED[0]]
+
+    def test_filter_by_mask(self):
+        batch = RecordBatch.from_records(RAGGED)
+        kept = batch.filter([True, False, False, True])
+        assert kept.to_records() == [RAGGED[0], RAGGED[3]]
+
+    def test_filter_rejects_wrong_length_mask(self):
+        with pytest.raises(ValueError):
+            RecordBatch.from_records(RAGGED).filter([True])
+
+    def test_extend_fields_adds_absent_columns(self):
+        batch = RecordBatch.from_records([{"a": 1}]).extend_fields(
+            ["b", "a"]
+        )
+        assert batch.fields == ("a", "b")
+        assert batch.to_records() == [{"a": 1}]
+
+    def test_equality(self):
+        assert RecordBatch.from_records(RAGGED) == (
+            RecordBatch.from_records(RAGGED)
+        )
+        assert RecordBatch.from_records(RAGGED) != (
+            RecordBatch.from_records(RAGGED[:2])
+        )
+
+
+class TestPayload:
+    def test_payload_round_trip(self):
+        batch = RecordBatch.from_records(RAGGED)
+        payload = batch.to_payload()
+        assert payload["schema"] == BATCH_PAYLOAD_SCHEMA
+        assert RecordBatch.from_payload(payload) == batch
+
+    def test_unknown_schema_rejected(self):
+        payload = RecordBatch.from_records(RAGGED).to_payload()
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            RecordBatch.from_payload(payload)
+
+
+class TestNativeQueryBatch:
+    CONDITION_SETS = [
+        [],
+        [NativeCondition("Organism", "=", "Homo sapiens")],
+        [NativeCondition("LocusID", "=", 2354)],
+        [NativeCondition("LocusID", "in", [2354, 7157])],
+        [
+            NativeCondition("Organism", "=", "Homo sapiens"),
+            NativeCondition("Symbol", "=", "TP53"),
+        ],
+    ]
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_batch_equals_record_path(self, store, use_index):
+        for conditions in self.CONDITION_SETS:
+            batch = store.native_query_batch(
+                conditions, use_index=use_index
+            )
+            assert batch.to_records() == store.native_query(
+                conditions, use_index=use_index
+            ), conditions
+
+    def test_batch_counts_the_same_fetch_stats(self, store):
+        store.native_query_batch(
+            [NativeCondition("LocusID", "=", 2354)], use_index=True
+        )
+        stats = store.fetch_stats()
+        assert stats["index_hits"] == 1
+        store.native_query_batch([], use_index=False)
+        assert store.fetch_stats()["scan_queries"] == 1
+
+    def test_scan_path_sees_in_place_mutation(self, store):
+        """Stores mutated in place (no version bump) stay visible to
+        columnar scans, exactly like record-at-a-time scans."""
+        store.native_query_batch([])  # warm the per-version caches
+        record = store.get(2354)
+        record.pubmed_ids.append(99999)
+        [mutated] = [
+            r
+            for r in store.native_query_batch([]).to_records()
+            if r["LocusID"] == 2354
+        ]
+        assert 99999 in mutated["PubmedIDs"]
+
+    def test_mutation_invalidates_the_column_cache(self, store):
+        before = store.native_query_batch(
+            [NativeCondition("Organism", "=", "Homo sapiens")]
+        )
+        store.add(LocusRecord(locus_id=1, organism="Homo sapiens",
+                              symbol="NEW", description="added"))
+        after = store.native_query_batch(
+            [NativeCondition("Organism", "=", "Homo sapiens")]
+        )
+        assert len(after) == len(before) + 1

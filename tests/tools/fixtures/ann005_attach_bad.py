@@ -1,0 +1,20 @@
+# annoda: module=repro.trace.fake_attach
+"""ANN005 corpus: a counter attached to a span but never registered."""
+
+
+class MetricsRegistry:
+    def __init__(self):
+        self._metrics = {}
+
+    def register(self, name, stage, description=""):
+        self._metrics[name] = (stage, description)
+        return name
+
+
+METRICS = MetricsRegistry()
+METRICS.register("rows", stage="fetch", description="records per reply")
+
+
+def instrument(span, reply):
+    span.incr("rows", len(reply.records))
+    span.incr("phantom_counter", 1)  # never declared in any registry

@@ -1,0 +1,21 @@
+# annoda: module=repro.trace.fake_attach
+"""ANN005 corpus: every attached counter is declared in the registry."""
+
+
+class MetricsRegistry:
+    def __init__(self):
+        self._metrics = {}
+
+    def register(self, name, stage, description=""):
+        self._metrics[name] = (stage, description)
+        return name
+
+
+METRICS = MetricsRegistry()
+METRICS.register("rows", stage="fetch", description="records per reply")
+METRICS.register("batch_rows", stage="fetch", description="columnar rows")
+
+
+def instrument(span, reply):
+    span.incr("rows", len(reply.records))
+    span.incr("batch_rows", len(reply.records))

@@ -111,6 +111,31 @@ class TestRegisteredMetricsRule:
         ]
         assert lint_texts(sources, select={"ANN005"}) == []
 
+    def test_attached_but_unregistered_counter_fires(self):
+        """The reverse direction: a counter attached inside a repro
+        module must be declared in some metrics registry."""
+        findings = lint_fixture("ann005_attach_bad.py", "ANN005")
+        assert len(findings) == 1
+        assert findings[0].line == 20
+        assert "phantom_counter" in findings[0].message
+        assert "not registered" in findings[0].message
+
+    def test_registered_and_attached_counters_are_clean(self):
+        assert lint_fixture("ann005_attach_good.py", "ANN005") == []
+
+    def test_attachment_outside_repro_modules_is_not_checked(self):
+        """Test helpers and fixtures attach ad-hoc counter names; only
+        repro modules must keep the registry authoritative."""
+        path = fixture_path("ann005_metrics_good.py")
+        sources = [
+            (path, Path(path).read_text(encoding="utf-8")),
+            (
+                "helper.py",
+                'def f(span):\n    span.incr("adhoc_counter", 1)\n',
+            ),
+        ]
+        assert lint_texts(sources, select={"ANN005"}) == []
+
     def test_non_registry_register_calls_are_ignored(self):
         """``.register`` on something that is not a MetricsRegistry
         (e.g. a wrapper registrar) must not trip the rule."""

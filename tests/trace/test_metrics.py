@@ -45,6 +45,7 @@ class TestGlobalRegistry:
         "enrichment_cache_hits", "anchors_considered", "anchors_returned",
         "conflicts", "repaired", "index_hits", "scan_fetches",
         "indexes_rebuilt", "indexes_adopted",
+        "batch_rows", "artifact_hits", "artifact_misses", "artifact_bytes",
     }
 
     def test_registry_covers_every_execution_counter(self):
