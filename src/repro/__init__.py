@@ -29,4 +29,30 @@ except ImportError:  # pragma: no cover - only during partial builds
     Annoda = None
     AnnodaConfig = None
 
-__all__ = ["Annoda", "AnnodaConfig", "__version__"]
+# The stable planning surface: the query type, the plan IR layers and
+# the optimizer that connects them.
+try:
+    from repro.mediator import (
+        GlobalQuery,
+        LogicalPlan,
+        Optimizer,
+        OptimizerOptions,
+        PhysicalPlan,
+    )
+except ImportError:  # pragma: no cover - only during partial builds
+    GlobalQuery = None
+    LogicalPlan = None
+    Optimizer = None
+    OptimizerOptions = None
+    PhysicalPlan = None
+
+__all__ = [
+    "Annoda",
+    "AnnodaConfig",
+    "GlobalQuery",
+    "LogicalPlan",
+    "Optimizer",
+    "OptimizerOptions",
+    "PhysicalPlan",
+    "__version__",
+]

@@ -102,12 +102,10 @@ def build_parser():
     explain.add_argument(
         "--json",
         action="store_true",
-        help="emit the full trace (with timings) as JSON",
-    )
-    explain.add_argument(
-        "--plan",
-        action="store_true",
-        help="also print the optimizer's plan",
+        help=(
+            "emit the plan (logical tree, rule report, stage DAG) and "
+            "the full trace (with timings) as JSON"
+        ),
     )
 
     lorel = commands.add_parser(
@@ -213,15 +211,21 @@ def _command_ask(annoda, args, out):
 
 
 def _command_explain(annoda, args, out):
-    from repro.trace import render_trace, trace_to_json
+    import json
+
+    from repro.trace import render_trace, trace_to_dict
 
     result = annoda.trace(args.question)
-    if args.plan:
-        print(annoda.explain(args.question), file=out)
-        print(file=out)
+    plan = annoda.plan(args.question)
     if args.json:
-        print(trace_to_json(result.trace), file=out)
+        payload = {
+            "plan": plan.to_dict(),
+            "trace": trace_to_dict(result.trace, timings=True),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return
+    print(plan.describe(), file=out)
+    print(file=out)
     print(render_trace(result.trace), file=out)
     print(file=out)
     print(result.report.describe(), file=out)

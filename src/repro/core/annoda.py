@@ -186,8 +186,14 @@ class Annoda:
         )
 
     def explain(self, question):
-        """The optimizer's execution plan for a question."""
+        """The full plan story for a question: logical tree, per-rule
+        fired/skipped report, execution steps, physical stage DAG."""
         return self.mediator.explain(self._to_global_query(question))
+
+    def plan(self, question):
+        """The typed :class:`~repro.mediator.plan.PhysicalPlan` for a
+        question (what :meth:`explain` renders)."""
+        return self.mediator.plan(self._to_global_query(question))
 
     def _to_global_query(self, question):
         if isinstance(question, str):

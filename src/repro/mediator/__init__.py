@@ -9,7 +9,8 @@ before being returned to the user."*
 
 Pipeline::
 
-    GlobalQuery --decompose--> SubQueries --optimize--> ExecutionPlan
+    GlobalQuery --decompose--> SubQueries --build--> LogicalPlan
+        --rule optimizer + lowering--> PhysicalPlan
         --execute (via wrappers + reconciler)--> IntegratedResult (OEM)
 """
 
@@ -38,7 +39,14 @@ from repro.mediator.global_schema import GlobalSchema
 from repro.mediator.gml import GmlBuilder
 from repro.mediator.mapping import MappingModule, TransformRegistry
 from repro.mediator.mediator import Mediator
-from repro.mediator.optimizer import ExecutionPlan, Optimizer, OptimizerOptions
+from repro.mediator.optimizer import Optimizer, OptimizerOptions
+from repro.mediator.plan import (
+    FetchStage,
+    LogicalPlan,
+    PhysicalPlan,
+    RuleOptimizer,
+    RuleReport,
+)
 from repro.mediator.reconcile import (
     ReconciliationPolicy,
     ReconciliationReport,
@@ -55,22 +63,46 @@ __all__ = [
     "FederationPolicy",
     "FetchReply",
     "FetchRequest",
+    "FetchStage",
     "FlakyWrapper",
     "GlobalQuery",
     "GlobalSchema",
     "GmlBuilder",
     "IntegratedResult",
     "LinkConstraint",
+    "LogicalPlan",
     "MappingModule",
     "Mediator",
     "Optimizer",
     "OptimizerOptions",
+    "PhysicalPlan",
     "QueryDecomposer",
     "ReconciliationPolicy",
     "ReconciliationReport",
     "Reconciler",
+    "RuleOptimizer",
+    "RuleReport",
     "SourceReport",
     "SubQuery",
     "TransformRegistry",
     "stage_key",
 ]
+
+
+def __getattr__(name):
+    # Deprecated alias, kept one release: Mediator.plan() now returns
+    # a PhysicalPlan.  Resolved lazily so importing the package never
+    # warns — only actually touching the old name does.
+    if name == "ExecutionPlan":
+        import warnings
+
+        warnings.warn(
+            "repro.mediator.ExecutionPlan is deprecated; "
+            "Mediator.plan() returns a repro.mediator.PhysicalPlan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PhysicalPlan
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

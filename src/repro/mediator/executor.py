@@ -16,7 +16,6 @@ degraded.
 """
 
 import time
-import warnings
 from dataclasses import dataclass, field
 
 from repro.mediator.artifacts import stage_key
@@ -156,9 +155,8 @@ class ExecutionReport:
 
     Counter attributes (``index_hits``, ``batched_fetches``,
     ``rows_fetched``, ...) delegate to the underlying
-    :class:`ExecutionStats`; the old reconciliation-report methods
-    (``count``/``repaired_count``/``render``) still work here but are
-    deprecated — use ``result.reconciliation`` directly.
+    :class:`ExecutionStats`; reconciliation conflicts live on
+    ``result.reconciliation``.
     """
 
     def __init__(self, stats, reconciliation):
@@ -228,29 +226,6 @@ class ExecutionReport:
             )
         return "\n".join(lines)
 
-    # -- deprecated reconciliation delegation --------------------------------
-
-    def _reconciliation_deprecated(self, method):
-        warnings.warn(
-            f"IntegratedResult.report.{method}() now reports execution "
-            f"accounting; use result.reconciliation.{method}() for "
-            "reconciliation conflicts",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def count(self, kind=None):
-        self._reconciliation_deprecated("count")
-        return self.reconciliation.count(kind)
-
-    def repaired_count(self):
-        self._reconciliation_deprecated("repaired_count")
-        return self.reconciliation.repaired_count()
-
-    def render(self):
-        self._reconciliation_deprecated("render")
-        return self.reconciliation.render()
-
 
 class IntegratedResult:
     """One integrated answer: OEM view + plain records + diagnostics.
@@ -308,7 +283,12 @@ class IntegratedResult:
 
 
 class Executor:
-    """Run :class:`~repro.mediator.optimizer.ExecutionPlan` objects.
+    """Walk :class:`~repro.mediator.plan.PhysicalPlan` stage DAGs.
+
+    Every :class:`~repro.mediator.plan.FetchStage` carries its full
+    intent — pushed/residual/closure condition split, link join shape,
+    pruning decision, semijoin driver index — so execution only reads
+    the plan, never re-derives it.
 
     ``enrichment_cache`` is a dict the owning mediator shares across
     executions; entries are keyed on the source *and its version
@@ -806,11 +786,9 @@ class Executor:
         is skipped — partial answer).
         """
         driver_source, via_label = plan.anchor.semijoin
-        driver_step = next(
-            step
-            for step in plan.link_steps
-            if step.source_name == driver_source
-        )
+        # The planner resolved the driving step at lowering time; the
+        # executor never re-infers plan intent.
+        driver_step = plan.link_steps[plan.driver_index]
         wrapper = self.wrappers[plan.anchor.source_name]
         key_local = self.mapping_module.to_local_label(
             wrapper.name, "GeneID"
@@ -1128,9 +1106,9 @@ class Executor:
         return {"anchor_ids": batch.values(key_field), "steps": steps}
 
     def _step_fingerprints(self, plan, degraded=None):
-        """One stable tuple per link step, covering every plan input
-        that shapes its output (source id + version, link shape, the
-        pushed/residual/closure condition sets).
+        """One stable tuple per link stage — each stage's own
+        :meth:`~repro.mediator.plan.FetchStage.fingerprint`, the
+        physical plan's content address.
 
         ``degraded`` (the run's degraded-step set) appends each step's
         degradation flag — the reconcile key includes it because
@@ -1140,22 +1118,17 @@ class Executor:
         steps = []
         for position, step in enumerate(plan.link_steps):
             wrapper = self.wrappers[step.source_name]
-            entry = (
-                position,
-                step.source_name,
-                wrapper.version,
-                step.link.mode,
-                step.link.via,
-                bool(step.link.reverse_join),
-                bool(step.link.symbol_join),
-                bool(step.pruned),
-                tuple(step.pushed),
-                tuple(step.residual),
-                tuple(step.closure),
+            steps.append(
+                step.fingerprint(
+                    position,
+                    wrapper.version,
+                    degraded=(
+                        None
+                        if degraded is None
+                        else id(step) in degraded
+                    ),
+                )
             )
-            if degraded is not None:
-                entry += (id(step) in degraded,)
-            steps.append(entry)
         return steps
 
     def _reconcile_artifact_key(self, plan, anchor_wrapper):

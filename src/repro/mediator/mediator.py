@@ -152,16 +152,31 @@ class Mediator:
     # -- global query answering -------------------------------------------------------
 
     def plan(self, query, recorder=NULL_RECORDER):
-        """Decompose and optimize ``query`` into an execution plan."""
+        """Decompose, build and optimize ``query`` into its
+        :class:`~repro.mediator.plan.PhysicalPlan`.
+
+        The decompose span covers subquery translation *and* the
+        logical-tree build (decomposition owns the tree shape); the
+        optimize span covers the rule passes and lowering, and its
+        attributes enumerate which rules fired and which were skipped.
+        """
         decomposer = QueryDecomposer(self.mapping_module)
-        optimizer = Optimizer(self._wrappers, self.optimizer_options)
+        optimizer = Optimizer(
+            self._wrappers, self.optimizer_options, columnar=self.columnar
+        )
         with recorder.span("decompose") as span:
             subqueries = decomposer.decompose(query)
+            logical = decomposer.logical_plan(
+                subqueries, select=query.select
+            )
             span.set("subqueries", len(subqueries))
         with recorder.span("optimize") as span:
-            plan = optimizer.plan(subqueries)
+            optimized, rules = optimizer.optimize_logical(logical)
+            plan = optimizer.lower(optimized, rules=rules)
             span.set("anchor", plan.anchor.source_name)
             span.set("link_steps", len(plan.link_steps))
+            span.set("rules_fired", list(rules.fired()))
+            span.set("rules_skipped", list(rules.skipped()))
             if plan.anchor.semijoin is not None:
                 span.set("semijoin", plan.anchor.semijoin[0])
         return plan
@@ -230,5 +245,6 @@ class Mediator:
         )
 
     def explain(self, query):
-        """The optimizer's plan as human-readable text."""
-        return self.plan(query).explain()
+        """The full plan story as human-readable text: logical tree,
+        per-rule fired/skipped report, execution steps, stage DAG."""
+        return self.plan(query).describe()

@@ -1,255 +1,86 @@
 """Multi-source query optimization (paper requirement 3).
 
-The optimizer turns decomposed subqueries into an
-:class:`ExecutionPlan` by making three decisions, each of which the
-ablation benchmark can switch off:
+The optimizer is the pipeline's middle third, and since the plan-IR
+redesign it is a thin orchestrator over :mod:`repro.mediator.plan`:
 
-1. **Selection pushdown** — every condition a wrapper can evaluate
-   natively is shipped to the source; the rest stay as residual
-   predicates at the mediator.  Off: everything is residual, so the
-   source ships its whole extent.
-2. **Link-fetch pruning** — an unconditional link constraint
-   ("annotated with *some* GO function") needs no fetch from the
-   linked source at all: the anchor's own link identifiers decide.
-   Off: the linked source's full extent is fetched and intersected.
-3. **Selectivity ordering** — link steps are ordered most-selective
-   first (estimated from conditions and source sizes), so expensive
-   steps see fewer surviving anchors.
+1. **build** — the decomposed subqueries become a logical tree
+   (:func:`repro.mediator.plan.build_logical`);
+2. **optimize** — :class:`repro.mediator.plan.RuleOptimizer` rewrites
+   the tree via named rule passes (predicate pushdown, link-fetch
+   pruning, selectivity ordering, semijoin anchor selection — one per
+   :class:`OptimizerOptions` switch), each recording whether it fired;
+3. **lower** — :class:`repro.mediator.plan.PhysicalPlanner` lowers the
+   optimized tree to a :class:`~repro.mediator.plan.PhysicalPlan`, the
+   executable stage DAG the :class:`~repro.mediator.executor.Executor`
+   walks.
+
+``Optimizer.plan()`` still takes subqueries and returns the plan in
+one call, so callers that never need the intermediate layers keep
+their old shape.
 """
 
-from dataclasses import dataclass, field
+from repro.mediator.plan import (
+    OptimizerOptions,
+    PhysicalPlanner,
+    RuleOptimizer,
+    RuleReport,
+    build_logical,
+)
 
-from repro.util.errors import ConfigurationError
+__all__ = ["Optimizer", "OptimizerOptions"]
 
-
-@dataclass(frozen=True)
-class OptimizerOptions:
-    """Ablation switches; defaults reproduce full ANNODA behaviour.
-
-    ``enable_semijoin`` activates the future-work optimization the
-    paper's conclusion calls for ("new approaches of query
-    optimization across multi-systems"): when one include-link is far
-    more selective than the anchor, its matching ids are fetched first
-    and the anchor is retrieved by id-equality pushdown instead of by
-    full scan.
-    """
-
-    enable_pushdown: bool = True
-    enable_pruning: bool = True
-    enable_ordering: bool = True
-    enable_semijoin: bool = False
-    #: A link qualifies to drive the semijoin when its estimated rows
-    #: are below this fraction of the anchor's estimate.
-    semijoin_selectivity_threshold: float = 0.25
-
-
-@dataclass
-class FetchStep:
-    """One planned source access."""
-
-    source_name: str
-    purpose: str
-    pushed: list = field(default_factory=list)
-    residual: list = field(default_factory=list)
-    #: Ontology-closure conditions (op "under"): evaluated by the
-    #: mediator against the wrapper's transitive-descendant closure.
-    closure: list = field(default_factory=list)
-    link: object = None
-    #: Pruned steps perform no fetch; the anchor's ids decide.
-    pruned: bool = False
-    estimated_rows: int = 0
-    #: Anchor only: (driving link source, anchor via-label) when the
-    #: semijoin strategy retrieves the anchor by link-id equality.
-    semijoin: tuple = None
-    #: Link only: the anchor's local label carrying this link's ids.
-    via_anchor_label: str = None
-
-    def render(self):
-        parts = [f"fetch {self.source_name} ({self.purpose})"]
-        if self.semijoin is not None:
-            parts.append(
-                f"SEMIJOIN: anchor fetched by {self.semijoin[1]} ids "
-                f"from {self.semijoin[0]}"
-            )
-        if self.pruned:
-            parts.append("PRUNED: answered from anchor link ids")
-        elif self.semijoin is None or self.purpose != "anchor":
-            pushed = (
-                " and ".join(
-                    f"{label} {op} {value!r}"
-                    for label, op, value in self.pushed
-                )
-                or "true"
-            )
-            parts.append(f"push down: {pushed}")
-            if self.residual:
-                residual = " and ".join(
-                    f"{label} {op} {value!r}"
-                    for label, op, value in self.residual
-                )
-                parts.append(f"residual at mediator: {residual}")
-            parts.append(f"~{self.estimated_rows} rows")
-        return " | ".join(parts)
-
-
-@dataclass
-class ExecutionPlan:
-    """Ordered steps: the anchor first, then link steps."""
-
-    anchor: FetchStep
-    link_steps: list = field(default_factory=list)
-    estimated_cost: float = 0.0
-
-    def steps(self):
-        return [self.anchor] + list(self.link_steps)
-
-    def explain(self):
-        lines = [f"execution plan (estimated cost {self.estimated_cost:.0f}):"]
-        lines.extend(f"  {index + 1}. {step.render()}"
-                     for index, step in enumerate(self.steps()))
-        return "\n".join(lines)
-
-
-#: Rough selectivity guesses per operator, used only for ordering and
-#: cost estimates (never correctness).
-_SELECTIVITY = {
-    "=": 0.05,
-    "!=": 0.95,
-    "<": 0.4,
-    "<=": 0.4,
-    ">": 0.4,
-    ">=": 0.4,
-    "like": 0.2,
-    "contains": 0.25,
-    # Batched key lookup: a handful of needles out of the extent.
-    "in": 0.1,
+#: Deprecated alias -> (replacement name in repro.mediator.plan).
+_DEPRECATED_ALIASES = {
+    "ExecutionPlan": "PhysicalPlan",
+    "FetchStep": "FetchStage",
 }
+
+
+def __getattr__(name):
+    replacement = _DEPRECATED_ALIASES.get(name)
+    if replacement is not None:
+        import warnings
+
+        import repro.mediator.plan as _plan
+
+        warnings.warn(
+            f"repro.mediator.optimizer.{name} is deprecated; use "
+            f"repro.mediator.plan.{replacement} (the physical plan "
+            "produced by Optimizer.plan())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_plan, replacement)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 class Optimizer:
     """Plan subqueries against a registry of wrappers."""
 
-    def __init__(self, wrappers_by_name, options=None):
+    def __init__(self, wrappers_by_name, options=None, columnar=True):
         self.wrappers = wrappers_by_name
         self.options = options or OptimizerOptions()
+        self._rules = RuleOptimizer(self.wrappers, self.options)
+        self._planner = PhysicalPlanner(self.wrappers, columnar=columnar)
 
-    def plan(self, subqueries):
-        anchor_step = None
-        link_steps = []
-        for subquery in subqueries:
-            step = self._plan_step(subquery)
-            if subquery.purpose == "anchor":
-                if anchor_step is not None:
-                    raise ConfigurationError(
-                        "plan has more than one anchor subquery"
-                    )
-                anchor_step = step
-            else:
-                link_steps.append(step)
-        if anchor_step is None:
-            raise ConfigurationError("plan has no anchor subquery")
-        if self.options.enable_ordering:
-            link_steps.sort(key=lambda step: step.estimated_rows)
-        if self.options.enable_semijoin:
-            self._maybe_semijoin(anchor_step, link_steps)
-        cost = float(anchor_step.estimated_rows) + sum(
-            step.estimated_rows for step in link_steps
-        )
-        return ExecutionPlan(
-            anchor=anchor_step, link_steps=link_steps, estimated_cost=cost
-        )
+    def build_logical(self, subqueries, select=()):
+        """The unoptimized logical tree for decomposed subqueries."""
+        return build_logical(subqueries, select=select)
 
-    def _maybe_semijoin(self, anchor_step, link_steps):
-        """Let the most selective qualifying include-link drive the
-        anchor fetch by id-equality pushdown."""
-        anchor_wrapper = self.wrappers[anchor_step.source_name]
-        candidates = [
-            step
-            for step in link_steps
-            if not step.pruned
-            and step.link is not None
-            and step.link.mode == "include"
-            and not step.link.symbol_join
-            and step.via_anchor_label is not None
-            and anchor_wrapper.supports(step.via_anchor_label, "=")
-            and step.estimated_rows
-            < anchor_step.estimated_rows
-            * self.options.semijoin_selectivity_threshold
-        ]
-        if not candidates:
-            return
-        driver = min(candidates, key=lambda step: step.estimated_rows)
-        anchor_step.semijoin = (driver.source_name, driver.via_anchor_label)
-        # Rough estimate: each selective link id pulls in a couple of
-        # anchors; far below a full anchor scan by construction.
-        anchor_step.estimated_rows = min(
-            anchor_step.estimated_rows, driver.estimated_rows * 2
-        )
+    def optimize_logical(self, logical):
+        """``(optimized logical plan, rule report)``."""
+        return self._rules.optimize(logical)
 
-    def _plan_step(self, subquery):
-        wrapper = self.wrappers[subquery.source_name]
-        pushed = []
-        residual = []
-        closure = []
-        for label, op, value in subquery.local_conditions:
-            if op == "under":
-                # Transitive-closure predicates never run natively
-                # (the flat sources have no closure capability) and
-                # only make sense against an ontology-shaped wrapper.
-                if subquery.purpose != "link" or not hasattr(
-                    wrapper, "descendants"
-                ):
-                    raise ConfigurationError(
-                        f"'under' requires an ontology link source, "
-                        f"not {subquery.source_name!r}"
-                    )
-                closure.append((label, op, value))
-            elif self.options.enable_pushdown and wrapper.supports(
-                label, op
-            ):
-                pushed.append((label, op, value))
-            else:
-                residual.append((label, op, value))
-        estimated_scale = 0.1 ** len(closure)
-        pruned = (
-            self.options.enable_pruning
-            and subquery.purpose == "link"
-            and not subquery.local_conditions
-            and not (subquery.link and subquery.link.symbol_join)
-            # Reverse joins are answered from the linked source's
-            # back-references, so its extent must be fetched.
-            and not (subquery.link and subquery.link.reverse_join)
-        )
-        estimated = 0 if pruned else max(
-            1,
-            int(round(self._estimate_rows(wrapper, pushed)
-                      * estimated_scale)),
-        )
-        return FetchStep(
-            source_name=subquery.source_name,
-            purpose=subquery.purpose,
-            pushed=pushed,
-            residual=residual,
-            closure=closure,
-            link=subquery.link,
-            pruned=pruned,
-            estimated_rows=estimated,
-            via_anchor_label=subquery.via_anchor_label,
-        )
+    def lower(self, logical, rules=None):
+        """Lower a logical tree to its executable physical plan."""
+        if rules is None:
+            rules = RuleReport()
+        return self._planner.lower(logical, rules=rules)
 
-    @staticmethod
-    def _estimate_rows(wrapper, pushed):
-        from repro.oem.types import OEMType
-
-        specs = wrapper.field_specs()
-        rows = float(wrapper.count())
-        for label, op, _value in pushed:
-            selectivity = _SELECTIVITY.get(op, 0.5)
-            # Equality on a boolean field splits the extent, it does
-            # not pick a needle out of it.
-            if op == "=" and label in specs and (
-                specs[label][1] is OEMType.BOOLEAN
-            ):
-                selectivity = 0.5
-            rows *= selectivity
-        return max(1, int(round(rows)))
+    def plan(self, subqueries, select=()):
+        """Build, optimize and lower in one call."""
+        logical = self.build_logical(subqueries, select=select)
+        optimized, rules = self.optimize_logical(logical)
+        return self.lower(optimized, rules=rules)

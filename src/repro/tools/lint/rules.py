@@ -1,4 +1,4 @@
-"""The project's invariant rules, ANN001..ANN005.
+"""The project's invariant rules, ANN001..ANN006.
 
 Each rule guards one convention the federation's correctness rests on
 (DESIGN §10).  Rules are registered by code; fixtures exercising every
@@ -836,3 +836,182 @@ class DroppedCounterRule(Rule):
                                 )
                         break
         return keys
+
+
+# -- ANN006: plan nodes are constructed frozen --------------------------------
+
+
+@register
+class FrozenPlanNodeRule(Rule):
+    code = "ANN006"
+    title = (
+        "plan nodes are constructed frozen — no post-hoc mutation "
+        "outside optimizer rules"
+    )
+    rationale = (
+        "The plan IR's contract is immutability: the optimizer "
+        "rewrites logical trees with dataclasses.replace, lowering "
+        "produces fresh stages, and the executor only reads — so a "
+        "plan object can be shared, cached and fingerprinted safely. "
+        "Assigning to a node attribute (directly, via setattr, or via "
+        "object.__setattr__) after construction silently invalidates "
+        "estimates, rule records and artifact keys.  Optimizer rule "
+        "classes (name ending in 'Rule' or 'Optimizer') are the one "
+        "sanctioned place for low-level node surgery."
+    )
+
+    _PLAN_MODULE = "repro.mediator.plan"
+    _NODE_NAMES = {
+        "Scan", "Filter", "ClosureFilter", "SemiJoin", "AntiJoin",
+        "Reconcile", "Enrich", "Project", "LogicalPlan", "FetchStage",
+        "StageNode", "PhysicalPlan", "RuleRecord", "RuleReport",
+    }
+
+    def check(self, module: SourceModule) -> List[Diagnostic]:
+        origins = _import_map(module.tree)
+        constructors = self._constructor_names(origins)
+        if not constructors:
+            return []
+        exempt = self._exempt_spans(module.tree)
+        node_vars = self._node_variables(module.tree, constructors)
+        findings = []
+        for node in ast.walk(module.tree):
+            message = self._mutation(node, constructors, node_vars)
+            if message is None:
+                continue
+            if any(
+                start <= node.lineno <= end for start, end in exempt
+            ):
+                continue
+            findings.append(
+                Diagnostic(
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    self.code,
+                    message,
+                )
+            )
+        return findings
+
+    def _constructor_names(
+        self, origins: Dict[str, str]
+    ) -> Dict[str, str]:
+        """local name -> node class, for every way this module can
+        reach a plan-node constructor (direct import, alias, or the
+        plan module itself for ``plan.Scan(...)`` dotted calls)."""
+        constructors: Dict[str, str] = {}
+        for local, origin in origins.items():
+            head, _, symbol = origin.rpartition(".")
+            if head == self._PLAN_MODULE and symbol in self._NODE_NAMES:
+                constructors[local] = symbol
+            elif origin == self._PLAN_MODULE:
+                for name in self._NODE_NAMES:
+                    constructors[f"{local}.{name}"] = name
+        return constructors
+
+    @staticmethod
+    def _exempt_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+        """Line spans of classes sanctioned to rewrite nodes in place
+        (optimizer rule classes)."""
+        spans = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and (
+                node.name.endswith("Rule")
+                or node.name.endswith("Optimizer")
+            ):
+                spans.append(
+                    (
+                        node.lineno,
+                        max(
+                            getattr(n, "end_lineno", None)
+                            or getattr(n, "lineno", node.lineno)
+                            for n in ast.walk(node)
+                            if hasattr(n, "lineno")
+                        ),
+                    )
+                )
+        return spans
+
+    @staticmethod
+    def _node_variables(
+        tree: ast.Module, constructors: Dict[str, str]
+    ) -> Dict[str, str]:
+        """variable name -> node class, for names bound from a
+        plan-node constructor call anywhere in the module."""
+        bound: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            callee = _dotted(node.value.func)
+            if callee is None or callee not in constructors:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound[target.id] = constructors[callee]
+        return bound
+
+    def _mutation(
+        self,
+        node: ast.AST,
+        constructors: Dict[str, str],
+        node_vars: Dict[str, str],
+    ) -> Optional[str]:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                klass = self._receiver_class(
+                    target, constructors, node_vars
+                )
+                if klass is not None:
+                    attr = (
+                        target.attr
+                        if isinstance(target, ast.Attribute)
+                        else "?"
+                    )
+                    return (
+                        f"assignment to {klass}.{attr} after "
+                        "construction; build the node with the final "
+                        "value or rewrite with dataclasses.replace"
+                    )
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("setattr", "object.__setattr__") and node.args:
+                receiver = node.args[0]
+                klass = node_vars.get(_dotted(receiver) or "")
+                if klass is None and isinstance(receiver, ast.Call):
+                    callee = _dotted(receiver.func)
+                    klass = (
+                        constructors.get(callee) if callee else None
+                    )
+                if klass is not None:
+                    return (
+                        f"{dotted}() on a frozen {klass} node; rewrite "
+                        "with dataclasses.replace instead"
+                    )
+        return None
+
+    @staticmethod
+    def _receiver_class(
+        target: ast.AST,
+        constructors: Dict[str, str],
+        node_vars: Dict[str, str],
+    ) -> Optional[str]:
+        if not isinstance(target, ast.Attribute):
+            return None
+        receiver = target.value
+        name = _dotted(receiver)
+        if name is not None and name in node_vars:
+            return node_vars[name]
+        if isinstance(receiver, ast.Call):
+            callee = _dotted(receiver.func)
+            if callee is not None and callee in constructors:
+                return constructors[callee]
+        return None

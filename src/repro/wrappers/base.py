@@ -7,7 +7,6 @@ shared here.
 """
 
 import abc
-import warnings
 
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
@@ -170,14 +169,14 @@ class Wrapper(abc.ABC):
 
     # -- fetching -------------------------------------------------------------------
 
-    def fetch(self, request=()):
+    def fetch(self, request):
         """Records satisfying a :class:`~repro.mediator.fetch.FetchRequest`.
 
-        The canonical argument is a ``FetchRequest`` (anything exposing
-        a ``conditions`` attribute of ``(label, op, value)`` triples —
+        The argument must be a ``FetchRequest`` (anything exposing a
+        ``conditions`` attribute of ``(label, op, value)`` triples —
         duck-typed so this module never imports the mediator layer).
-        Passing a raw condition sequence still works but is deprecated;
-        the shim exists only for pre-FetchRequest callers.
+        Raw condition sequences raise ``TypeError``: the pre-request
+        shim is gone.
 
         A request with ``columnar=True`` returns a
         :class:`~repro.sources.batch.RecordBatch` instead of a record
@@ -187,13 +186,11 @@ class Wrapper(abc.ABC):
         """
         conditions = getattr(request, "conditions", None)
         if conditions is None:
-            warnings.warn(
-                "passing raw condition sequences to Wrapper.fetch() is "
-                "deprecated; pass a repro.mediator.fetch.FetchRequest",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "Wrapper.fetch() requires a repro.mediator.fetch."
+                "FetchRequest (raw condition sequences are no longer "
+                "accepted)"
             )
-            conditions = tuple(request)
         if getattr(request, "columnar", False):
             return self._fetch_native_batch(conditions)
         return self._fetch_native(conditions)

@@ -133,4 +133,4 @@ class TestClosureQueries:
             QuestionCatalog.genes_under_term(term).to_global_query()
         )
         assert not plan.link_steps[0].pruned
-        assert plan.link_steps[0].closure == [("GoID", "under", term)]
+        assert plan.link_steps[0].closure == (("GoID", "under", term),)

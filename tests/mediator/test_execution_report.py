@@ -71,14 +71,11 @@ class TestDeprecatedAccess:
             result.report.total_rows_fetched()
         )
 
-    def test_reconciliation_methods_delegate_with_warning(self, result):
-        with pytest.warns(DeprecationWarning):
-            assert result.report.count() == result.reconciliation.count()
-        with pytest.warns(DeprecationWarning):
-            assert result.report.repaired_count() == (
-                result.reconciliation.repaired_count()
-            )
-        with pytest.warns(DeprecationWarning):
-            assert result.report.render() == (
-                result.reconciliation.render()
-            )
+    def test_reconciliation_delegation_is_gone(self, result):
+        # The deprecated count/repaired_count/render delegation was
+        # removed: reconciliation conflicts live only on
+        # result.reconciliation now.
+        for method in ("count", "repaired_count", "render"):
+            with pytest.raises(AttributeError):
+                getattr(result.report, method)
+        assert result.reconciliation.count() >= 0

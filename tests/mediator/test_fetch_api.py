@@ -48,24 +48,21 @@ class TestFetchRequest:
 
 
 class TestWrapperFetchMigration:
-    """Satellite: the deprecated raw-conditions shim must return
-    records identical to the FetchRequest path."""
+    """Satellite: the raw-conditions shim is gone — Wrapper.fetch only
+    accepts FetchRequest-shaped arguments."""
 
-    def test_request_and_legacy_paths_identical(self, ll_wrapper):
+    def test_raw_condition_sequence_rejected(self, ll_wrapper):
         conditions = [("Organism", "=", "Homo sapiens")]
-        via_request = ll_wrapper.fetch(FetchRequest(tuple(conditions)))
-        with pytest.warns(DeprecationWarning):
-            via_legacy = ll_wrapper.fetch(conditions)
-        assert via_request == via_legacy
-        assert len(via_request) > 0
+        with pytest.raises(TypeError, match="FetchRequest"):
+            ll_wrapper.fetch(conditions)  # annoda: noqa=ANN001 -- the hard-TypeError path is exactly what this test covers
 
-    def test_legacy_empty_conditions_shim(self, ll_wrapper):
-        with pytest.warns(DeprecationWarning):
-            legacy = ll_wrapper.fetch(())  # annoda: noqa=ANN001 -- the shim's empty-default path is exactly what this test covers
-        assert legacy == ll_wrapper.fetch(FetchRequest())
+    def test_raw_empty_conditions_rejected(self, ll_wrapper):
+        with pytest.raises(TypeError, match="no longer accepted"):
+            ll_wrapper.fetch(())  # annoda: noqa=ANN001 -- the hard-TypeError path is exactly what this test covers
 
     def test_request_path_emits_no_warning(self, ll_wrapper, recwarn):
-        ll_wrapper.fetch(FetchRequest())
+        records = ll_wrapper.fetch(FetchRequest())
+        assert len(records) > 0
         assert not [
             warning
             for warning in recwarn.list

@@ -45,7 +45,7 @@ class TestPushdown:
         plan = plan_for(mediator, query_with_conditions())
         assert ("Organism", "=", "Homo sapiens") in plan.anchor.pushed
         assert ("Description", "contains", "kinase") in plan.anchor.pushed
-        assert plan.anchor.residual == []
+        assert plan.anchor.residual == ()
 
     def test_unsupported_condition_stays_residual(self, mediator):
         query = GlobalQuery(
@@ -53,14 +53,16 @@ class TestPushdown:
             conditions=(Condition("Definition", "=", "exact text"),),
         )
         plan = plan_for(mediator, query)
-        assert plan.anchor.pushed == []
-        assert plan.anchor.residual == [("Description", "=", "exact text")]
+        assert plan.anchor.pushed == ()
+        assert plan.anchor.residual == (
+            ("Description", "=", "exact text"),
+        )
 
     def test_pushdown_disabled_makes_everything_residual(self, mediator):
         plan = plan_for(
             mediator, query_with_conditions(), enable_pushdown=False
         )
-        assert plan.anchor.pushed == []
+        assert plan.anchor.pushed == ()
         assert len(plan.anchor.residual) == 2
 
 

@@ -1,0 +1,19 @@
+"""ANN006 corpus: post-hoc mutation of frozen plan nodes (all fire)."""
+
+from repro.mediator.plan import FetchStage, Scan
+
+
+def mutate_attribute():
+    scan = Scan(source_name="LocusLink", purpose="anchor")
+    scan.pruned = True
+    scan.estimated_rows += 10
+
+
+def mutate_via_setattr():
+    stage = FetchStage(source_name="GO", purpose="link")
+    setattr(stage, "pruned", True)
+    object.__setattr__(stage, "estimated_rows", 5)
+
+
+def mutate_fresh_construction():
+    Scan(source_name="OMIM", purpose="link").pruned = True

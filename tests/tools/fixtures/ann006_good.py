@@ -1,0 +1,25 @@
+"""ANN006 corpus: frozen plan nodes built and rewritten correctly."""
+
+from dataclasses import replace
+
+from repro.mediator.plan import Scan
+
+
+def build():
+    return Scan(source_name="LocusLink", purpose="anchor")
+
+
+def annotate(scan):
+    # Rewrites go through dataclasses.replace, never in-place writes.
+    return replace(scan, estimated_rows=42)
+
+
+class EstimateRule:
+    """Optimizer rule classes are the sanctioned escape hatch."""
+
+    def apply(self, scan):
+        patched = Scan(
+            source_name=scan.source_name, purpose=scan.purpose
+        )
+        object.__setattr__(patched, "estimated_rows", 1)
+        return patched

@@ -46,6 +46,7 @@ class TestRulePairs:
             ("ANN003", {11, 15, 19, 23, 27, 31}),
             ("ANN004", {9, 13, 17}),
             ("ANN005", {11}),
+            ("ANN006", {8, 9, 14, 15, 19}),
         ],
     )
     def test_bad_fixture_fires(self, code, expected_bad_lines):
@@ -54,7 +55,8 @@ class TestRulePairs:
         assert {finding.line for finding in findings} == expected_bad_lines
 
     @pytest.mark.parametrize(
-        "code", ["ANN001", "ANN002", "ANN003", "ANN004", "ANN005"]
+        "code",
+        ["ANN001", "ANN002", "ANN003", "ANN004", "ANN005", "ANN006"],
     )
     def test_good_fixture_is_clean(self, code):
         assert lint_fixture(f"{code.lower()}_good.py", code) == []
