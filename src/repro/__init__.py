@@ -46,13 +46,35 @@ except ImportError:  # pragma: no cover - only during partial builds
     OptimizerOptions = None
     PhysicalPlan = None
 
+# The service surface: ANNODA as a long-lived, admission-controlled
+# HTTP query server (see DESIGN §14).
+try:
+    from repro.service import (
+        AnnodaService,
+        ServiceConfig,
+        ServiceRequest,
+        ServiceResponse,
+        serve,
+    )
+except ImportError:  # pragma: no cover - only during partial builds
+    AnnodaService = None
+    ServiceConfig = None
+    ServiceRequest = None
+    ServiceResponse = None
+    serve = None
+
 __all__ = [
     "Annoda",
     "AnnodaConfig",
+    "AnnodaService",
     "GlobalQuery",
     "LogicalPlan",
     "Optimizer",
     "OptimizerOptions",
     "PhysicalPlan",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "serve",
     "__version__",
 ]

@@ -150,15 +150,50 @@ def build_parser():
         help="max individual findings printed",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the federation as an HTTP query service "
+            "(POST /query, GET /questions /metrics /requests /healthz)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 binds an ephemeral port")
+    serve.add_argument(
+        "--service-workers", type=int, default=4,
+        help="query worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="admission queue seats; a full queue sheds with 429",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help=(
+            "default per-request deadline in seconds (expired requests "
+            "return degraded partial answers)"
+        ),
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help=argparse.SUPPRESS,  # stop after N requests (tests)
+    )
+
     return parser
 
 
-def _build_annoda(args):
+def _build_annoda(args, federation=None):
     config = None
+    config_kwargs = {}
     if getattr(args, "artifact_dir", None):
-        config = AnnodaConfig(
+        config_kwargs.update(
             stage_artifacts=True, artifact_dir=args.artifact_dir
         )
+    if federation is not None:
+        config_kwargs["federation"] = federation
+    if config_kwargs:
+        config = AnnodaConfig(**config_kwargs)
     if args.snapshot_dir:
         return Annoda.from_directory(
             args.snapshot_dir, config=config, adopt_indexes=True
@@ -248,6 +283,45 @@ def _command_figures(annoda, args, out):
         print(file=out)
 
 
+def _command_serve(args, out):
+    from repro.mediator.fetch import FederationPolicy
+    from repro.service import ServiceConfig
+    from repro.service import serve as serve_http
+
+    # A service answers partial results instead of 500s: degraded
+    # sources are reported in the response body, not fatal.
+    annoda = _build_annoda(
+        args, federation=FederationPolicy(on_failure="degrade")
+    )
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        workers=args.service_workers,
+        default_deadline=args.deadline,
+    )
+    server = serve_http(
+        annoda, host=args.host, port=args.port, config=config
+    )
+    host, port = server.server_address[:2]
+    print(f"annoda service listening on http://{host}:{port}", file=out)
+    print(
+        "endpoints: POST /query | GET /questions /metrics /requests "
+        "/healthz",
+        file=out,
+    )
+    try:
+        if args.max_requests is not None:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.server_close()
+        server.service.shutdown(drain=True)
+    print("annoda service stopped", file=out)
+
+
 def _command_table1(args, out):
     from repro.evaluation import build_table1
     from repro.sources.corpus import AnnotationCorpus
@@ -279,6 +353,9 @@ def main(argv=None, out=None):
     try:
         if args.command == "table1":
             _command_table1(args, out)
+            return 0
+        if args.command == "serve":
+            _command_serve(args, out)
             return 0
         annoda = _build_annoda(args)
         if args.command == "describe":

@@ -142,7 +142,7 @@ class Annoda:
     # -- asking questions ----------------------------------------------------------------
 
     def ask(self, question, enrich_links=True, use_cache=True,
-            recorder=None):
+            recorder=None, budget=None):
         """Answer a biological question.
 
         ``question`` may be constrained-English text, a
@@ -157,6 +157,11 @@ class Annoda:
         ``recorder`` to flight-record the query: the result's
         :attr:`~repro.mediator.executor.IntegratedResult.trace` becomes
         the closed span tree (see :meth:`trace`).
+
+        Pass a :class:`~repro.util.cancel.RequestBudget` as ``budget``
+        to bound the whole question with a deadline and a cooperative
+        cancellation point; with a degrading federation policy an
+        expired budget yields a partial answer instead of blocking.
         """
         if recorder is None:
             from repro.trace.recorder import NULL_RECORDER
@@ -165,7 +170,7 @@ class Annoda:
         global_query = self._to_global_query(question)
         return self.mediator.query(
             global_query, enrich_links=enrich_links, use_cache=use_cache,
-            recorder=recorder,
+            recorder=recorder, budget=budget,
         )
 
     def trace(self, question, enrich_links=True):

@@ -319,13 +319,19 @@ class Executor:
 
     def __init__(self, wrappers_by_name, mapping_module, reconciler,
                  enrichment_cache=None, batch_fetch=True, fetcher=None,
-                 policy=None, columnar=True, artifacts=None):
+                 policy=None, columnar=True, artifacts=None, budget=None):
         self.wrappers = wrappers_by_name
         self.mapping_module = mapping_module
         self.reconciler = reconciler
         self.batch_fetch = batch_fetch
         self.columnar = columnar
         self.artifacts = artifacts
+        #: Cooperative per-request :class:`~repro.util.cancel.RequestBudget`
+        #: stamped onto every fetch this execution issues; an expired
+        #: or cancelled budget makes remaining fetches return
+        #: ``timeout`` replies immediately, so the federation policy
+        #: degrades (or aborts) instead of hanging a worker.
+        self.budget = budget
         if fetcher is None:
             self.policy = policy or FederationPolicy()
             self.fetcher = FederatedFetcher(self.policy)
@@ -334,6 +340,15 @@ class Executor:
             self.policy = policy or fetcher.policy
         self._shared_cache = (
             enrichment_cache if enrichment_cache is not None else {}
+        )
+
+    def _fetch_request(self, conditions, purpose, columnar=None):
+        """A :class:`FetchRequest` carrying this execution's budget."""
+        return FetchRequest(
+            conditions,
+            purpose=purpose,
+            columnar=self.columnar if columnar is None else columnar,
+            budget=self.budget,
         )
 
     # -- shared version-keyed cache ---------------------------------------------
@@ -492,8 +507,8 @@ class Executor:
             replies = self.fetcher.fetch_all(
                 (
                     (wrapper,
-                     FetchRequest(tuple(step.pushed), purpose=step.purpose,
-                                  columnar=self.columnar))
+                     self._fetch_request(tuple(step.pushed),
+                                         purpose=step.purpose))
                     for step, wrapper in jobs
                 ),
                 recorder=recorder,
@@ -797,8 +812,8 @@ class Executor:
         if id(driver_step) in self._degraded_steps:
             reply = self.fetcher.fetch(
                 wrapper,
-                FetchRequest(tuple(plan.anchor.pushed), purpose="anchor",
-                             columnar=self.columnar),
+                self._fetch_request(tuple(plan.anchor.pushed),
+                                    purpose="anchor"),
                 recorder=recorder,
             )
             stats.record_reply(reply)
@@ -843,11 +858,10 @@ class Executor:
         elif self.batch_fetch and wrapper.supports(via_label, "in"):
             reply = self.fetcher.fetch(
                 wrapper,
-                FetchRequest(
+                self._fetch_request(
                     tuple(plan.anchor.pushed)
                     + ((via_label, "in", tuple(ordered_ids)),),
                     purpose="anchor-semijoin",
-                    columnar=self.columnar,
                 ),
                 recorder=recorder,
             )
@@ -862,11 +876,10 @@ class Executor:
             for link_id in ordered_ids:
                 reply = self.fetcher.fetch(
                     wrapper,
-                    FetchRequest(
+                    self._fetch_request(
                         tuple(plan.anchor.pushed)
                         + ((via_label, "=", link_id),),
                         purpose="anchor-per-id",
-                        columnar=self.columnar,
                     ),
                     recorder=recorder,
                 )
@@ -1472,9 +1485,10 @@ class Executor:
                     cached["known"].update(cached["index"])
                     indexes[step.source_name] = cached["index"]
                     continue
-            request = FetchRequest(
+            request = self._fetch_request(
                 ((key_local, "in", ordered),) if batched else (),
                 purpose="enrichment" if batched else "enrichment-full",
+                columnar=False,
             )
             pending.append(
                 (step, wrapper, cached, missing, key_field, request,

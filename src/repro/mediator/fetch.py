@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sources.batch import RecordBatch
 from repro.trace.recorder import NULL_RECORDER
+from repro.util.cancel import RequestBudget
 from repro.util.errors import IntegrationError
 from repro.util.locks import new_lock
 from repro.util.rng import DeterministicRng
@@ -93,6 +94,15 @@ class FetchRequest:
     #: :class:`~repro.sources.batch.RecordBatch` instead of a record
     #: list (the reply's ``records`` carries the batch).
     columnar: bool = False
+    #: Cooperative whole-request budget
+    #: (:class:`~repro.util.cancel.RequestBudget`) shared by every
+    #: fetch one mediator/service request issues: an expired or
+    #: cancelled budget turns the fetch into an immediate ``timeout``
+    #: reply.  Excluded from equality/hash so requests stay usable as
+    #: cache keys.
+    budget: Optional[RequestBudget] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -358,6 +368,7 @@ class FederatedFetcher:
         backoff = (
             request.backoff if request.backoff is not None else policy.backoff
         )
+        request_budget = request.budget
         started = time.perf_counter()
         counters_before = self._source_counters(wrapper)
         attempts: List[FetchAttempt] = []
@@ -369,10 +380,24 @@ class FederatedFetcher:
                 if deadline is None
                 else deadline - (time.perf_counter() - started)
             )
+            # The cooperative request budget bounds all fetches of one
+            # mediator/service request together, so it can only ever
+            # tighten the per-fetch deadline.
+            budget_remaining = (
+                None if request_budget is None else request_budget.remaining()
+            )
+            if budget_remaining is not None and (
+                remaining is None or budget_remaining < remaining
+            ):
+                remaining = budget_remaining
             if remaining is not None and remaining <= 0:
+                bound = (
+                    request_budget.describe()
+                    if request_budget is not None and request_budget.expired
+                    else f"deadline of {deadline or 0.0:.3f}s"
+                )
                 status, error = "timeout", (
-                    f"deadline of {deadline:.3f}s exhausted after "
-                    f"{len(attempts)} attempt(s)"
+                    f"{bound}; gave up after {len(attempts)} attempt(s)"
                 )
                 break
             attempt_timeout = timeout

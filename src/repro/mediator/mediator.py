@@ -182,7 +182,7 @@ class Mediator:
         return plan
 
     def query(self, query, enrich_links=True, use_cache=True,
-              recorder=NULL_RECORDER):
+              recorder=NULL_RECORDER, budget=None):
         """Answer a :class:`~repro.mediator.decompose.GlobalQuery`.
 
         Results are cached keyed on the query *and every source's
@@ -197,6 +197,15 @@ class Mediator:
         result cache (a cache hit would replay nothing and the trace
         would be empty), but it still populates the cache for later
         untraced repeats.
+
+        Pass a :class:`~repro.util.cancel.RequestBudget` as ``budget``
+        to bound the whole query: once it expires (or is cancelled)
+        every outstanding fetch returns a ``timeout`` reply
+        immediately and the federation policy decides between a
+        degraded partial answer and an abort.  An answer degraded by
+        budget exhaustion is never stored in the result cache — a
+        later repeat with a fresh budget must get a full answer, not
+        a replay of the truncated one.
         """
         tracing = recorder.enabled
         cache_key = None
@@ -215,6 +224,7 @@ class Mediator:
                 enrichment_cache=self._fetch_cache,
                 fetcher=self._fetcher, policy=self.federation,
                 columnar=self.columnar, artifacts=self.artifacts,
+                budget=budget,
             )
             result = executor.execute(
                 plan, query, enrich_links=enrich_links, recorder=recorder
@@ -222,6 +232,8 @@ class Mediator:
             query_span.set("genes", len(result.genes))
         if tracing:
             result.trace = recorder.root
+        if budget is not None and result.report.degraded:
+            cache_key = None
         if cache_key is not None:
             if len(self._result_cache) >= self.RESULT_CACHE_SIZE:
                 # Drop the oldest entry (insertion order).

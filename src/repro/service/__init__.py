@@ -1,0 +1,42 @@
+"""ANNODA as a long-lived, admission-controlled query service.
+
+The transport-independent core (:class:`AnnodaService`) wraps one
+federation in a bounded admission queue and a worker pool with
+per-request deadline budgets; the stdlib HTTP shell
+(:func:`serve` / :class:`AnnodaHTTPServer`) exposes it as
+``POST /query`` plus ``/questions``, ``/metrics``, ``/requests`` and
+``/healthz``.  See DESIGN §14.
+"""
+
+from repro.service.metrics import SERVICE_COUNTERS, ServiceMetrics
+from repro.service.queue import AdmissionQueue, Ticket
+from repro.service.requestlog import RequestLog, log_record_shape
+from repro.service.server import (
+    AnnodaHTTPServer,
+    AnnodaService,
+    ServiceConfig,
+    serve,
+)
+from repro.service.types import (
+    BadRequest,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "AdmissionQueue",
+    "AnnodaHTTPServer",
+    "AnnodaService",
+    "BadRequest",
+    "RequestLog",
+    "SERVICE_COUNTERS",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "Ticket",
+    "WorkerPool",
+    "log_record_shape",
+    "serve",
+]

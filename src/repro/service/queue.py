@@ -1,0 +1,121 @@
+"""The bounded admission queue and its per-request tickets.
+
+Admission control is the service's load-shedding point: a request
+either gets a seat in the queue (and will definitely be answered) or
+is rejected *immediately* with a 429 — the queue never grows beyond
+``capacity``, so a burst of clients cannot take the process down, and
+clients learn to back off instead of piling onto a doomed backlog.
+
+Every admitted request rides a :class:`Ticket`: the submitting thread
+parks on ``ticket.result()`` while a worker executes the query and
+``resolve``\\ s it.  The ticket also owns the request's
+:class:`~repro.util.cancel.RequestBudget`, created *at admission* so
+queue wait counts against the deadline — a request that waited its
+whole deadline in the queue degrades immediately when a worker picks
+it up, instead of doing doomed work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.service.types import ServiceRequest, ServiceResponse
+from repro.util.cancel import RequestBudget
+from repro.util.locks import new_lock
+
+
+class Ticket:
+    """One admitted request: input, budget, and the response slot."""
+
+    def __init__(self, request: ServiceRequest, request_id: int,
+                 budget: RequestBudget) -> None:
+        self.request = request
+        self.request_id = request_id
+        self.budget = budget
+        self._done = threading.Event()
+        self._response: Optional[ServiceResponse] = None
+
+    def resolve(self, response: ServiceResponse) -> None:
+        """Deliver the response and wake every waiter (idempotent —
+        the first resolution wins)."""
+        if not self._done.is_set():
+            self._response = response
+            self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServiceResponse:
+        """Block until resolved; raises ``TimeoutError`` on expiry."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} unresolved after {timeout}s"
+            )
+        response = self._response
+        assert response is not None
+        return response
+
+
+class AdmissionQueue:
+    """A bounded FIFO of tickets with explicit rejection.
+
+    ``offer`` never blocks: it returns ``False`` when the queue is
+    full (the caller sheds the request) or closed.  ``take`` blocks
+    until a ticket arrives, and returns ``None`` once the queue is
+    closed *and* drained — the worker-pool termination signal.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self._items: Deque[Ticket] = deque()
+        self._closed = False
+        self._waiters = threading.Condition(new_lock("AdmissionQueue"))
+
+    def offer(self, ticket: Ticket) -> bool:
+        """Admit ``ticket`` if a seat is free; never blocks."""
+        with self._waiters:
+            if self._closed or len(self._items) >= self.capacity:
+                return False
+            self._items.append(ticket)
+            self._waiters.notify()
+            return True
+
+    def take(self) -> Optional[Ticket]:
+        """The next ticket, blocking; ``None`` when closed and empty."""
+        with self._waiters:
+            while not self._items and not self._closed:
+                self._waiters.wait()
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked :meth:`take`.
+
+        Already-queued tickets stay takeable (graceful drain); pair
+        with :meth:`flush` for a fast shutdown.
+        """
+        with self._waiters:
+            self._closed = True
+            self._waiters.notify_all()
+
+    def flush(self) -> List[Ticket]:
+        """Remove and return every queued ticket (fast-shutdown path:
+        the caller resolves them as rejected)."""
+        with self._waiters:
+            flushed = list(self._items)
+            self._items.clear()
+            return flushed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._waiters:
+            return len(self._items)

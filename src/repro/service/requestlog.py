@@ -1,0 +1,83 @@
+"""The service's structured request log.
+
+Every request the service finishes — answered, degraded, failed, shed
+or flushed at shutdown — appends one plain-dict record.  Traced
+requests additionally carry the query's
+:func:`~repro.trace.export.trace_shape` (the timing-free span-tree
+view PR 5's golden suite pins), which is what makes the log the
+service-level flight record the tentpole asks for.
+
+:func:`log_record_shape` strips the volatile fields (elapsed seconds,
+monotonically growing request ids) so a record can be compared against
+a checked-in golden byte-for-byte; the golden conformance tests in
+``tests/service/test_request_log_golden.py`` regenerate via the same
+``--regen-golden`` switch as the trace suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.util.locks import new_lock
+
+#: Fields every record carries, in a fixed order (kept stable so the
+#: golden shapes stay diffable).
+RECORD_FIELDS = (
+    "request_id",
+    "kind",
+    "question",
+    "http_status",
+    "outcome",
+    "degraded_sources",
+    "deadline",
+    "deadline_expired",
+    "gene_count",
+    "elapsed",
+    "error",
+    "trace",
+)
+
+#: Volatile per-run fields :func:`log_record_shape` normalizes away.
+VOLATILE_FIELDS = ("request_id", "elapsed")
+
+
+def log_record_shape(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The record with run-volatile fields normalized out.
+
+    ``request_id`` and ``elapsed`` change run to run; everything else
+    — including the embedded trace shape, which is already timing-free
+    — is deterministic for a fixed corpus seed and question.
+    """
+    shape = {key: record.get(key) for key in RECORD_FIELDS}
+    for key in VOLATILE_FIELDS:
+        shape.pop(key, None)
+    return shape
+
+
+class RequestLog:
+    """A bounded, thread-safe ring of finished-request records."""
+
+    def __init__(self, size: int = 256) -> None:
+        if size < 1:
+            raise ValueError("request log size must be at least 1")
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=size)
+        self._guard = new_lock("RequestLog._guard")
+
+    def append(self, record: Dict[str, Any]) -> None:
+        with self._guard:
+            self._records.append(record)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """A snapshot copy, oldest first."""
+        with self._guard:
+            return list(self._records)
+
+    def last(self) -> Optional[Dict[str, Any]]:
+        with self._guard:
+            return self._records[-1] if self._records else None
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._records)

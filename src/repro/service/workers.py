@@ -1,0 +1,124 @@
+"""The service's worker pool: N threads draining the admission queue.
+
+Workers never die on a bad request: the handler is required to turn
+every outcome — answer, degraded answer, error — into a
+:class:`~repro.service.types.ServiceResponse`, and the pool adds a
+last-resort guard so a handler bug resolves the ticket as a 500
+instead of leaving a client parked forever.
+
+Shutdown comes in two flavours:
+
+- ``shutdown(drain=True)`` (graceful): stop admitting, let the
+  workers finish everything already queued, then join them;
+- ``shutdown(drain=False)`` (fast): stop admitting, resolve every
+  still-queued ticket as 503, cancel the budgets of in-flight
+  requests (their fetches turn into immediate timeout replies and the
+  degrading federation policy returns partial answers), then join.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.service.queue import AdmissionQueue, Ticket
+from repro.service.types import (
+    STATUS_ERROR,
+    STATUS_SHUTTING_DOWN,
+    ServiceResponse,
+)
+from repro.util.locks import new_lock
+
+
+def _rejected_body(ticket: Ticket, outcome: str, detail: str) -> dict:
+    return {
+        "request_id": ticket.request_id,
+        "question": ticket.request.describe(),
+        "outcome": outcome,
+        "error": detail,
+    }
+
+
+class WorkerPool:
+    """Fixed-size pool executing tickets from an admission queue."""
+
+    def __init__(self, queue: AdmissionQueue,
+                 handler: Callable[[Ticket], ServiceResponse],
+                 workers: int = 4,
+                 name: str = "annoda-service") -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least 1 worker")
+        self._queue = queue
+        self._handler = handler
+        self._threads: List[threading.Thread] = [
+            threading.Thread(
+                target=self._run, name=f"{name}-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        self._inflight: Dict[int, Ticket] = {}
+        self._inflight_lock = new_lock("WorkerPool._inflight_lock")
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def size(self) -> int:
+        return len(self._threads)
+
+    def inflight(self) -> int:
+        """Tickets currently being executed by a worker."""
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the pool (see module docstring for the two modes)."""
+        self._queue.close()
+        if not drain:
+            for ticket in self._queue.flush():
+                ticket.resolve(ServiceResponse(
+                    status=STATUS_SHUTTING_DOWN,
+                    body=_rejected_body(
+                        ticket, "shutdown",
+                        "service shutting down before execution",
+                    ),
+                ))
+            with self._inflight_lock:
+                inflight = list(self._inflight.values())
+            for ticket in inflight:
+                ticket.budget.cancel("service shutdown")
+        if self._started:
+            for thread in self._threads:
+                thread.join(timeout)
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            ticket = self._queue.take()
+            if ticket is None:
+                return
+            with self._inflight_lock:
+                self._inflight[ticket.request_id] = ticket
+            try:
+                response = self._handler(ticket)
+            except Exception as exc:  # handler bug — never hang the client
+                response = ServiceResponse(
+                    status=STATUS_ERROR,
+                    body=_rejected_body(
+                        ticket, "error",
+                        str(exc) or type(exc).__name__,
+                    ),
+                )
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(ticket.request_id, None)
+            ticket.resolve(response)

@@ -1,0 +1,112 @@
+"""Per-request deadlines and cooperative cancellation.
+
+A :class:`RequestBudget` is created when a request enters the system
+(at service admission, or by any caller of
+:meth:`repro.core.annoda.Annoda.ask`) and threaded through the
+mediator and executor down to every
+:class:`~repro.mediator.fetch.FetchRequest` the execution issues.  The
+fetcher consults it before each attempt: an expired or cancelled
+budget turns the fetch into an immediate ``timeout`` reply, which the
+existing :class:`~repro.mediator.fetch.FederationPolicy` then either
+degrades (partial answer) or raises — so a deadline-expired request
+*degrades within one scheduling quantum* instead of hanging a worker.
+
+Time comes from the :mod:`repro.util.clock` seam, so deadline logic is
+testable against a :class:`~repro.util.clock.FakeClock` and never
+reads the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.clock import Clock, default_clock
+from repro.util.locks import new_lock
+
+
+class RequestBudget:
+    """One request's remaining time plus its cancellation flag.
+
+    ``deadline`` is relative seconds from construction (``None``: no
+    deadline — the budget then only carries the cancellation flag).
+    Thread-safe: the executor's worker threads read it concurrently
+    while a service shutdown may cancel it.
+    """
+
+    __slots__ = ("_clock", "_started", "_deadline", "_cancelled",
+                 "_reason", "_lock")
+
+    def __init__(self, deadline: Optional[float] = None,
+                 clock: Optional[Clock] = None) -> None:
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be >= 0 seconds")
+        self._clock = clock if clock is not None else default_clock()
+        self._started = self._clock.now()
+        self._deadline = (
+            None if deadline is None else self._started + deadline
+        )
+        self._cancelled = False
+        self._reason: Optional[str] = None
+        self._lock = new_lock("RequestBudget._lock")
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Cooperatively cancel: every later :meth:`remaining` is 0."""
+        with self._lock:
+            if not self._cancelled:
+                self._cancelled = True
+                self._reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the budget was cancelled (``None`` while live)."""
+        return self._reason
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The relative deadline this budget was created with."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self._started
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock.now() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, floored at 0; ``None`` when unbounded.
+
+        A cancelled budget always has 0 seconds left, even without a
+        deadline — cancellation is "the deadline is now".
+        """
+        if self._cancelled:
+            return 0.0
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock.now())
+
+    @property
+    def expired(self) -> bool:
+        """True once no time remains (deadline passed or cancelled)."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def describe(self) -> str:
+        if self._cancelled:
+            return f"request cancelled: {self._reason}"
+        if self._deadline is None:
+            return "unbounded request budget"
+        return (
+            f"request deadline of {self.deadline:.3f}s "
+            f"({'expired' if self.expired else 'live'})"
+        )
+
+    def __repr__(self) -> str:
+        return f"RequestBudget({self.describe()})"

@@ -1,0 +1,172 @@
+"""Bounded admission and load-shedding under burst load.
+
+The contract: a request either gets a queue seat (and is definitely
+answered) or is rejected *immediately* with 429 + ``Retry-After`` —
+the backlog never exceeds capacity, nothing deadlocks, and every
+ticket the service hands out resolves.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import AdmissionQueue, ServiceRequest, Ticket
+from repro.util.cancel import RequestBudget
+
+from tests.service.conftest import make_service
+
+
+def _ticket(request_id=1):
+    return Ticket(
+        ServiceRequest(question="figure5b"), request_id, RequestBudget()
+    )
+
+
+class TestAdmissionQueue:
+    def test_fifo_within_capacity(self):
+        queue = AdmissionQueue(capacity=3)
+        tickets = [_ticket(n) for n in range(3)]
+        assert all(queue.offer(ticket) for ticket in tickets)
+        assert [queue.take().request_id for _ in range(3)] == [0, 1, 2]
+
+    def test_offer_rejects_when_full_without_blocking(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.offer(_ticket(1))
+        assert queue.offer(_ticket(2))
+        assert not queue.offer(_ticket(3))
+        assert len(queue) == 2
+
+    def test_offer_rejects_after_close(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.close()
+        assert not queue.offer(_ticket(1))
+
+    def test_take_drains_queued_tickets_after_close(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.offer(_ticket(1))
+        queue.close()
+        assert queue.take().request_id == 1
+        assert queue.take() is None
+
+    def test_close_wakes_blocked_takers(self):
+        queue = AdmissionQueue(capacity=1)
+        taken = []
+        thread = threading.Thread(
+            target=lambda: taken.append(queue.take()), daemon=True
+        )
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert taken == [None]
+
+    def test_flush_empties_the_queue(self):
+        queue = AdmissionQueue(capacity=4)
+        for n in range(3):
+            queue.offer(_ticket(n))
+        queue.close()
+        flushed = queue.flush()
+        assert [ticket.request_id for ticket in flushed] == [0, 1, 2]
+        assert len(queue) == 0
+        assert queue.take() is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestBurstShedding:
+    def test_burst_beyond_capacity_sheds_with_429(self, gate):
+        """workers + capacity seats answer; the rest shed instantly."""
+        capacity, workers = 2, 1
+        service = make_service(
+            gate=gate, queue_capacity=capacity, workers=workers
+        )
+        try:
+            # Park the worker on the gate, then fill every queue seat.
+            parked = [service.submit(ServiceRequest(question="figure5b"))]
+            pause = threading.Event()
+            for _ in range(500):
+                if service.pool.inflight() == workers:
+                    break
+                pause.wait(0.01)
+            else:
+                pytest.fail("worker never picked up the first request")
+            parked += [
+                service.submit(ServiceRequest(question="figure5b"))
+                for _ in range(capacity)
+            ]
+            assert not any(ticket.done for ticket in parked)
+            assert len(service.queue) == capacity
+
+            # One more is over capacity — it must shed immediately.
+            shed_ticket = service.submit(
+                ServiceRequest(question="figure5b")
+            )
+            assert shed_ticket.done
+            response = shed_ticket.result(timeout=1)
+            assert response.status == 429
+            assert response.retry_after is not None
+            assert response.retry_after > 0
+            assert response.body["outcome"] == "shed"
+            assert "queue full" in response.body["error"]
+            assert len(service.queue) <= capacity
+        finally:
+            gate.set()
+            service.shutdown(drain=True, timeout=30)
+        # Every admitted ticket resolved with a real answer.
+        for ticket in parked:
+            answered = ticket.result(timeout=30)
+            assert answered.status == 200
+            assert answered.body["result"]["gene_count"] > 0
+
+    def test_shed_responses_resolve_without_waiting(self, gate):
+        service = make_service(gate=gate, queue_capacity=1, workers=1)
+        try:
+            for _ in range(10):
+                service.submit(ServiceRequest(question="figure5b"))
+            shed = service.metrics.value("requests_shed")
+            assert shed >= 7  # 10 submitted, 1 in flight + 1-2 seated
+            received = service.metrics.value("requests_received")
+            assert received == 10
+        finally:
+            gate.set()
+            service.shutdown(drain=True, timeout=30)
+
+    def test_shedding_is_recoverable(self, gate):
+        """Once the burst drains, new requests are admitted again."""
+        service = make_service(gate=gate, queue_capacity=1, workers=1)
+        try:
+            for _ in range(5):
+                service.submit(ServiceRequest(question="figure5b"))
+            assert service.metrics.value("requests_shed") >= 1
+            gate.set()
+            # The backlog drains asynchronously; retry (as a real
+            # client honouring Retry-After would) until admitted.
+            pause = threading.Event()
+            for _ in range(500):
+                late = service.ask(
+                    ServiceRequest(question="disease_genes"), timeout=30
+                )
+                if late.status != 429:
+                    break
+                pause.wait(late.retry_after or 0.01)
+            assert late.status == 200
+            assert late.body["outcome"] == "ok"
+        finally:
+            gate.set()
+            service.shutdown(drain=True, timeout=30)
+
+    def test_queue_high_watermark_is_bounded_by_capacity(self, gate):
+        capacity = 3
+        service = make_service(
+            gate=gate, queue_capacity=capacity, workers=1
+        )
+        try:
+            for _ in range(12):
+                service.submit(ServiceRequest(question="figure5b"))
+            watermark = service.metrics.value("queue_high_watermark")
+            assert 1 <= watermark <= capacity
+        finally:
+            gate.set()
+            service.shutdown(drain=True, timeout=30)

@@ -1,0 +1,121 @@
+"""Shutdown semantics: graceful drain and fast cancellation.
+
+Graceful shutdown answers everything already admitted before the
+workers exit; fast shutdown flushes the still-queued backlog as 503
+and cancels in-flight budgets so workers finish their current request
+as a degraded partial answer.  Either way: no ticket is ever left
+unresolved, and the worker threads always join.
+"""
+
+import threading
+import time
+
+from repro.service import AnnodaService, ServiceConfig, ServiceRequest
+
+from tests.service.conftest import build_annoda, make_service
+
+
+class TestGracefulShutdown:
+    def test_drains_admitted_requests_before_stopping(self):
+        service = make_service(workers=2, queue_capacity=16)
+        tickets = [
+            service.submit(
+                ServiceRequest(question="figure5b", use_cache=False)
+            )
+            for _ in range(8)
+        ]
+        service.shutdown(drain=True, timeout=60)
+        for ticket in tickets:
+            response = ticket.result(timeout=1)
+            assert response.status == 200
+            assert response.body["outcome"] == "ok"
+            assert response.body["result"]["gene_count"] > 0
+
+    def test_submissions_after_shutdown_get_503(self):
+        service = make_service(workers=1)
+        service.shutdown(drain=True, timeout=30)
+        response = service.ask(
+            ServiceRequest(question="figure5b"), timeout=1
+        )
+        assert response.status == 503
+        assert response.body["outcome"] == "shutdown"
+
+    def test_shutdown_is_idempotent(self):
+        service = make_service(workers=1)
+        service.shutdown(drain=True, timeout=30)
+        service.shutdown(drain=True, timeout=30)
+
+    def test_context_manager_drains_on_exit(self):
+        annoda = build_annoda()
+        with AnnodaService(
+            annoda, ServiceConfig(queue_capacity=8, workers=2)
+        ) as service:
+            tickets = [
+                service.submit(ServiceRequest(question="disease_genes"))
+                for _ in range(4)
+            ]
+        for ticket in tickets:
+            assert ticket.result(timeout=1).status == 200
+
+    def test_worker_threads_join(self):
+        service = make_service(workers=3)
+        service.ask(ServiceRequest(question="figure5b"), timeout=30)
+        service.shutdown(drain=True, timeout=30)
+        for thread in service.pool._threads:
+            assert not thread.is_alive()
+
+
+class TestFastShutdown:
+    def test_flushes_queued_requests_as_503(self, gate):
+        service = make_service(gate=gate, workers=1, queue_capacity=8)
+        # One request parks on the gate inside a worker; the rest wait
+        # in the queue and must be flushed, not executed.
+        tickets = [
+            service.submit(
+                ServiceRequest(question="figure5b", use_cache=False)
+            )
+            for _ in range(5)
+        ]
+        # Let the worker pick up the first ticket.
+        for _ in range(100):
+            if service.pool.inflight() == 1:
+                break
+            time.sleep(0.01)
+        stopper = threading.Thread(
+            target=lambda: service.shutdown(drain=False, timeout=60),
+            daemon=True,
+        )
+        stopper.start()
+        # The queued tickets resolve as 503 without the gate opening.
+        statuses = sorted(
+            ticket.result(timeout=10).status for ticket in tickets[1:]
+        )
+        assert statuses == [503, 503, 503, 503]
+        # The in-flight request finishes once the gate opens — its
+        # budget was cancelled, so the answer degrades instead of
+        # running the full pipeline.
+        gate.set()
+        response = tickets[0].result(timeout=30)
+        assert response.status == 200
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+
+    def test_cancels_inflight_budgets(self):
+        annoda = build_annoda(
+            flaky={"LocusLink": {"latency": 0.3}},
+        )
+        service = make_service(annoda=annoda, workers=1)
+        ticket = service.submit(
+            ServiceRequest(question="figure5b", use_cache=False)
+        )
+        # Let the worker enter the slow fetch, then pull the plug.
+        for _ in range(100):
+            if service.pool.inflight() == 1:
+                break
+            time.sleep(0.01)
+        service.shutdown(drain=False, timeout=60)
+        response = ticket.result(timeout=30)
+        assert response.status == 200
+        assert ticket.budget.cancelled
+        assert ticket.budget.reason == "service shutdown"
+        assert response.body["outcome"] == "degraded"

@@ -1,0 +1,65 @@
+"""Repository hygiene: no bytecode ever gets tracked.
+
+Pins the cleanup rule from the service PR: ``.gitignore`` must cover
+``__pycache__`` everywhere (including ``benchmarks/``, which once
+risked leaking compiled bytecode into the tree) and the git index must
+contain no ``.pyc`` files or ``__pycache__`` directories.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git(*args):
+    return subprocess.run(
+        ["git", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def _require_git():
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not running inside a git checkout")
+
+
+def test_gitignore_covers_pycache():
+    text = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in text.split()
+
+
+def test_no_tracked_bytecode():
+    _require_git()
+    listing = _git("ls-files")
+    assert listing.returncode == 0, listing.stderr
+    offenders = [
+        line
+        for line in listing.stdout.splitlines()
+        if line.endswith(".pyc") or "__pycache__" in line
+    ]
+    assert offenders == [], f"bytecode tracked in git: {offenders}"
+
+
+@pytest.mark.parametrize(
+    "path",
+    [
+        "benchmarks/__pycache__/",
+        "src/repro/__pycache__/",
+        "tests/__pycache__/",
+        "tests/service/__pycache__/",
+        "benchmarks/__pycache__/bench_service.cpython-311.pyc",
+    ],
+)
+def test_pycache_directories_are_ignored(path):
+    _require_git()
+    check = _git("check-ignore", "-q", path)
+    assert check.returncode == 0, (
+        f"{path} is not covered by .gitignore"
+    )
