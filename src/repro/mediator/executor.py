@@ -36,6 +36,7 @@ from repro.sources.base import NativeCondition, _evaluate
 from repro.sources.batch import RecordBatch
 from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
+from repro.util.locks import new_lock
 
 
 def _delta_counter(span, name, delta):
@@ -250,6 +251,10 @@ class IntegratedResult:
         #: :class:`~repro.trace.recorder.Span`), set by the mediator
         #: when the query ran with tracing on; ``None`` otherwise.
         self.trace = None
+        #: Set by the mediator when this (shared) result was served
+        #: from its result cache; consumers accounting for execution
+        #: work (e.g. service metrics) use it to skip warm replays.
+        self.from_result_cache = False
         # GeneID -> gene dict, first occurrence winning, so lookups are
         # O(1) instead of a scan per call.
         self._genes_by_id = {}
@@ -318,7 +323,8 @@ class Executor:
     CACHE_MAX_ENTRIES = 64
 
     def __init__(self, wrappers_by_name, mapping_module, reconciler,
-                 enrichment_cache=None, batch_fetch=True, fetcher=None,
+                 enrichment_cache=None, enrichment_cache_lock=None,
+                 batch_fetch=True, fetcher=None,
                  policy=None, columnar=True, artifacts=None, budget=None):
         self.wrappers = wrappers_by_name
         self.mapping_module = mapping_module
@@ -341,6 +347,14 @@ class Executor:
         self._shared_cache = (
             enrichment_cache if enrichment_cache is not None else {}
         )
+        # The enrichment/symbol cache is shared by every execution the
+        # owning mediator runs — concurrently, under the service's
+        # worker pool — so its get/evict/store sequences take a lock
+        # (the mediator passes one lock for all executors it builds).
+        self._shared_cache_lock = (
+            enrichment_cache_lock if enrichment_cache_lock is not None
+            else new_lock("Executor._shared_cache_lock")
+        )
 
     def _fetch_request(self, conditions, purpose, columnar=None):
         """A :class:`FetchRequest` carrying this execution's budget."""
@@ -354,25 +368,27 @@ class Executor:
     # -- shared version-keyed cache ---------------------------------------------
 
     def _cache_entry(self, key):
-        return self._shared_cache.get(key)
+        with self._shared_cache_lock:
+            return self._shared_cache.get(key)
 
     def _cache_store(self, key, value):
         """Insert one cache entry, evicting stale versions of the same
         source/kind first and bounding the total entry count."""
         kind, source_name = key[0], key[1]
-        stale = [
-            existing
-            for existing in self._shared_cache
-            if existing[0] == kind
-            and existing[1] == source_name
-            and existing != key
-        ]
-        for existing in stale:
-            del self._shared_cache[existing]
-        while len(self._shared_cache) >= self.CACHE_MAX_ENTRIES:
-            oldest = next(iter(self._shared_cache))
-            del self._shared_cache[oldest]
-        self._shared_cache[key] = value
+        with self._shared_cache_lock:
+            stale = [
+                existing
+                for existing in self._shared_cache
+                if existing[0] == kind
+                and existing[1] == source_name
+                and existing != key
+            ]
+            for existing in stale:
+                del self._shared_cache[existing]
+            while len(self._shared_cache) >= self.CACHE_MAX_ENTRIES:
+                oldest = next(iter(self._shared_cache))
+                del self._shared_cache[oldest]
+            self._shared_cache[key] = value
 
     def _fetchpath_snapshot(self):
         """Cumulative per-source index/scan counters, summed over the

@@ -17,6 +17,7 @@ from repro.mediator.optimizer import Optimizer, OptimizerOptions
 from repro.mediator.reconcile import Reconciler
 from repro.trace.recorder import NULL_RECORDER
 from repro.util.errors import IntegrationError
+from repro.util.locks import new_lock
 
 
 class Mediator:
@@ -50,11 +51,16 @@ class Mediator:
         self._wrappers = {}
         self._registration_order = []
         self._gml_cache = None
+        # Both caches are shared by every thread querying this
+        # mediator (the service's worker pool drives one mediator), so
+        # their get/evict/store sequences run under a lock.
         self._result_cache = {}
+        self._result_cache_lock = new_lock("Mediator._result_cache_lock")
         # Version-keyed fetch-path caches shared across executions:
         # enrichment indexes and symbol indexes, keyed on (kind, source,
         # wrapper.version, ...), so freshness is never traded away.
         self._fetch_cache = {}
+        self._fetch_cache_lock = new_lock("Mediator._fetch_cache_lock")
 
     # -- source registration (paper section 3.1, two-step plug-in) -------------
 
@@ -90,16 +96,18 @@ class Mediator:
         # the enrichment/symbol indexes nor whole cached results (both
         # are keyed on (source name, version), which a different store
         # registered under the same name can collide with).
-        self._fetch_cache = {
-            key: value
-            for key, value in self._fetch_cache.items()
-            if key[1] != source_name
-        }
-        self._result_cache = {
-            key: value
-            for key, value in self._result_cache.items()
-            if all(name != source_name for name, _version in key[2])
-        }
+        with self._fetch_cache_lock:
+            self._fetch_cache = {
+                key: value
+                for key, value in self._fetch_cache.items()
+                if key[1] != source_name
+            }
+        with self._result_cache_lock:
+            self._result_cache = {
+                key: value
+                for key, value in self._result_cache.items()
+                if all(name != source_name for name, _version in key[2])
+            }
         # Stage artifacts are tagged with their participating sources
         # for exactly this hazard: a re-registered store may reuse the
         # old version counters, so version-keyed content addresses
@@ -212,8 +220,13 @@ class Mediator:
         if use_cache:
             cache_key = self._cache_key(query, enrich_links)
             if not tracing:
-                cached = self._result_cache.get(cache_key)
+                with self._result_cache_lock:
+                    cached = self._result_cache.get(cache_key)
                 if cached is not None:
+                    # Mark the (shared) result so callers folding
+                    # execution stats into service metrics can tell a
+                    # warm replay from work actually performed.
+                    cached.from_result_cache = True
                     return cached
         with recorder.span(
             "query", attributes={"anchor": query.anchor_source}
@@ -222,6 +235,7 @@ class Mediator:
             executor = Executor(
                 self._wrappers, self.mapping_module, self.reconciler,
                 enrichment_cache=self._fetch_cache,
+                enrichment_cache_lock=self._fetch_cache_lock,
                 fetcher=self._fetcher, policy=self.federation,
                 columnar=self.columnar, artifacts=self.artifacts,
                 budget=budget,
@@ -232,14 +246,18 @@ class Mediator:
             query_span.set("genes", len(result.genes))
         if tracing:
             result.trace = recorder.root
-        if budget is not None and result.report.degraded:
+        if budget is not None and budget.expired and result.report.degraded:
+            # Only *budget-caused* truncation is uncacheable; an answer
+            # degraded by a source fault is cached exactly as the same
+            # query without a budget would cache it.
             cache_key = None
         if cache_key is not None:
-            if len(self._result_cache) >= self.RESULT_CACHE_SIZE:
-                # Drop the oldest entry (insertion order).
-                oldest = next(iter(self._result_cache))
-                del self._result_cache[oldest]
-            self._result_cache[cache_key] = result
+            with self._result_cache_lock:
+                if len(self._result_cache) >= self.RESULT_CACHE_SIZE:
+                    # Drop the oldest entry (insertion order).
+                    oldest = next(iter(self._result_cache))
+                    del self._result_cache[oldest]
+                self._result_cache[cache_key] = result
         return result
 
     def _cache_key(self, query, enrich_links):

@@ -34,6 +34,7 @@ SERVICE_COUNTERS = (
     "requests_failed",
     "requests_rejected",
     "deadline_expired",
+    "result_cache_hits",
     "queue_high_watermark",
 )
 

@@ -23,6 +23,7 @@ Endpoints:
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
@@ -142,15 +143,19 @@ class AnnodaService:
             )
         else:
             self.metrics.add("requests_shed")
+            body = self._envelope(
+                ticket, outcome="shed",
+                error=(
+                    f"admission queue full "
+                    f"({self.queue.capacity} seats)"
+                ),
+            )
+            # The HTTP Retry-After header is integer delta-seconds;
+            # the body carries the precise sub-second hint.
+            body["retry_after"] = self.config.retry_after
             response = ServiceResponse(
                 status=STATUS_SHED,
-                body=self._envelope(
-                    ticket, outcome="shed",
-                    error=(
-                        f"admission queue full "
-                        f"({self.queue.capacity} seats)"
-                    ),
-                ),
+                body=body,
                 retry_after=self.config.retry_after,
             )
         self._finish(ticket, response)
@@ -215,7 +220,13 @@ class AnnodaService:
         )
         if ticket.budget.expired:
             self.metrics.add("deadline_expired")
-        self.metrics.merge_execution(result.stats, result.reconciliation)
+        if getattr(result, "from_result_cache", False):
+            # A warm replay of a cached IntegratedResult did no new
+            # pipeline work — folding its ExecutionStats in again would
+            # inflate rows/attempts/fetch counters on every repeat.
+            self.metrics.add("result_cache_hits")
+        else:
+            self.metrics.merge_execution(result.stats, result.reconciliation)
         body = self._envelope(ticket, outcome=outcome)
         body["result"] = {
             "gene_count": len(result.genes),
@@ -398,7 +409,11 @@ class AnnodaHTTPHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
         if retry_after is not None:
-            self.send_header("Retry-After", f"{retry_after:.3f}")
+            # RFC 9110 Retry-After is integer delta-seconds; round the
+            # sub-second hint up (the precise float rides in the body).
+            self.send_header(
+                "Retry-After", str(max(1, math.ceil(retry_after)))
+            )
         self.end_headers()
         self.wfile.write(encoded)
 

@@ -58,6 +58,11 @@ class WorkerPool:
         ]
         self._inflight: Dict[int, Ticket] = {}
         self._inflight_lock = new_lock("WorkerPool._inflight_lock")
+        #: Set (under the inflight lock) by a fast shutdown; workers
+        #: re-check it right after registering a ticket, closing the
+        #: window where a just-dequeued ticket misses both the queue
+        #: flush and the budget-cancel sweep.
+        self._cancelling = False
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -83,6 +88,8 @@ class WorkerPool:
         """Stop the pool (see module docstring for the two modes)."""
         self._queue.close()
         if not drain:
+            with self._inflight_lock:
+                self._cancelling = True
             for ticket in self._queue.flush():
                 ticket.resolve(ServiceResponse(
                     status=STATUS_SHUTTING_DOWN,
@@ -108,6 +115,13 @@ class WorkerPool:
                 return
             with self._inflight_lock:
                 self._inflight[ticket.request_id] = ticket
+                cancelling = self._cancelling
+            if cancelling:
+                # Fast shutdown raced our dequeue: the ticket was no
+                # longer in the queue for the flush and not yet in
+                # ``_inflight`` for the cancel sweep — cancel it here
+                # so its fetches degrade instead of running full-length.
+                ticket.budget.cancel("service shutdown")
             try:
                 response = self._handler(ticket)
             except Exception as exc:  # handler bug — never hang the client

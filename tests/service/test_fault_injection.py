@@ -154,6 +154,34 @@ class TestCachesNeverPoisoned:
         finally:
             service.shutdown(drain=True, timeout=30)
 
+    def test_fault_degraded_answer_is_cached_like_budgetless_queries(self):
+        """Only *budget-caused* truncation bypasses the result cache.
+        A source-fault-degraded answer under a live (unexpired) budget
+        caches exactly as the same query without a budget would, so a
+        flapping source doesn't force a full re-execution per repeat."""
+        annoda, omim = _blackout_federation()
+        omim.blackout = True
+        service = make_service(annoda=annoda, workers=1)
+        try:
+            first = service.ask(
+                ServiceRequest(question="disease_genes"), timeout=30
+            )
+            assert first.body["outcome"] == "degraded"
+            rows_after_first = service.metrics.snapshot()["pipeline"]["rows"]
+            second = service.ask(
+                ServiceRequest(question="disease_genes"), timeout=30
+            )
+            assert second.body["outcome"] == "degraded"
+            assert second.body["result"] == first.body["result"]
+            # The repeat was a result-cache hit: no new pipeline work.
+            rows_after_second = (
+                service.metrics.snapshot()["pipeline"]["rows"]
+            )
+            assert rows_after_second == rows_after_first
+            assert service.metrics.value("result_cache_hits") == 1
+        finally:
+            service.shutdown(drain=True, timeout=30)
+
     def test_healthy_answers_are_cached_across_requests(self):
         """The flip side: clean repeats do hit the result cache (the
         second identical request does zero new fetching)."""
@@ -170,8 +198,9 @@ class TestCachesNeverPoisoned:
                 service.metrics.snapshot()["pipeline"]["rows"]
             )
             assert first.body["result"] == second.body["result"]
-            # The cached repeat re-reports the same execution stats;
-            # no *new* rows crossed the wrapper boundary.
-            assert rows_after_second == 2 * rows_after_first
+            # The cached repeat did no new pipeline work, so its
+            # (replayed) execution stats are not folded in again.
+            assert rows_after_second == rows_after_first
+            assert service.metrics.value("result_cache_hits") == 1
         finally:
             service.shutdown(drain=True, timeout=30)

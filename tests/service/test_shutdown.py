@@ -100,6 +100,67 @@ class TestFastShutdown:
         stopper.join(timeout=30)
         assert not stopper.is_alive()
 
+    def test_ticket_between_dequeue_and_registration_is_cancelled(self):
+        """The worker's take()-to-_inflight window: a fast shutdown in
+        that instant finds the ticket in neither the queue flush nor
+        the in-flight cancel sweep, so the worker itself must cancel
+        the budget when it registers the ticket."""
+        from repro.service.queue import AdmissionQueue, Ticket
+        from repro.service.types import STATUS_OK, ServiceResponse
+        from repro.service.workers import WorkerPool
+        from repro.util.cancel import RequestBudget
+
+        dequeued = threading.Event()
+        resume = threading.Event()
+
+        class ParkedTakeQueue(AdmissionQueue):
+            """Parks the worker right after the dequeue, before it can
+            register the ticket as in-flight."""
+
+            def take(self):
+                ticket = super().take()
+                if ticket is not None:
+                    dequeued.set()
+                    resume.wait(timeout=30)
+                return ticket
+
+        cancelled_when_handled = []
+
+        def handler(ticket):
+            cancelled_when_handled.append(ticket.budget.cancelled)
+            return ServiceResponse(status=STATUS_OK, body={"outcome": "ok"})
+
+        queue = ParkedTakeQueue(capacity=4)
+        pool = WorkerPool(queue, handler, workers=1)
+        pool.start()
+        ticket = Ticket(
+            ServiceRequest(question="figure5b"), 1, RequestBudget()
+        )
+        assert queue.offer(ticket)
+        assert dequeued.wait(timeout=10)
+        stopper = threading.Thread(
+            target=lambda: pool.shutdown(drain=False, timeout=30),
+            daemon=True,
+        )
+        stopper.start()
+        # Let shutdown finish its flush + sweep (both miss the ticket)
+        # before the worker proceeds.
+        for _ in range(500):
+            with pool._inflight_lock:
+                if pool._cancelling:
+                    break
+            time.sleep(0.01)
+        else:
+            assert False, "fast shutdown never flagged cancellation"
+        resume.set()
+        response = ticket.result(timeout=10)
+        assert response.status == 200
+        assert cancelled_when_handled == [True]
+        assert ticket.budget.cancelled
+        assert ticket.budget.reason == "service shutdown"
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+
     def test_cancels_inflight_budgets(self):
         annoda = build_annoda(
             flaky={"LocusLink": {"latency": 0.3}},
