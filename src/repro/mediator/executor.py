@@ -758,6 +758,7 @@ class Executor:
                     wrapper,
                     key_label=key_label,
                     symbol_label=symbol_local,
+                    budget=self.budget,
                 )
             except Exception as exc:
                 if not self.policy.degrades:

@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.sources.batch import RecordBatch
 from repro.trace.recorder import NULL_RECORDER
 from repro.util.cancel import RequestBudget
+from repro.util.clock import default_clock
 from repro.util.errors import IntegrationError
 from repro.util.locks import new_lock
 from repro.util.rng import DeterministicRng
@@ -427,7 +428,9 @@ class FederatedFetcher:
                 if remaining is not None:
                     delay = min(delay, max(0.0, remaining - elapsed))
                 if delay > 0:
-                    time.sleep(delay)
+                    # Through the clock seam: a FakeClock fast-forwards
+                    # the backoff instead of parking the worker thread.
+                    default_clock().sleep(delay)
         counters_after = self._source_counters(wrapper)
         return FetchReply(
             source=wrapper.name,
@@ -547,7 +550,7 @@ class FlakyWrapper:
             if fail:
                 self.failures += 1
         if self.latency > 0:
-            time.sleep(self.latency)
+            default_clock().sleep(self.latency)
         if fail:
             raise ConnectionError(
                 f"injected fault on {self._wrapped.name} "

@@ -232,9 +232,14 @@ class Mediator:
             "query", attributes={"anchor": query.anchor_source}
         ) as query_span:
             plan = self.plan(query, recorder=recorder)
+            # Snapshot the cache binding under its lock:
+            # unregister_source rebinds self._fetch_cache concurrently,
+            # and a torn read here would resurrect evicted entries.
+            with self._fetch_cache_lock:
+                fetch_cache = self._fetch_cache
             executor = Executor(
                 self._wrappers, self.mapping_module, self.reconciler,
-                enrichment_cache=self._fetch_cache,
+                enrichment_cache=fetch_cache,
                 enrichment_cache_lock=self._fetch_cache_lock,
                 fetcher=self._fetcher, policy=self.federation,
                 columnar=self.columnar, artifacts=self.artifacts,

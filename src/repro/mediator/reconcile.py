@@ -101,20 +101,28 @@ class SymbolIndex:
 
     @classmethod
     def from_wrapper(cls, wrapper, key_label="MimNumber",
-                     symbol_label="GeneSymbol"):
+                     symbol_label="GeneSymbol", budget=None):
         """Build from any wrapper exposing a key and a symbol label.
 
         Defaults fit OMIM; the executor passes the mapped labels for
         other symbol-joined sources (e.g. the protein source's
         ``Accession``/``GeneSymbol``).  Single-valued symbol fields are
-        normalized to one-element lists.
+        normalized to one-element lists.  ``budget`` is the owning
+        request's :class:`~repro.util.cancel.RequestBudget`: the index
+        build is a full-vocabulary fetch, exactly the kind of work a
+        deadline-expired request must not start.
         """
+        if budget is not None and budget.expired:
+            raise TimeoutError(
+                f"symbol index build abandoned: {budget.describe()}"
+            )
         index = cls()
         symbol_field = wrapper.source_field(symbol_label)
         key_field = wrapper.source_field(key_label)
         from repro.mediator.fetch import FetchRequest
 
-        for record in wrapper.fetch(FetchRequest(purpose="symbol-index")):
+        request = FetchRequest(purpose="symbol-index", budget=budget)
+        for record in wrapper.fetch(request):
             entry_id = record[key_field]
             value = record.get(symbol_field)
             symbols = value if isinstance(value, list) else [value]

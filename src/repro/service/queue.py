@@ -114,7 +114,8 @@ class AdmissionQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._waiters:
+            return self._closed
 
     def __len__(self) -> int:
         with self._waiters:

@@ -1,0 +1,5 @@
+"""``python -m repro.tools.flow`` — the flow analyzer CLI."""
+
+from repro.tools.flow.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Baseline files: land a strict rule set without blocking the world.
+
+A baseline records the findings that existed when the gate was wired
+up; CI then fails only on *new* findings.  Entries are keyed on
+``(path, code, message)`` — deliberately not the line number, so
+unrelated edits shifting a file do not resurrect baselined findings —
+and expire automatically: a baseline entry that no longer matches any
+current finding is reported as stale so it can be removed (by
+re-running with ``--update-baseline``).
+
+The committed project baseline (``.flow-baseline.json``) is empty:
+every pre-existing violation was fixed when the analyzer landed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.tools.lint.engine import Diagnostic
+
+#: Bump when the fingerprint shape changes.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(diagnostic: Diagnostic) -> Fingerprint:
+    return (diagnostic.path, diagnostic.code, diagnostic.message)
+
+
+def load_baseline(path: str) -> Set[Fingerprint]:
+    """The fingerprints in ``path``; a missing file is an empty
+    baseline (the common fresh-checkout case)."""
+    file = Path(path)
+    if not file.exists():
+        return set()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {payload.get('version')!r}; "
+            f"this analyzer writes version {BASELINE_VERSION}"
+        )
+    return {
+        (entry["path"], entry["code"], entry["message"])
+        for entry in payload.get("findings", [])
+    }
+
+
+def save_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write the current findings as the new baseline; returns the
+    entry count."""
+    entries = sorted(
+        {fingerprint(diagnostic) for diagnostic in diagnostics}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": entry[0], "code": entry[1], "message": entry[2]}
+            for entry in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def partition(
+    diagnostics: Iterable[Diagnostic], baseline: Set[Fingerprint]
+) -> Tuple[List[Diagnostic], List[Fingerprint]]:
+    """Split findings against a baseline.
+
+    Returns ``(new, stale)``: findings not in the baseline (these fail
+    the gate) and baseline entries no current finding matches (these
+    expired — the underlying issue was fixed)."""
+    new: List[Diagnostic] = []
+    matched: Set[Fingerprint] = set()
+    for diagnostic in diagnostics:
+        key = fingerprint(diagnostic)
+        if key in baseline:
+            matched.add(key)
+        else:
+            new.append(diagnostic)
+    stale = sorted(baseline - matched)
+    return new, stale

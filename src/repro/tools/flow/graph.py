@@ -1,0 +1,616 @@
+"""Project-wide symbol table and approximate call graph.
+
+The flow analyzer parses every file once (reusing the lint engine's
+:class:`~repro.tools.lint.engine.SourceModule`, so ``noqa`` and
+``module=`` directives mean the same thing) and builds:
+
+- a **symbol table**: every top-level class and function, every
+  method, with parameters, decorators and dataclass fields;
+- per-module **scopes**: local name -> dotted target, from ``import``
+  statements anywhere in the file (function-local imports included —
+  the mediator imports lazily to break cycles) plus local defs;
+- an **approximate call graph**: one :class:`CallSite` per resolvable
+  call expression, attributed to the enclosing function.
+
+Resolution is deliberately heuristic — this is a linter, not a type
+checker.  A call is resolved, in order of preference, by:
+
+1. direct names (``helper()``) through the module scope;
+2. ``self.method()`` through the owning class and its project bases;
+3. ``ClassName.method()`` / ``module.function()`` through the scope;
+4. ``self._attr.method()`` through attribute types inferred from
+   ``self._attr = ClassName(...)`` assignments;
+5. ``var.method()`` through local ``var = ClassName(...)`` inference;
+6. a class-hierarchy fallback: every project class defining a method
+   of that name (marked ``fallback`` with its candidate ``arity``, so
+   rules can demand precision where it matters).
+
+``threading.Thread(target=f)`` and ``pool.submit(f, ...)`` produce
+``target`` edges, so work handed to other threads stays reachable.
+Calls into the ``time``/``threading``/``random`` standard-library
+modules resolve to *external* sites — the seam-bypass rule's input.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.lint.engine import SourceModule
+
+#: Standard-library roots tracked as external call targets.
+EXTERNAL_ROOTS = ("time", "threading", "random")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the symbol table."""
+
+    qualname: str
+    module: str
+    name: str
+    owner: Optional[str]  # owning class qualname, None for module level
+    path: str
+    line: int
+    node: ast.AST
+    params: Tuple[str, ...]
+    has_kwargs: bool
+    decorators: Tuple[str, ...]
+
+    @property
+    def short(self) -> str:
+        """``Class.method`` / ``module.function`` for path rendering."""
+        if self.owner is not None:
+            return f"{self.owner.rsplit('.', 1)[-1]}.{self.name}"
+        return f"{self.module.rsplit('.', 1)[-1]}.{self.name}"
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, inferred attribute types, dataclass fields."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    line: int
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.X = ClassName(...)`` -> class qualname (any method).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: Class-body annotated assignments (dataclass fields).
+    fields: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression.
+
+    ``kind`` is ``"call"`` (function/method), ``"construct"`` (class
+    instantiation — the callee is the class qualname), ``"target"``
+    (a callable handed to a thread or pool) or ``"external"`` (a
+    dotted standard-library call such as ``time.sleep``).
+    """
+
+    caller: str
+    callee: str
+    kind: str
+    path: str
+    line: int
+    col: int
+    keywords: Tuple[str, ...] = ()
+    has_star_kwargs: bool = False
+    fallback: bool = False
+    #: Number of candidate targets the fallback resolution had; 1 for
+    #: precisely resolved sites.
+    arity: int = 1
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A call into a tracked stdlib module, wherever it appears."""
+
+    module: str  # logical module name of the *calling* file
+    dotted: str  # e.g. "time.sleep"
+    path: str
+    line: int
+    col: int
+
+
+class FlowProject:
+    """The whole-program view the interprocedural rules analyze."""
+
+    def __init__(self, modules: Iterable[SourceModule]) -> None:
+        self.modules: List[SourceModule] = list(modules)
+        self.module_names: Set[str] = {
+            module.module_name for module in self.modules
+        }
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        self.scopes: Dict[str, Dict[str, str]] = {}
+        self.out_edges: Dict[str, List[CallSite]] = {}
+        self.external_calls: List[ExternalCall] = []
+        for module in self.modules:
+            self._index_module(module)
+        # Attribute types need every class indexed first.
+        self._infer_attr_types()
+        for module in self.modules:
+            self._extract_calls(module)
+
+    # -- symbol table --------------------------------------------------------
+
+    def _index_module(self, module: SourceModule) -> None:
+        scope: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    scope[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    scope[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function_info(module, node, owner=None)
+                self.functions[info.qualname] = info
+                scope[node.name] = info.qualname
+            elif isinstance(node, ast.ClassDef):
+                info = self._class_info(module, node)
+                self.classes[info.qualname] = info
+                self.classes_by_name.setdefault(info.name, []).append(info)
+                scope[node.name] = info.qualname
+                for method in info.methods.values():
+                    self.functions[method.qualname] = method
+                    self.methods_by_name.setdefault(
+                        method.name, []
+                    ).append(method)
+        self.scopes[module.module_name] = scope
+
+    def _function_info(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        owner: Optional[str],
+    ) -> FunctionInfo:
+        args = node.args
+        params = tuple(
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+            )
+        )
+        qual_owner = owner if owner is not None else module.module_name
+        return FunctionInfo(
+            qualname=f"{qual_owner}.{node.name}",
+            module=module.module_name,
+            name=node.name,
+            owner=owner,
+            path=module.path,
+            line=node.lineno,
+            node=node,
+            params=params,
+            has_kwargs=args.kwarg is not None,
+            decorators=tuple(
+                _dotted(decorator) or ""
+                for decorator in node.decorator_list
+            ),
+        )
+
+    def _class_info(
+        self, module: SourceModule, node: ast.ClassDef
+    ) -> ClassInfo:
+        qualname = f"{module.module_name}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.module_name,
+            name=node.name,
+            path=module.path,
+            line=node.lineno,
+            node=node,
+            bases=tuple(
+                dotted
+                for dotted in (_dotted(base) for base in node.bases)
+                if dotted
+            ),
+        )
+        fields: List[str] = []
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = self._function_info(
+                    module, item, owner=qualname
+                )
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                fields.append(item.target.id)
+        info.fields = tuple(fields)
+        return info
+
+    def _infer_attr_types(self) -> None:
+        """``self.X = ClassName(...)`` -> attribute type, per class."""
+        for cls in self.classes.values():
+            scope = self.scopes.get(cls.module, {})
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    if not isinstance(node.value, ast.Call):
+                        continue
+                    target_class = self._class_of_call(node.value, scope)
+                    if target_class is None:
+                        continue
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            cls.attr_types.setdefault(
+                                target.attr, target_class.qualname
+                            )
+
+    def _class_of_call(
+        self, call: ast.Call, scope: Dict[str, str]
+    ) -> Optional[ClassInfo]:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        resolved = self._resolve_dotted(dotted, scope)
+        if resolved is not None and resolved in self.classes:
+            return self.classes[resolved]
+        return None
+
+    def _resolve_dotted(
+        self, dotted: str, scope: Dict[str, str]
+    ) -> Optional[str]:
+        """A dotted source expression to a project qualname (or the
+        dotted name itself for external roots)."""
+        head, _, rest = dotted.partition(".")
+        target = scope.get(head, head)
+        full = f"{target}.{rest}" if rest else target
+        if full in self.classes or full in self.functions:
+            return full
+        if target.split(".")[0] in EXTERNAL_ROOTS:
+            return full
+        return None
+
+    # -- call extraction -----------------------------------------------------
+
+    def _extract_calls(self, module: SourceModule) -> None:
+        scope = self.scopes[module.module_name]
+        # Module-level external calls (lock allocations at import time
+        # are still seam bypasses).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = self._external_dotted(node, scope)
+                if dotted is not None:
+                    self.external_calls.append(
+                        ExternalCall(
+                            module=module.module_name,
+                            dotted=dotted,
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+                    )
+        # Function-attributed edges.
+        for function in self.functions.values():
+            if function.module != module.module_name:
+                continue
+            sites = self.out_edges.setdefault(function.qualname, [])
+            owner = (
+                self.classes.get(function.owner)
+                if function.owner is not None
+                else None
+            )
+            var_types = self._local_var_types(function, scope)
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.Call):
+                    sites.extend(
+                        self._resolve_call(
+                            function, owner, node, scope, var_types
+                        )
+                    )
+
+    def _local_var_types(
+        self, function: FunctionInfo, scope: Dict[str, str]
+    ) -> Dict[str, ClassInfo]:
+        var_types: Dict[str, ClassInfo] = {}
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                cls = self._class_of_call(node.value, scope)
+                if cls is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        var_types.setdefault(target.id, cls)
+        return var_types
+
+    def _external_dotted(
+        self, call: ast.Call, scope: Dict[str, str]
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = scope.get(func.id)
+            if target is not None and target.split(".")[0] in EXTERNAL_ROOTS:
+                return target
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            target = scope.get(func.value.id, func.value.id)
+            if (
+                target.split(".")[0] in EXTERNAL_ROOTS
+                and target not in self.module_names
+            ):
+                return f"{target}.{func.attr}"
+        return None
+
+    def _resolve_call(
+        self,
+        function: FunctionInfo,
+        owner: Optional[ClassInfo],
+        call: ast.Call,
+        scope: Dict[str, str],
+        var_types: Dict[str, ClassInfo],
+    ) -> List[CallSite]:
+        keywords = tuple(
+            keyword.arg for keyword in call.keywords
+            if keyword.arg is not None
+        )
+        star = any(keyword.arg is None for keyword in call.keywords)
+
+        def site(callee: str, kind: str, fallback: bool = False,
+                 arity: int = 1) -> CallSite:
+            return CallSite(
+                caller=function.qualname,
+                callee=callee,
+                kind=kind,
+                path=function.path,
+                line=call.lineno,
+                col=call.col_offset,
+                keywords=keywords,
+                has_star_kwargs=star,
+                fallback=fallback,
+                arity=arity,
+            )
+
+        sites: List[CallSite] = []
+        func = call.func
+
+        if isinstance(func, ast.Name):
+            target = scope.get(func.id)
+            if target in self.classes:
+                sites.append(site(target, "construct"))
+            elif target in self.functions:
+                sites.append(site(target, "call"))
+            elif (
+                target is not None
+                and target.split(".")[0] in EXTERNAL_ROOTS
+            ):
+                sites.append(site(target, "external"))
+        elif isinstance(func, ast.Attribute):
+            sites.extend(
+                self._resolve_attribute_call(
+                    site, func, owner, scope, var_types
+                )
+            )
+
+        sites.extend(self._thread_targets(site, call, owner, scope))
+        return sites
+
+    def _resolve_attribute_call(
+        self,
+        site,
+        func: ast.Attribute,
+        owner: Optional[ClassInfo],
+        scope: Dict[str, str],
+        var_types: Dict[str, ClassInfo],
+    ) -> List[CallSite]:
+        attr = func.attr
+        base = func.value
+
+        # self.method()
+        if isinstance(base, ast.Name) and base.id == "self" and owner:
+            method = self._lookup_method(owner, attr)
+            if method is not None:
+                return [site(method.qualname, "call")]
+        # ClassName.method() / module.function() / time.sleep()
+        if isinstance(base, ast.Name) and base.id != "self":
+            target = scope.get(base.id)
+            if target in self.classes:
+                method = self._lookup_method(self.classes[target], attr)
+                if method is not None:
+                    return [site(method.qualname, "call")]
+            if target is None and base.id in var_types:
+                method = self._lookup_method(var_types[base.id], attr)
+                if method is not None:
+                    return [site(method.qualname, "call")]
+            if target is not None:
+                if target in self.module_names:
+                    qualname = f"{target}.{attr}"
+                    if qualname in self.functions:
+                        return [site(qualname, "call")]
+                    if qualname in self.classes:
+                        return [site(qualname, "construct")]
+                elif target.split(".")[0] in EXTERNAL_ROOTS:
+                    return [site(f"{target}.{attr}", "external")]
+            if base.id in var_types:
+                method = self._lookup_method(var_types[base.id], attr)
+                if method is not None:
+                    return [site(method.qualname, "call")]
+        # self._attr.method() via inferred attribute types
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and owner is not None
+        ):
+            attr_class = owner.attr_types.get(base.attr)
+            if attr_class is not None:
+                method = self._lookup_method(
+                    self.classes[attr_class], attr
+                )
+                if method is not None:
+                    return [site(method.qualname, "call")]
+        # Fallback: every project class defining a method of this name.
+        candidates = self.methods_by_name.get(attr, ())
+        if candidates:
+            return [
+                site(
+                    method.qualname, "call",
+                    fallback=True, arity=len(candidates),
+                )
+                for method in candidates
+            ]
+        return []
+
+    def _thread_targets(
+        self,
+        site,
+        call: ast.Call,
+        owner: Optional[ClassInfo],
+        scope: Dict[str, str],
+    ) -> List[CallSite]:
+        """Edges for ``threading.Thread(target=f)`` / ``pool.submit(f)``."""
+        candidates: List[ast.AST] = []
+        func = call.func
+        dotted = _dotted(func)
+        resolved = (
+            self._resolve_dotted(dotted, scope) if dotted else None
+        )
+        if resolved == "threading.Thread" or (
+            dotted is not None and dotted.endswith("Thread")
+            and resolved is None
+        ):
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    candidates.append(keyword.value)
+        elif isinstance(func, ast.Attribute) and func.attr == "submit":
+            if call.args:
+                candidates.append(call.args[0])
+        sites: List[CallSite] = []
+        for candidate in candidates:
+            if (
+                isinstance(candidate, ast.Attribute)
+                and isinstance(candidate.value, ast.Name)
+                and candidate.value.id == "self"
+                and owner is not None
+            ):
+                method = self._lookup_method(owner, candidate.attr)
+                if method is not None:
+                    sites.append(site(method.qualname, "target"))
+            elif isinstance(candidate, ast.Name):
+                target = scope.get(candidate.id)
+                if target in self.functions:
+                    sites.append(site(target, "target"))
+        return sites
+
+    def _lookup_method(
+        self, cls: ClassInfo, name: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[FunctionInfo]:
+        """``name`` on ``cls`` or (recursively) its project bases."""
+        seen = _seen if _seen is not None else set()
+        if cls.qualname in seen:
+            return None
+        seen.add(cls.qualname)
+        if name in cls.methods:
+            return cls.methods[name]
+        scope = self.scopes.get(cls.module, {})
+        for base in cls.bases:
+            resolved = self._resolve_dotted(base, scope)
+            if resolved in self.classes:
+                found = self._lookup_method(
+                    self.classes[resolved], name, seen
+                )
+                if found is not None:
+                    return found
+        return None
+
+    # -- reachability --------------------------------------------------------
+
+    def reachable(
+        self,
+        roots: Sequence[str],
+        max_fallback_arity: int = 2,
+    ) -> Dict[str, Optional[CallSite]]:
+        """BFS over call/construct/target edges from ``roots``.
+
+        Returns ``{qualname: parent CallSite}`` (roots map to None) —
+        the parent chain renders the shortest call path for
+        diagnostics.  Fallback edges are followed only while their
+        candidate set is small (``max_fallback_arity``): imprecise
+        name-only matches must not flood the reachable set.
+
+        A ``construct`` edge reaches the class's ``__init__`` *and*
+        every method of the class — once a function holds an instance,
+        any method may run (the executor pattern: construct, then call
+        ``execute`` through a local variable the heuristics may miss).
+        """
+        parents: Dict[str, Optional[CallSite]] = {
+            root: None for root in roots if root in self.functions
+        }
+        queue = list(parents)
+        while queue:
+            current = queue.pop(0)
+            for edge in self.out_edges.get(current, ()):
+                if edge.kind == "external":
+                    continue
+                if edge.fallback and edge.arity > max_fallback_arity:
+                    continue
+                targets: List[str] = []
+                if edge.kind == "construct":
+                    cls = self.classes.get(edge.callee)
+                    if cls is not None:
+                        targets.extend(
+                            method.qualname
+                            for method in cls.methods.values()
+                        )
+                elif edge.callee in self.functions:
+                    targets.append(edge.callee)
+                for target in targets:
+                    if target not in parents:
+                        parents[target] = edge
+                        queue.append(target)
+        return parents
+
+    def render_path(
+        self,
+        parents: Dict[str, Optional[CallSite]],
+        qualname: str,
+    ) -> str:
+        """``root.fn -> mid.fn -> leaf.fn`` from a BFS parent map."""
+        chain: List[str] = []
+        current: Optional[str] = qualname
+        seen: Set[str] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            info = self.functions.get(current)
+            chain.append(info.short if info is not None else current)
+            edge = parents.get(current)
+            current = edge.caller if edge is not None else None
+        return " -> ".join(reversed(chain))
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    if isinstance(node, ast.Call):
+        return _dotted(node.func)
+    return None

@@ -1,0 +1,584 @@
+"""The interprocedural rules (ANN007–ANN010, DESIGN §15).
+
+Each rule registers in the shared lint registry — so ``--select``
+validation, ``noqa`` spell-checking and code listings compose with the
+per-file rules — but produces findings only under the whole-program
+analyzer: the per-file entry points see ``check``/``finish`` no-ops,
+and ``python -m repro.tools.flow`` calls :meth:`analyze` with a
+:class:`~repro.tools.flow.graph.FlowProject`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.tools.flow.graph import (
+    ClassInfo,
+    FlowProject,
+    FunctionInfo,
+)
+from repro.tools.lint.engine import Diagnostic, Rule, register
+
+#: Entry points a request budget is born at: every path from here to
+#: the wrapper boundary must keep the budget threaded.
+BUDGET_ROOTS: Tuple[Tuple[str, str, str], ...] = (
+    ("repro.core.annoda", "Annoda", "ask"),
+    ("repro.service.server", "AnnodaService", "_handle"),
+)
+
+#: The construction seams; direct stdlib calls outside them blind
+#: FakeClock, the racecheck harness and deterministic replay.
+SEAM_MODULES = (
+    "repro.util.clock",
+    "repro.util.locks",
+    "repro.util.rng",
+    "repro.util.timer",
+)
+
+#: Stdlib calls ANN008 bans outside the seam modules.  Note
+#: ``time.perf_counter`` stays allowed: it is the seam's own backend
+#: and harmless for answer-affecting code (ANN003 handles wall-clock
+#: reads in answer paths).
+SEAM_BANNED = {
+    "time.sleep",
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "threading.Lock",
+    "threading.RLock",
+}
+
+
+class FlowRule(Rule):
+    """Base for whole-program rules: per-file hooks are no-ops."""
+
+    interprocedural = True
+
+    def analyze(self, project: FlowProject) -> List[Diagnostic]:
+        raise NotImplementedError
+
+
+def _reads_attribute(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Attribute) and child.attr == name
+        for child in ast.walk(node)
+    )
+
+
+def _init_stores_budget(cls: ClassInfo) -> bool:
+    init = cls.methods.get("__init__")
+    if init is None:
+        return False
+    for node in ast.walk(init.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in ("budget", "_budget")
+                ):
+                    return True
+    return False
+
+
+@register
+class BudgetThreading(FlowRule):
+    """ANN007: no call path from a request root to the wrapper
+    boundary may silently drop the ``RequestBudget``."""
+
+    code = "ANN007"
+    title = "request budget dropped on a federation call path"
+    rationale = (
+        "a deadline only degrades a request if every layer hands the "
+        "budget down; one call site that forgets budget= silently "
+        "detaches everything below it from the deadline"
+    )
+
+    def analyze(self, project: FlowProject) -> List[Diagnostic]:
+        roots = self._roots(project)
+        # Typed edges only: both entry points are roots themselves, and
+        # the genuine budget chain resolves precisely — name-only
+        # fallback edges (e.g. a regex ``.search`` matching some class)
+        # would drag unrelated code into "root-reachable".
+        parents = project.reachable(sorted(roots), max_fallback_arity=0)
+        diagnostics: List[Diagnostic] = []
+        reported: Set[Tuple[str, int, str]] = set()
+        for function in project.functions.values():
+            bearing = self._bearing(project, function, roots)
+            for edge in project.out_edges.get(function.qualname, ()):
+                if edge.kind not in ("call", "construct"):
+                    continue
+                if "budget" in edge.keywords or edge.has_star_kwargs:
+                    continue
+                accepts = self._accepts_budget(project, edge)
+                if accepts is None:
+                    continue
+                if bearing:
+                    key = (edge.path, edge.line, edge.callee)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    diagnostics.append(
+                        self._drop_diagnostic(
+                            project, parents, function, edge, accepts
+                        )
+                    )
+                elif (
+                    edge.kind == "construct"
+                    and edge.callee == "repro.mediator.fetch.FetchRequest"
+                    and function.qualname in parents
+                ):
+                    # The hole case: a fetch issued on a root-reachable
+                    # path by a function no budget ever reached.
+                    key = (edge.path, edge.line, edge.callee)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    path = project.render_path(
+                        parents, function.qualname
+                    )
+                    diagnostics.append(
+                        Diagnostic(
+                            edge.path, edge.line, edge.col, self.code,
+                            f"FetchRequest issued without a budget on "
+                            f"the federation path {path}: no budget= "
+                            f"reaches {function.short} to forward",
+                        )
+                    )
+        return diagnostics
+
+    def _drop_diagnostic(
+        self,
+        project: FlowProject,
+        parents: Dict,
+        function: FunctionInfo,
+        edge,
+        accepts: str,
+    ) -> Diagnostic:
+        callee_info = project.functions.get(edge.callee)
+        callee_name = (
+            callee_info.short
+            if callee_info is not None
+            else edge.callee.rsplit(".", 1)[-1]
+        )
+        if function.qualname in parents:
+            location = (
+                f"path "
+                f"{project.render_path(parents, function.qualname)}"
+            )
+        else:
+            location = f"in {function.short}"
+        return Diagnostic(
+            edge.path, edge.line, edge.col, self.code,
+            f"call to {callee_name} drops the request budget "
+            f"({accepts} accepts budget= but the call, {location}, "
+            f"does not pass it)",
+        )
+
+    def _roots(self, project: FlowProject) -> Set[str]:
+        roots: Set[str] = set()
+        for module, class_name, method in BUDGET_ROOTS:
+            qualname = f"{module}.{class_name}.{method}"
+            if qualname in project.functions:
+                roots.add(qualname)
+        return roots
+
+    def _bearing(
+        self,
+        project: FlowProject,
+        function: FunctionInfo,
+        roots: Set[str],
+    ) -> bool:
+        """Does ``function`` have a budget in hand to forward?"""
+        if function.qualname in roots:
+            return True
+        if "budget" in function.params:
+            return True
+        if function.owner is not None:
+            owner = project.classes.get(function.owner)
+            if owner is not None and _init_stores_budget(owner):
+                return True
+        return _reads_attribute(function.node, "budget")
+
+    def _accepts_budget(self, project: FlowProject, edge) -> Optional[str]:
+        """Name of the budget-accepting callee, or None."""
+        if edge.kind == "construct":
+            cls = project.classes.get(edge.callee)
+            if cls is None:
+                return None
+            if "budget" in cls.fields:
+                return cls.name
+            init = cls.methods.get("__init__")
+            if init is not None and "budget" in init.params:
+                return cls.name
+            return None
+        callee = project.functions.get(edge.callee)
+        if callee is not None and "budget" in callee.params:
+            return callee.short
+        return None
+
+
+@register
+class SeamBypass(FlowRule):
+    """ANN008: stdlib time/locking/randomness outside the seams."""
+
+    code = "ANN008"
+    title = "construction seam bypassed with a direct stdlib call"
+    rationale = (
+        "time.sleep/time.time/threading.Lock()/random.* outside "
+        "repro.util.{clock,locks,rng,timer} make FakeClock, the "
+        "racecheck harness and deterministic replay blind"
+    )
+
+    def analyze(self, project: FlowProject) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for call in project.external_calls:
+            if call.module in SEAM_MODULES:
+                continue
+            banned = call.dotted in SEAM_BANNED or (
+                call.dotted.startswith("random.")
+            )
+            if not banned:
+                continue
+            seam = {
+                "time": "repro.util.clock",
+                "threading": "repro.util.locks",
+                "random": "repro.util.rng",
+            }[call.dotted.split(".")[0]]
+            diagnostics.append(
+                Diagnostic(
+                    call.path, call.line, call.col, self.code,
+                    f"direct {call.dotted} call bypasses the "
+                    f"construction seam; route it through {seam}",
+                )
+            )
+        return diagnostics
+
+
+@register
+class LockGuardConsistency(FlowRule):
+    """ANN009: an attribute written under a lock in one method must
+    never be touched lock-free elsewhere in the class (RacerD-style
+    guard inference from allocation sites and naming)."""
+
+    code = "ANN009"
+    title = "guarded attribute accessed without its lock"
+    rationale = (
+        "if one method takes the lock to write an attribute, a "
+        "lock-free read elsewhere is a data race the schedule just "
+        "has not lost yet (this is how the mediator cache race "
+        "escaped review)"
+    )
+
+    #: Methods exempt from the check: construction happens before the
+    #: object is shared, and the ``_locked`` suffix is the project's
+    #: caller-holds-the-lock convention.
+    _EXEMPT = ("__init__", "__post_init__", "__new__", "__del__")
+
+    def analyze(self, project: FlowProject) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for cls in project.classes.values():
+            diagnostics.extend(self._check_class(project, cls))
+        return diagnostics
+
+    def _check_class(
+        self, project: FlowProject, cls: ClassInfo
+    ) -> List[Diagnostic]:
+        guards = self._guard_attrs(project, cls)
+        if not guards:
+            return []
+        # (attr, method, is_write, guards_held, line, col)
+        accesses: List[Tuple[str, str, bool, frozenset, int, int]] = []
+        for name, method in cls.methods.items():
+            if name in self._EXEMPT or name.endswith("_locked"):
+                continue
+            for node, held in _walk_guarded(method.node, guards):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr not in guards
+                    and not node.attr.startswith("__")
+                ):
+                    continue
+                accesses.append((
+                    node.attr,
+                    name,
+                    isinstance(node.ctx, (ast.Store, ast.Del)),
+                    held,
+                    node.lineno,
+                    node.col_offset,
+                ))
+        protected: Dict[str, Tuple[str, str]] = {}
+        for attr, method, is_write, held, _, _ in accesses:
+            if is_write and held and attr not in protected:
+                protected[attr] = (sorted(held)[0], method)
+        diagnostics = []
+        seen: Set[Tuple[str, int]] = set()
+        for attr, method, is_write, held, line, col in accesses:
+            if attr not in protected or held:
+                continue
+            guard, writer = protected[attr]
+            key = (attr, line)
+            if key in seen:
+                continue
+            seen.add(key)
+            action = "written" if is_write else "read"
+            diagnostics.append(
+                Diagnostic(
+                    cls.path, line, col, self.code,
+                    f"{cls.name}.{attr} is written under self.{guard} "
+                    f"in {writer}() but {action} lock-free in "
+                    f"{method}()",
+                )
+            )
+        return diagnostics
+
+    def _guard_attrs(
+        self, project: FlowProject, cls: ClassInfo
+    ) -> Set[str]:
+        """Lock-holding attributes: allocation sites + lockish names."""
+        guards: Set[str] = set()
+        scope = project.scopes.get(cls.module, {})
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if _is_lockish(target.attr):
+                        guards.add(target.attr)
+                    elif isinstance(node.value, ast.Call):
+                        dotted = _call_dotted(node.value, scope)
+                        if dotted in (
+                            "repro.util.locks.new_lock",
+                            "threading.Lock",
+                            "threading.RLock",
+                            "threading.Condition",
+                        ):
+                            guards.add(target.attr)
+        return guards
+
+
+@register
+class SpanExceptionSafety(FlowRule):
+    """ANN010: every manually opened span must be provably closed on
+    all paths (``with recorder.span(...)`` never has this problem)."""
+
+    code = "ANN010"
+    title = "open_span without a guaranteed close_span"
+    rationale = (
+        "a span leaked on an exception path corrupts the trace tree "
+        "for the whole request; manual open_span is only safe under "
+        "try/finally, an __enter__/__exit__ pair, or the fetcher's "
+        "close-on-BaseException-then-close idiom"
+    )
+
+    def analyze(self, project: FlowProject) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for function in project.functions.values():
+            if function.name == "open_span":
+                continue
+            diagnostics.extend(self._check_function(project, function))
+        return diagnostics
+
+    def _check_function(
+        self, project: FlowProject, function: FunctionInfo
+    ) -> List[Diagnostic]:
+        calls = [
+            node
+            for node in ast.walk(function.node)
+            if isinstance(node, ast.Call)
+            and _callee_name(node) == "open_span"
+        ]
+        if not calls:
+            return []
+        if self._enter_exit_pair(project, function):
+            return []
+        parent_of = _parent_map(function.node)
+        diagnostics = []
+        for call in calls:
+            if not self._call_is_safe(call, parent_of):
+                diagnostics.append(
+                    Diagnostic(
+                        function.path, call.lineno, call.col_offset,
+                        self.code,
+                        f"open_span in {function.short} has no "
+                        f"guaranteed close_span (use with "
+                        f"recorder.span(...), try/finally, or close "
+                        f"on BaseException and re-raise plus an "
+                        f"unconditional close)",
+                    )
+                )
+        return diagnostics
+
+    def _enter_exit_pair(
+        self, project: FlowProject, function: FunctionInfo
+    ) -> bool:
+        """``__enter__`` opening a span is safe when the class's
+        ``__exit__`` closes one."""
+        if function.name != "__enter__" or function.owner is None:
+            return False
+        owner = project.classes.get(function.owner)
+        if owner is None:
+            return False
+        exit_method = owner.methods.get("__exit__")
+        if exit_method is None:
+            return False
+        return any(
+            isinstance(node, ast.Call)
+            and _callee_name(node) == "close_span"
+            for node in ast.walk(exit_method.node)
+        )
+
+    def _call_is_safe(self, call: ast.Call, parent_of: Dict) -> bool:
+        # Safe shape 1: any enclosing try whose finally closes a span.
+        node = call
+        while node in parent_of:
+            node = parent_of[node]
+            if isinstance(node, ast.Try) and any(
+                _contains_close_span(final) for final in node.finalbody
+            ):
+                return True
+        # The remaining shapes require the handle to be captured:
+        # span = recorder.open_span(...)
+        statement = call
+        while statement in parent_of and not isinstance(
+            statement, ast.stmt
+        ):
+            statement = parent_of[statement]
+        if not isinstance(statement, ast.Assign):
+            return False
+        block = parent_of.get(statement)
+        body = getattr(block, "body", None)
+        if not isinstance(body, list) or statement not in body:
+            for attr in ("body", "orelse", "finalbody"):
+                candidate = getattr(block, attr, None)
+                if isinstance(candidate, list) and statement in candidate:
+                    body = candidate
+                    break
+        if not isinstance(body, list) or statement not in body:
+            return False
+        following = body[body.index(statement) + 1:]
+        for index, sibling in enumerate(following):
+            if not isinstance(sibling, ast.Try):
+                continue
+            # Safe shape 2: try/finally with a close.
+            if any(
+                _contains_close_span(final)
+                for final in sibling.finalbody
+            ):
+                return True
+            # Safe shape 3 (the fetcher idiom): a handler that closes
+            # the span and re-raises, plus an unconditional close
+            # after the try.
+            reraising_close = any(
+                _contains_close_span(handler)
+                and any(
+                    isinstance(inner, ast.Raise)
+                    for inner in ast.walk(handler)
+                )
+                for handler in sibling.handlers
+            )
+            if reraising_close and any(
+                _contains_close_span(later)
+                for later in following[index + 1:]
+            ):
+                return True
+        return False
+
+
+def _is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(part in lowered for part in ("lock", "mutex", "guard"))
+
+
+def _call_dotted(
+    call: ast.Call, scope: Dict[str, str]
+) -> Optional[str]:
+    """The scope-resolved dotted name of a call's target."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return scope.get(func.id, func.id)
+    if isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Name
+    ):
+        base = scope.get(func.value.id, func.value.id)
+        return f"{base}.{func.attr}"
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _contains_close_span(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Call)
+        and _callee_name(child) == "close_span"
+        for child in ast.walk(node)
+    )
+
+
+def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _walk_guarded(
+    root: ast.AST, guards: Set[str]
+) -> Iterable[Tuple[ast.AST, frozenset]]:
+    """Yield ``(node, held-guards)`` pairs under a method body.
+
+    ``with self.<guard>:`` (attribute or call form, as in
+    ``with self._fetch_mutex():``) adds the guard for its body; nested
+    function bodies run later — possibly on another thread — so they
+    restart with nothing held.
+    """
+
+    def visit(node: ast.AST, held: frozenset):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            held = frozenset()
+        acquired = held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and expr.attr in guards
+                ):
+                    acquired = acquired | {expr.attr}
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    yield sub, held
+                if item.optional_vars is not None:
+                    yield item.optional_vars, held
+            for child in node.body:
+                yield from visit(child, acquired)
+            return
+        yield node, held
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, held)
+
+    for statement in getattr(root, "body", []):
+        yield from visit(statement, frozenset())

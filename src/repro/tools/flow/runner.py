@@ -1,0 +1,78 @@
+"""Entry points shared by the CLI and the rule tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.flow.graph import FlowProject
+from repro.tools.lint.engine import (
+    META_SYNTAX_ERROR,
+    REGISTRY,
+    Diagnostic,
+    SourceModule,
+    apply_suppressions,
+    collect_files,
+)
+
+
+def interprocedural_codes() -> Set[str]:
+    """The registered whole-program rule codes (ANN007..)."""
+    return {
+        code
+        for code, rule in REGISTRY.items()
+        if getattr(rule, "interprocedural", False)
+    }
+
+
+def analyze_texts(
+    sources: Iterable[Tuple[str, str]],
+    select: Optional[Set[str]] = None,
+) -> List[Diagnostic]:
+    """Run the interprocedural rules over ``(path, text)`` pairs.
+
+    Mirrors :func:`repro.tools.lint.engine.lint_texts`: unparsable
+    files become ``ANN901`` diagnostics, line-level ``noqa``
+    suppressions are honoured (unknown-code policing is left to the
+    per-file lint so the two CI gates do not double-report).
+    """
+    modules: List[SourceModule] = []
+    diagnostics: List[Diagnostic] = []
+    for path, text in sources:
+        try:
+            modules.append(SourceModule(path, text))
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    META_SYNTAX_ERROR,
+                    f"cannot parse file: {exc.msg}",
+                )
+            )
+    project = FlowProject(modules)
+    raw: List[Diagnostic] = []
+    for code in sorted(interprocedural_codes()):
+        if select is not None and code not in select:
+            continue
+        raw.extend(REGISTRY[code].analyze(project))
+    diagnostics.extend(
+        apply_suppressions(modules, raw, check_unknown=False)
+    )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return diagnostics
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+    include_fixtures: bool = False,
+) -> List[Diagnostic]:
+    """Analyze every Python file under ``paths`` as one project."""
+    files = collect_files(paths, include_fixtures=include_fixtures)
+    sources = [
+        (file_path, Path(file_path).read_text(encoding="utf-8"))
+        for file_path in files
+    ]
+    return analyze_texts(sources, select=select)

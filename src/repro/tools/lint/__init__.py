@@ -22,6 +22,12 @@ from repro.tools.lint.engine import (
 )
 from repro.tools.lint import rules as _rules  # noqa: F401  (registers rules)
 
+# The interprocedural rules (ANN007..) live with the flow analyzer but
+# share this registry, so --select validation and noqa spell-checking
+# know them.  A plain ``import`` tolerates the circular package load
+# (repro.tools.flow imports the engine above).
+import repro.tools.flow.rules  # noqa: E402,F401  (registers flow rules)
+
 __all__ = [
     "Diagnostic",
     "META_SYNTAX_ERROR",

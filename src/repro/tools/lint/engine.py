@@ -116,11 +116,21 @@ class Project:
 class Rule:
     """One invariant checker.  Subclasses set ``code``/``title``/
     ``rationale`` and implement :meth:`check` (per module) and/or
-    :meth:`finish` (once, with the whole project)."""
+    :meth:`finish` (once, with the whole project).
+
+    Rules with ``interprocedural = True`` live in the registry for
+    code/suppression bookkeeping (``--select`` validation, ``noqa``
+    spell checking) but only produce findings under the whole-program
+    analyzer (:mod:`repro.tools.flow`); the per-file runner treats
+    them as no-ops.
+    """
 
     code = "ANN999"
     title = "unnamed rule"
     rationale = ""
+    #: True for rules needing the project-wide call graph; such rules
+    #: implement ``analyze(FlowProject)`` instead of check/finish.
+    interprocedural = False
 
     def check(self, module: SourceModule) -> List[Diagnostic]:
         return []
@@ -234,32 +244,53 @@ def lint_texts(
     for rule in rules:
         raw.extend(rule.finish(project))
 
-    by_path = {module.path: module for module in project.modules}
+    diagnostics.extend(
+        apply_suppressions(project.modules, raw, check_unknown=True)
+    )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return diagnostics
+
+
+def apply_suppressions(
+    modules: Iterable[SourceModule],
+    raw: Iterable[Diagnostic],
+    check_unknown: bool = True,
+) -> List[Diagnostic]:
+    """Filter ``raw`` through the modules' line-level suppressions.
+
+    Shared by the per-file runner and the whole-program analyzer so
+    ``# annoda: noqa=...`` means the same thing under both.  With
+    ``check_unknown`` a suppression naming an unknown code becomes an
+    ``ANN000`` diagnostic itself.
+    """
+    modules = list(modules)
+    by_path = {module.path: module for module in modules}
+    kept: List[Diagnostic] = []
     for diagnostic in raw:
         module = by_path.get(diagnostic.path)
         if module is not None:
             suppressed = module.suppressions.get(diagnostic.line, set())
             if diagnostic.code in suppressed:
                 continue
-        diagnostics.append(diagnostic)
+        kept.append(diagnostic)
 
-    # A suppression naming an unknown code is a lint error itself.
-    for module in project.modules:
-        for line, codes in sorted(module.suppressions.items()):
-            for code in sorted(codes):
-                if code not in known_codes():
-                    diagnostics.append(
-                        Diagnostic(
-                            module.path,
-                            line,
-                            0,
-                            META_UNKNOWN_SUPPRESSION,
-                            f"suppression names unknown rule code {code}",
+    if check_unknown:
+        # A suppression naming an unknown code is a lint error itself.
+        for module in modules:
+            for line, codes in sorted(module.suppressions.items()):
+                for code in sorted(codes):
+                    if code not in known_codes():
+                        kept.append(
+                            Diagnostic(
+                                module.path,
+                                line,
+                                0,
+                                META_UNKNOWN_SUPPRESSION,
+                                f"suppression names unknown rule code "
+                                f"{code}",
+                            )
                         )
-                    )
-
-    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
-    return diagnostics
+    return kept
 
 
 def lint_paths(

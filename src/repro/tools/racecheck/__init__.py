@@ -54,7 +54,9 @@ class InstrumentedLock:
 
     def __init__(self, label: str, monitor: "RaceMonitor") -> None:
         self.label = label
-        self._inner = threading.Lock()
+        # The instrumented lock IS the seam's product; allocating it
+        # through new_lock() would recurse forever.
+        self._inner = threading.Lock()  # annoda: noqa=ANN008 -- seam internals
         self._monitor = monitor
         self._owner: Optional[int] = None
         monitor._register_lock(self)
@@ -128,8 +130,9 @@ class RaceMonitor:
 
     def __init__(self) -> None:
         # The monitor's own guard is a *plain* lock, invisible to the
-        # graph it maintains.
-        self._guard = threading.Lock()
+        # graph it maintains (self-instrumentation would deadlock the
+        # reporting path).
+        self._guard = threading.Lock()  # annoda: noqa=ANN008 -- monitor guard
         self._tls = threading.local()
         self._locks: Dict[int, str] = {}
         # (held lock id, acquired lock id) -> (labels, first stack)

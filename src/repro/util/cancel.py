@@ -60,12 +60,14 @@ class RequestBudget:
 
     @property
     def cancelled(self) -> bool:
-        return self._cancelled
+        with self._lock:
+            return self._cancelled
 
     @property
     def reason(self) -> Optional[str]:
         """Why the budget was cancelled (``None`` while live)."""
-        return self._reason
+        with self._lock:
+            return self._reason
 
     # -- time --------------------------------------------------------------
 
@@ -86,7 +88,9 @@ class RequestBudget:
         A cancelled budget always has 0 seconds left, even without a
         deadline — cancellation is "the deadline is now".
         """
-        if self._cancelled:
+        with self._lock:
+            cancelled = self._cancelled
+        if cancelled:
             return 0.0
         if self._deadline is None:
             return None
@@ -99,8 +103,10 @@ class RequestBudget:
         return remaining is not None and remaining <= 0.0
 
     def describe(self) -> str:
-        if self._cancelled:
-            return f"request cancelled: {self._reason}"
+        with self._lock:
+            cancelled, reason = self._cancelled, self._reason
+        if cancelled:
+            return f"request cancelled: {reason}"
         if self._deadline is None:
             return "unbounded request budget"
         return (

@@ -30,12 +30,25 @@ class Clock:
         """Current monotonic time in seconds."""
         raise NotImplementedError
 
+    def sleep(self, seconds: float) -> None:
+        """Pause the calling thread for ``seconds``.
+
+        Production clocks really sleep; a :class:`FakeClock` advances
+        itself instead, so retry backoff and injected latency
+        fast-forward in tests rather than burning wall time.
+        """
+        raise NotImplementedError
+
 
 class MonotonicClock(Clock):
     """The production clock: ``time.perf_counter``."""
 
     def now(self) -> float:
         return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
 
 
 class FakeClock(Clock):
@@ -67,6 +80,17 @@ class FakeClock(Clock):
             raise ValueError("a monotonic clock cannot move backwards")
         with self._lock:
             self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Fake sleeping is instant: the clock jumps, no thread parks.
+
+        Backoff loops and latency injection written against the seam
+        therefore cost zero wall time under a fake clock while still
+        observing the right elapsed-seconds arithmetic.
+        """
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.advance(seconds)
 
 
 #: The shared production clock instance.

@@ -9,7 +9,6 @@ without injected faults.
 """
 
 import threading
-import time
 
 import pytest
 
@@ -23,6 +22,8 @@ from repro.mediator.fetch import (
 )
 from repro.mediator.optimizer import OptimizerOptions
 from repro.questions.catalog import QuestionCatalog
+from repro.util import clock
+from repro.util.clock import FakeClock
 from repro.util.errors import IntegrationError
 from repro.wrappers import default_wrappers
 
@@ -136,15 +137,22 @@ class TestFetcherConcurrency:
         assert reply.timeouts == 1
 
     def test_backoff_waits_between_attempts(self, corpus):
+        # The backoff goes through the clock seam, so a FakeClock
+        # fast-forwards the waits: the fake clock must observe the full
+        # exponential schedule while no real thread ever parks.
         wrapper = default_wrappers(corpus)[0]
         flaky = FlakyWrapper(wrapper, fail_first=2)
         policy = FederationPolicy(retries=2, backoff=0.03)
-        started = time.perf_counter()
-        reply = FederatedFetcher(policy).fetch(flaky, FetchRequest())
-        elapsed = time.perf_counter() - started
+        fake = FakeClock()
+        previous = clock.install(fake)
+        try:
+            reply = FederatedFetcher(policy).fetch(flaky, FetchRequest())
+        finally:
+            clock.restore(previous)
         assert reply.ok
+        assert len(reply.attempts) == 3
         # backoff * (2**0 + 2**1) = 0.03 + 0.06
-        assert elapsed >= 0.09
+        assert fake.now() == pytest.approx(0.09)
 
     def test_retry_budget_exhausts_to_error(self, corpus):
         wrapper = default_wrappers(corpus)[0]

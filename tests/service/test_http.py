@@ -177,7 +177,12 @@ class TestSheddingOverHTTP:
         try:
             for thread in clients:
                 thread.start()
-            for _ in range(500):
+            # Generous deadline: under the racecheck plugin every lock
+            # acquisition is instrumented and the three background
+            # clients can take well over the uninstrumented time to
+            # reach their seats.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
                 _status, _headers, health = _get(server, "/healthz")
                 if (
                     health["queue_depth"] >= 2

@@ -1,0 +1,25 @@
+"""ANN007 bad: budget-bearing callers dropping the budget."""
+# annoda: module=repro.core.annoda
+
+
+class Mediator:
+    def query(self, question, budget=None):
+        return question
+
+
+class Annoda:
+    def __init__(self):
+        self.mediator = Mediator()
+
+    def ask(self, question, budget=None):
+        # The root holds a budget but the federation call drops it.
+        return self.mediator.query(question)
+
+
+class Session:
+    def __init__(self, budget):
+        self._budget = budget
+
+    def run(self, mediator):
+        # Bearing via the stored self._budget; still not forwarded.
+        return mediator.query("session question")

@@ -1,0 +1,29 @@
+"""ANN007 good: the budget is threaded through every layer."""
+# annoda: module=repro.core.annoda
+
+
+class Mediator:
+    def query(self, question, budget=None):
+        return question
+
+
+class Annoda:
+    def __init__(self):
+        self.mediator = Mediator()
+
+    def ask(self, question, budget=None):
+        return self.mediator.query(question, budget=budget)
+
+
+class Session:
+    def __init__(self, budget):
+        self._budget = budget
+
+    def run(self, mediator):
+        return mediator.query("session question", budget=self._budget)
+
+
+def describe(mediator):
+    # Not budget-bearing: a caller that has no budget in hand cannot
+    # drop one, so a budget-accepting callee alone is not a finding.
+    return mediator.query("describe")

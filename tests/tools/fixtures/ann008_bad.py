@@ -1,0 +1,24 @@
+"""ANN008 bad: direct stdlib calls outside the construction seams."""
+# annoda: module=repro.service.worker
+
+import random
+import threading
+import time
+
+_GUARD = threading.Lock()
+
+
+def pause():
+    time.sleep(0.1)
+
+
+def now():
+    return time.monotonic()
+
+
+def wall():
+    return time.time()
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,28 @@
+"""ANN008 good: seam routing, allowed stdlib, and thread spawning."""
+# annoda: module=repro.service.worker
+
+import threading
+import time
+
+from repro.util.clock import default_clock
+from repro.util.locks import new_lock
+
+_GUARD = new_lock("ann008 fixture")
+
+
+def pause(seconds):
+    default_clock().sleep(seconds)
+
+
+def timed(fn):
+    # perf_counter is the seam's own backend and stays allowed.
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def spawn(fn):
+    # Thread construction is not a seam bypass; only Lock/RLock are.
+    worker = threading.Thread(target=fn)
+    worker.start()
+    return worker

@@ -1,0 +1,22 @@
+"""ANN009 bad: a guarded attribute touched without its lock."""
+# annoda: module=repro.service.metrics
+
+from repro.util.locks import new_lock
+
+
+class Counter:
+    def __init__(self):
+        self._lock = new_lock("Counter")
+        self._total = 0
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+
+    def snapshot(self):
+        # Lock-free read of an attribute add() writes under the lock.
+        return self._total
+
+    def reset(self):
+        # Lock-free write of the same attribute.
+        self._total = 0

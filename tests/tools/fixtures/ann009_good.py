@@ -1,0 +1,34 @@
+"""ANN009 good: every access holds the lock (or is exempt)."""
+# annoda: module=repro.service.metrics
+
+from repro.util.locks import new_lock
+
+
+class Counter:
+    def __init__(self):
+        self._lock = new_lock("Counter")
+        self._total = 0
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+
+    def snapshot(self):
+        with self._lock:
+            return self._total
+
+    def drain_locked(self):
+        # The _locked suffix is the caller-holds-the-lock convention.
+        value = self._total
+        self._total = 0
+        return value
+
+
+class Plain:
+    """No lock attribute at all: nothing to be inconsistent with."""
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, amount):
+        self.total += amount

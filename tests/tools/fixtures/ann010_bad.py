@@ -1,0 +1,17 @@
+"""ANN010 bad: manually opened spans that can leak on an exception."""
+# annoda: module=repro.trace.session
+
+
+def leaky(recorder, work):
+    span = recorder.open_span("work")
+    work()
+    recorder.close_span(span)
+
+
+def swallowed(recorder, work):
+    span = recorder.open_span("work")
+    try:
+        work()
+    except ValueError:
+        pass
+    recorder.close_span(span)

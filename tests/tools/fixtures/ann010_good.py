@@ -1,0 +1,37 @@
+"""ANN010 good: every manual open_span is provably closed."""
+# annoda: module=repro.trace.session
+
+
+def finally_closed(recorder, work):
+    span = recorder.open_span("work")
+    try:
+        return work()
+    finally:
+        recorder.close_span(span)
+
+
+def fetcher_idiom(recorder, work):
+    span = recorder.open_span("work")
+    try:
+        result = work()
+    except BaseException:
+        recorder.close_span(span)
+        raise
+    recorder.close_span(span)
+    return result
+
+
+class SpanContext:
+    """The __enter__/__exit__ pair: close lives in __exit__."""
+
+    def __init__(self, recorder):
+        self._recorder = recorder
+        self._span = None
+
+    def __enter__(self):
+        self._span = self._recorder.open_span("context")
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._recorder.close_span(self._span)
+        return False

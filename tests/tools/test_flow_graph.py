@@ -1,0 +1,417 @@
+"""Unit tests for the flow analyzer's symbol table and call graph."""
+
+import textwrap
+
+from repro.tools.flow.graph import FlowProject
+from repro.tools.lint.engine import SourceModule
+
+
+def project(*sources):
+    """A FlowProject from ``(path, text)`` pairs (texts dedented)."""
+    return FlowProject(
+        SourceModule(path, textwrap.dedent(text))
+        for path, text in sources
+    )
+
+
+def edges(proj, caller):
+    return proj.out_edges.get(caller, [])
+
+
+class TestSymbolTable:
+    def test_classes_methods_and_module_functions_are_indexed(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            def helper():
+                return 1
+
+
+            class Widget:
+                limit: int = 3
+
+                def render(self):
+                    return helper()
+            """,
+        ))
+        assert "repro.pkg.mod.helper" in proj.functions
+        widget = proj.classes["repro.pkg.mod.Widget"]
+        assert "render" in widget.methods
+        assert widget.fields == ("limit",)
+        assert proj.functions["repro.pkg.mod.Widget.render"].owner == (
+            "repro.pkg.mod.Widget"
+        )
+
+    def test_decorated_defs_keep_their_decorators(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            import functools
+
+
+            class Service:
+                @functools.lru_cache
+                def cached(self):
+                    return 1
+
+                @property
+                def size(self):
+                    return 2
+            """,
+        ))
+        service = proj.classes["repro.pkg.mod.Service"]
+        assert service.methods["cached"].decorators == (
+            "functools.lru_cache",
+        )
+        assert service.methods["size"].decorators == ("property",)
+
+    def test_module_directive_sets_the_logical_name(self):
+        proj = project(
+            ("a.py", "# annoda: module=repro.alpha\nX = 1\n"),
+        )
+        assert proj.module_names == {"repro.alpha"}
+
+
+class TestCallResolution:
+    def test_self_method_resolves_through_the_owner(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class Widget:
+                def render(self):
+                    return self.paint()
+
+                def paint(self):
+                    return 1
+            """,
+        ))
+        (site,) = edges(proj, "repro.pkg.mod.Widget.render")
+        assert site.callee == "repro.pkg.mod.Widget.paint"
+        assert site.kind == "call"
+        assert not site.fallback
+
+    def test_self_method_walks_project_base_classes(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class Base:
+                def paint(self):
+                    return 1
+
+
+            class Widget(Base):
+                def render(self):
+                    return self.paint()
+            """,
+        ))
+        (site,) = edges(proj, "repro.pkg.mod.Widget.render")
+        assert site.callee == "repro.pkg.mod.Base.paint"
+
+    def test_attribute_types_inferred_from_init_assignments(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class Engine:
+                def start(self):
+                    return 1
+
+
+            class Car:
+                def __init__(self):
+                    self._engine = Engine()
+
+                def drive(self):
+                    return self._engine.start()
+            """,
+        ))
+        car = proj.classes["repro.pkg.mod.Car"]
+        assert car.attr_types["_engine"] == "repro.pkg.mod.Engine"
+        (call, construct) = sorted(
+            edges(proj, "repro.pkg.mod.Car.__init__")
+            + edges(proj, "repro.pkg.mod.Car.drive"),
+            key=lambda site: site.kind,
+        )
+        assert call.callee == "repro.pkg.mod.Engine.start"
+        assert construct.kind == "construct"
+        assert construct.callee == "repro.pkg.mod.Engine"
+
+    def test_local_variable_types_inferred_from_constructor_calls(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class Engine:
+                def start(self):
+                    return 1
+
+
+            def run():
+                engine = Engine()
+                return engine.start()
+            """,
+        ))
+        callees = {
+            site.callee for site in edges(proj, "repro.pkg.mod.run")
+        }
+        assert "repro.pkg.mod.Engine.start" in callees
+
+    def test_cross_module_calls_resolve_through_imports(self):
+        proj = project(
+            (
+                "a.py",
+                """\
+                # annoda: module=repro.alpha
+                def helper():
+                    return 1
+                """,
+            ),
+            (
+                "b.py",
+                """\
+                # annoda: module=repro.beta
+                from repro.alpha import helper
+
+
+                def caller():
+                    return helper()
+                """,
+            ),
+        )
+        (site,) = edges(proj, "repro.beta.caller")
+        assert site.callee == "repro.alpha.helper"
+
+    def test_function_local_imports_are_honoured(self):
+        proj = project(
+            (
+                "a.py",
+                """\
+                # annoda: module=repro.alpha
+                def helper():
+                    return 1
+                """,
+            ),
+            (
+                "b.py",
+                """\
+                # annoda: module=repro.beta
+                def caller():
+                    from repro.alpha import helper
+                    return helper()
+                """,
+            ),
+        )
+        (site,) = edges(proj, "repro.beta.caller")
+        assert site.callee == "repro.alpha.helper"
+
+    def test_name_only_fallback_records_its_candidate_arity(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class A:
+                def fetch(self):
+                    return 1
+
+
+            class B:
+                def fetch(self):
+                    return 2
+
+
+            def run(source):
+                return source.fetch()
+            """,
+        ))
+        sites = edges(proj, "repro.pkg.mod.run")
+        assert {site.callee for site in sites} == {
+            "repro.pkg.mod.A.fetch",
+            "repro.pkg.mod.B.fetch",
+        }
+        assert all(site.fallback and site.arity == 2 for site in sites)
+
+    def test_keywords_and_star_kwargs_are_recorded(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            def callee(budget=None):
+                return budget
+
+
+            def direct():
+                return callee(budget=1)
+
+
+            def starred(options):
+                return callee(**options)
+            """,
+        ))
+        (direct,) = edges(proj, "repro.pkg.mod.direct")
+        assert direct.keywords == ("budget",)
+        (starred,) = edges(proj, "repro.pkg.mod.starred")
+        assert starred.has_star_kwargs
+
+
+class TestThreadTargets:
+    def test_thread_target_produces_a_target_edge(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            import threading
+
+
+            class Pool:
+                def start(self):
+                    worker = threading.Thread(target=self._loop)
+                    worker.start()
+
+                def _loop(self):
+                    return 1
+            """,
+        ))
+        sites = edges(proj, "repro.pkg.mod.Pool.start")
+        target = [site for site in sites if site.kind == "target"]
+        assert [site.callee for site in target] == [
+            "repro.pkg.mod.Pool._loop"
+        ]
+
+    def test_executor_submit_produces_a_target_edge(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class Pool:
+                def __init__(self, executor):
+                    self._executor = executor
+
+                def start(self):
+                    return self._executor.submit(self._work, 1)
+
+                def _work(self, item):
+                    return item
+            """,
+        ))
+        sites = edges(proj, "repro.pkg.mod.Pool.start")
+        assert ("repro.pkg.mod.Pool._work", "target") in {
+            (site.callee, site.kind) for site in sites
+        }
+
+
+class TestExternalCalls:
+    def test_stdlib_calls_are_collected_everywhere(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+
+            def pause():
+                time.sleep(1)
+            """,
+        ))
+        dotted = {call.dotted for call in proj.external_calls}
+        assert dotted == {"threading.Lock", "time.sleep"}
+
+    def test_import_aliases_resolve_to_the_external_root(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            from time import sleep
+
+
+            def pause():
+                sleep(1)
+            """,
+        ))
+        assert [call.dotted for call in proj.external_calls] == [
+            "time.sleep"
+        ]
+
+
+class TestReachability:
+    SOURCE = (
+        "m.py",
+        """\
+        # annoda: module=repro.pkg.mod
+        class Executor:
+            def execute(self):
+                return self._fetch()
+
+            def _fetch(self):
+                return 1
+
+
+        class Mediator:
+            def query(self):
+                executor = Executor()
+                return executor
+
+
+        def root():
+            mediator = Mediator()
+            return mediator.query()
+
+
+        def unrelated():
+            return 2
+        """,
+    )
+
+    def test_construct_edges_reach_every_method(self):
+        proj = project(self.SOURCE)
+        parents = proj.reachable(["repro.pkg.mod.root"])
+        assert "repro.pkg.mod.Mediator.query" in parents
+        # Holding an Executor instance makes all its methods runnable,
+        # even when no call through the variable resolves.
+        assert "repro.pkg.mod.Executor.execute" in parents
+        assert "repro.pkg.mod.Executor._fetch" in parents
+        assert "repro.pkg.mod.unrelated" not in parents
+
+    def test_render_path_walks_the_parent_chain(self):
+        proj = project(self.SOURCE)
+        parents = proj.reachable(["repro.pkg.mod.root"])
+        path = proj.render_path(
+            parents, "repro.pkg.mod.Executor._fetch"
+        )
+        assert path.startswith("mod.root -> ")
+        assert path.endswith("Executor._fetch")
+
+    def test_fallback_edges_respect_the_arity_budget(self):
+        proj = project((
+            "m.py",
+            """\
+            # annoda: module=repro.pkg.mod
+            class A:
+                def fetch(self):
+                    return 1
+
+
+            class B:
+                def fetch(self):
+                    return 2
+
+
+            def root(source):
+                return source.fetch()
+            """,
+        ))
+        loose = proj.reachable(
+            ["repro.pkg.mod.root"], max_fallback_arity=2
+        )
+        assert "repro.pkg.mod.A.fetch" in loose
+        strict = proj.reachable(
+            ["repro.pkg.mod.root"], max_fallback_arity=0
+        )
+        assert "repro.pkg.mod.A.fetch" not in strict
+        assert "repro.pkg.mod.B.fetch" not in strict

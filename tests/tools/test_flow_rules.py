@@ -1,0 +1,241 @@
+"""Fixture-driven tests for the interprocedural rules ANN007-ANN010."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.flow import analyze_paths, analyze_texts
+from repro.tools.lint import lint_texts
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FLOW_CODES = ("ANN007", "ANN008", "ANN009", "ANN010")
+
+
+def analyze_fixture(name, code):
+    findings = analyze_paths(
+        [str(FIXTURES / name)],
+        select={code},
+        include_fixtures=True,
+    )
+    assert all(finding.code == code for finding in findings)
+    return findings
+
+
+def analyze_sources(code, *texts):
+    sources = [
+        (f"inline_{index}.py", textwrap.dedent(text))
+        for index, text in enumerate(texts)
+    ]
+    return analyze_texts(sources, select={code})
+
+
+class TestRulePairs:
+    @pytest.mark.parametrize(
+        "code,expected_bad_lines",
+        [
+            ("ANN007", {16, 25}),
+            ("ANN008", {8, 12, 16, 20, 24}),
+            ("ANN009", {18, 22}),
+            ("ANN010", {6, 12}),
+        ],
+    )
+    def test_bad_fixture_fires(self, code, expected_bad_lines):
+        findings = analyze_fixture(f"{code.lower()}_bad.py", code)
+        assert findings, f"{code} bad fixture produced no findings"
+        assert {finding.line for finding in findings} == expected_bad_lines
+
+    @pytest.mark.parametrize("code", FLOW_CODES)
+    def test_good_fixture_is_clean(self, code):
+        assert analyze_fixture(f"{code.lower()}_good.py", code) == []
+
+
+class TestBudgetThreading:
+    def test_drop_diagnostic_quotes_the_call_path(self):
+        findings = analyze_fixture("ann007_bad.py", "ANN007")
+        by_line = {finding.line: finding.message for finding in findings}
+        assert "path Annoda.ask" in by_line[16]
+        assert "in Session.run" in by_line[25]
+
+    def test_fetch_request_hole_fires_on_a_root_reachable_path(self):
+        findings = analyze_sources(
+            "ANN007",
+            """\
+            # annoda: module=repro.mediator.fetch
+            class FetchRequest:
+                def __init__(self, purpose="fetch", budget=None):
+                    self.purpose = purpose
+                    self.budget = budget
+            """,
+            """\
+            # annoda: module=repro.core.annoda
+            from repro.mediator.fetch import FetchRequest
+
+
+            class Annoda:
+                def ask(self, question, budget=None):
+                    return _fetch_detail(question)
+
+
+            def _fetch_detail(question):
+                # No budget parameter at all: the path has a hole no
+                # forwarding fix at this call site could close.
+                return FetchRequest(purpose=question)
+            """,
+        )
+        (finding,) = findings
+        assert "FetchRequest issued without a budget" in finding.message
+        assert "Annoda.ask -> annoda._fetch_detail" in finding.message
+
+    def test_star_kwargs_count_as_forwarding(self):
+        findings = analyze_sources(
+            "ANN007",
+            """\
+            # annoda: module=repro.core.annoda
+            class Mediator:
+                def query(self, question, budget=None):
+                    return question
+
+
+            class Annoda:
+                def __init__(self):
+                    self.mediator = Mediator()
+
+                def ask(self, question, budget=None, **options):
+                    return self.mediator.query(
+                        question, budget=budget, **options
+                    )
+            """,
+        )
+        assert findings == []
+
+
+class TestSeamBypass:
+    def test_seam_modules_are_exempt(self):
+        findings = analyze_sources(
+            "ANN008",
+            """\
+            # annoda: module=repro.util.clock
+            import time
+
+
+            def read():
+                return time.monotonic()
+            """,
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_a_single_line(self):
+        findings = analyze_sources(
+            "ANN008",
+            """\
+            # annoda: module=repro.service.worker
+            import threading
+
+            _A = threading.Lock()  # annoda: noqa=ANN008 -- fixture
+            _B = threading.Lock()
+            """,
+        )
+        assert [finding.line for finding in findings] == [5]
+
+
+class TestLockGuardConsistency:
+    def test_call_form_guards_are_recognised(self):
+        findings = analyze_sources(
+            "ANN009",
+            """\
+            # annoda: module=repro.service.metrics
+            class Store:
+                def __init__(self, mutex):
+                    self._mutex = mutex
+                    self._items = []
+
+                def add(self, item):
+                    with self._mutex():
+                        self._items.append(item)
+
+                def drain(self):
+                    with self._mutex():
+                        items = list(self._items)
+                        self._items = []
+                    return items
+            """,
+        )
+        assert findings == []
+
+    def test_nested_functions_do_not_inherit_the_held_lock(self):
+        findings = analyze_sources(
+            "ANN009",
+            """\
+            # annoda: module=repro.service.metrics
+            from repro.util.locks import new_lock
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = new_lock("Store")
+                    self._items = ()
+
+                def add(self, item):
+                    with self._lock:
+                        self._items = self._items + (item,)
+
+                def deferred(self):
+                    with self._lock:
+                        def flush():
+                            # Runs later, possibly on another thread:
+                            # the enclosing with does not protect it.
+                            self._items = ()
+                        return flush
+            """,
+        )
+        assert [finding.line for finding in findings] == [19]
+
+
+class TestSpanExceptionSafety:
+    def test_with_statement_spans_are_silent(self):
+        findings = analyze_sources(
+            "ANN010",
+            """\
+            # annoda: module=repro.trace.session
+            def traced(recorder, work):
+                with recorder.span("work"):
+                    return work()
+            """,
+        )
+        assert findings == []
+
+    def test_open_span_definition_itself_is_exempt(self):
+        findings = analyze_sources(
+            "ANN010",
+            """\
+            # annoda: module=repro.trace.recorder
+            class Recorder:
+                def open_span(self, name):
+                    span = self.open_span(name)
+                    return span
+            """,
+        )
+        assert findings == []
+
+
+class TestEngineIntegration:
+    def test_syntax_errors_become_ann901(self):
+        findings = analyze_texts([("broken.py", "def broken(:\n")])
+        (finding,) = findings
+        assert finding.code == "ANN901"
+
+    def test_flow_rules_stay_silent_under_the_per_file_lint(self):
+        # The same rules are registered with the per-file engine, but
+        # their check/finish hooks are no-ops: only the whole-program
+        # analyzer produces ANN007-ANN010 findings.
+        source = (
+            "# annoda: module=repro.service.worker\n"
+            "import time\n\n\n"
+            "def pause():\n"
+            "    time.sleep(1)\n"
+        )
+        assert lint_texts([("worker.py", source)]) == []
+        flow = analyze_texts([("worker.py", source)])
+        assert [finding.code for finding in flow] == ["ANN008"]

@@ -21,6 +21,13 @@ class TestMonotonicClock:
     def test_base_class_is_abstract_in_spirit(self):
         with pytest.raises(NotImplementedError):
             clock_module.Clock().now()
+        with pytest.raises(NotImplementedError):
+            clock_module.Clock().sleep(0.1)
+
+    def test_zero_and_negative_sleep_return_immediately(self):
+        # No real time.sleep call at all for non-positive durations.
+        MonotonicClock().sleep(0.0)
+        MonotonicClock().sleep(-1.0)
 
 
 class TestFakeClock:
@@ -43,6 +50,15 @@ class TestFakeClock:
         clock = FakeClock()
         with pytest.raises(ValueError):
             clock.advance(-0.1)
+
+    def test_sleep_is_instant_and_advances_the_clock(self):
+        clock = FakeClock(start=1.0)
+        clock.sleep(0.5)
+        assert clock.now() == 1.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().sleep(-0.1)
 
 
 class TestDefaultClockSeam:
