@@ -68,6 +68,21 @@ def build_parser():
             "queries reuse finished executor stages across runs)"
         ),
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "key-range partitions per default source; fetches fan "
+            "out across the shard grid with byte-identical answers"
+        ),
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help=(
+            "interchangeable wrappers per default source; a dead "
+            "replica fails over to a sibling before the source "
+            "degrades"
+        ),
+    )
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -190,6 +205,10 @@ def _build_annoda(args, federation=None):
         config_kwargs.update(
             stage_artifacts=True, artifact_dir=args.artifact_dir
         )
+    if getattr(args, "shards", 1) > 1:
+        config_kwargs["shards"] = args.shards
+    if getattr(args, "replicas", 1) > 1:
+        config_kwargs["replicas"] = args.replicas
     if federation is not None:
         config_kwargs["federation"] = federation
     if config_kwargs:
@@ -259,7 +278,7 @@ def _command_explain(annoda, args, out):
         }
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return
-    print(plan.describe(), file=out)
+    print(annoda.explain(args.question), file=out)
     print(file=out)
     print(render_trace(result.trace), file=out)
     print(file=out)

@@ -43,6 +43,15 @@ class AnnodaConfig:
     #: Directory backing the artifact cache on disk (implies
     #: ``stage_artifacts``); ``None`` keeps artifacts in memory only.
     artifact_dir: Optional[str] = None
+    #: Key-range partitions per default source (>1 interposes a
+    #: :class:`~repro.sources.shard.ShardedSource` facade; answers
+    #: stay byte-identical while fetches fan out across the grid).
+    shards: int = 1
+    #: Interchangeable wrappers registered per default source (>1
+    #: registers a :class:`~repro.mediator.replicas.ReplicaSet`, so a
+    #: dead replica fails over to a sibling before the source ever
+    #: degrades).
+    replicas: int = 1
 
 
 class Annoda:
@@ -86,8 +95,16 @@ class Annoda:
         annoda.corpus = AnnotationCorpus.generate(
             seed=seed, parameters=parameters or CorpusParameters()
         )
-        for wrapper in default_wrappers(annoda.corpus):
-            annoda.add_source(wrapper)
+        replicas = max(1, annoda.config.replicas)
+        groups = [
+            default_wrappers(annoda.corpus, shards=annoda.config.shards)
+            for _ in range(replicas)
+        ]
+        for replica_wrappers in zip(*groups):
+            if len(replica_wrappers) == 1:
+                annoda.add_source(replica_wrappers[0])
+            else:
+                annoda.add_replicas(list(replica_wrappers))
         return annoda
 
     @classmethod
@@ -124,6 +141,12 @@ class Annoda:
         """Plug a new annotation source in (requirement 2); returns the
         MDSM correspondence set."""
         return self.mediator.register_wrapper(wrapper)
+
+    def add_replicas(self, wrappers):
+        """Plug N interchangeable wrappers of one source in as a
+        replica set (fetches fail over between them before the source
+        degrades); returns the MDSM correspondence set."""
+        return self.mediator.register_replicas(wrappers)
 
     def remove_source(self, source_name):
         self.mediator.unregister_source(source_name)

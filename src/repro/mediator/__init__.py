@@ -52,6 +52,8 @@ from repro.mediator.reconcile import (
     ReconciliationReport,
     Reconciler,
 )
+from repro.mediator.replicas import ReplicaSet
+from repro.mediator.scheduler import StagePlacement, StageScheduler
 
 __all__ = [
     "ArtifactStore",
@@ -80,9 +82,12 @@ __all__ = [
     "ReconciliationPolicy",
     "ReconciliationReport",
     "Reconciler",
+    "ReplicaSet",
     "RuleOptimizer",
     "RuleReport",
     "SourceReport",
+    "StagePlacement",
+    "StageScheduler",
     "SubQuery",
     "TransformRegistry",
     "stage_key",

@@ -30,6 +30,7 @@ from repro.mediator.fetch import (
     FederationPolicy,
     FetchRequest,
 )
+from repro.mediator.scheduler import StageScheduler
 from repro.oem.graph import OEMGraph
 from repro.oem.types import OEMType
 from repro.sources.base import NativeCondition, _evaluate
@@ -95,6 +96,11 @@ class ExecutionStats:
     retries: int = 0
     timeouts: int = 0
     concurrent_batches: int = 0
+    #: Shard-grid accounting: logical fetches the stage scheduler
+    #: fanned out across a shard grid, and fetches a replica set
+    #: answered from a sibling after the placed replica failed.
+    shard_fans: int = 0
+    replica_failovers: int = 0
     #: Rows that crossed the wrapper boundary inside columnar
     #: :class:`~repro.sources.batch.RecordBatch` replies (0 on the
     #: record-at-a-time path).
@@ -209,6 +215,8 @@ class ExecutionReport:
             f"kept / residual evaluations {stats.residual_evaluations}",
             f"  retries {stats.retries} / timeouts {stats.timeouts} / "
             f"concurrent batches {stats.concurrent_batches}",
+            f"  shard fans {stats.shard_fans} / replica failovers "
+            f"{stats.replica_failovers}",
             f"  columnar rows {stats.batch_rows} / artifact hits "
             f"{stats.artifact_hits} / misses {stats.artifact_misses} / "
             f"bytes {stats.artifact_bytes}",
@@ -355,6 +363,10 @@ class Executor:
             enrichment_cache_lock if enrichment_cache_lock is not None
             else new_lock("Executor._shared_cache_lock")
         )
+        # Places each plan stage's fetch on the wrappers' (shard,
+        # replica) grid: logical requests expand to shard-pinned
+        # physical requests and shard partials merge back.
+        self._scheduler = StageScheduler()
 
     def _fetch_request(self, conditions, purpose, columnar=None):
         """A :class:`FetchRequest` carrying this execution's budget."""
@@ -390,6 +402,55 @@ class Executor:
                 del self._shared_cache[oldest]
             self._shared_cache[key] = value
 
+    def _failover_snapshot(self):
+        """Cumulative replica failovers summed over the federation's
+        replica sets (executions compute deltas against it)."""
+        total = 0
+        for wrapper in self.wrappers.values():
+            count = getattr(wrapper, "failover_count", None)
+            if callable(count):
+                total += count()
+        return total
+
+    def _sched_fetch_all(self, jobs, stats, recorder=NULL_RECORDER):
+        """Shard-aware fetch batch: expand each logical ``(wrapper,
+        request)`` job onto the wrapper's shard grid, ship every
+        physical request through one fetcher batch, and merge each
+        job's shard partials back into one logical reply, returned in
+        job order.
+
+        Accounting stays physical — every shard partial folds into
+        ``stats`` individually, so per-source fetch counts and
+        retry/timeout totals reflect what actually crossed the pool —
+        while callers only ever see the merged logical replies.
+        """
+        jobs = list(jobs)
+        expanded = []
+        bounds = []
+        for wrapper, request in jobs:
+            physical = self._scheduler.expand(wrapper, request)
+            bounds.append((len(expanded), len(expanded) + len(physical)))
+            expanded.extend((wrapper, part) for part in physical)
+        replies = self.fetcher.fetch_all(expanded, recorder=recorder)
+        merged = []
+        for (wrapper, request), (start, stop) in zip(jobs, bounds):
+            parts = replies[start:stop]
+            for part in parts:
+                stats.record_reply(part)
+            if len(parts) > 1:
+                stats.shard_fans += 1
+            merged.append(
+                self._scheduler.merge(wrapper.name, request, parts)
+            )
+        return merged
+
+    def _sched_fetch(self, wrapper, request, stats,
+                     recorder=NULL_RECORDER):
+        """One logical fetch placed on the shard grid."""
+        return self._sched_fetch_all(
+            [(wrapper, request)], stats, recorder=recorder
+        )[0]
+
     def _fetchpath_snapshot(self):
         """Cumulative per-source index/scan counters, summed over the
         federation (executions compute deltas against it)."""
@@ -415,6 +476,7 @@ class Executor:
         started = time.perf_counter()
         stats = ExecutionStats()
         counters_before = self._fetchpath_snapshot()
+        failovers_before = self._failover_snapshot()
         from repro.mediator.reconcile import ReconciliationReport
 
         report = ReconciliationReport()
@@ -459,6 +521,18 @@ class Executor:
             _delta_counter(
                 execute_span, "indexes_adopted", stats.indexes_adopted
             )
+            # Grid accounting: shard fan-outs are counted as the
+            # scheduler merges, replica failovers as a delta over the
+            # replica sets' cumulative counters (failover happens
+            # inside the pool, below this execution's view).
+            stats.replica_failovers = (
+                self._failover_snapshot() - failovers_before
+            )
+            _delta_counter(execute_span, "shard_fans", stats.shard_fans)
+            _delta_counter(
+                execute_span, "replica_failovers",
+                stats.replica_failovers,
+            )
             # Columnar/artifact accounting is likewise whole-execution:
             # rows arriving as batches, and stages skipped or run
             # against the content-addressed artifact store.
@@ -501,6 +575,17 @@ class Executor:
                     report, stats, plan,
                 )
 
+        # -- stage placement ------------------------------------------------
+        # Where each plan stage's fetch lands on the (shard, replica)
+        # grid — the same placement `explain` prints, preserved in the
+        # flight recorder for executed queries.
+        with recorder.span("schedule:place") as place_span:
+            grid = self._scheduler.plan_grid(plan, self.wrappers)
+            place_span.set("stages", len(grid))
+            place_span.set(
+                "grid", [entry.describe() for entry in grid]
+            )
+
         # -- concurrent prefetch batch -------------------------------------
         # Every conditioned link-step fetch is independent of every
         # other, and of the (non-semijoin) anchor fetch: one batch on
@@ -520,13 +605,14 @@ class Executor:
             "fetch", attributes={"jobs": len(jobs)}
         ) as fetch_span:
             residual_before = stats.residual_evaluations
-            replies = self.fetcher.fetch_all(
-                (
+            replies = self._sched_fetch_all(
+                [
                     (wrapper,
                      self._fetch_request(tuple(step.pushed),
                                          purpose=step.purpose))
                     for step, wrapper in jobs
-                ),
+                ],
+                stats,
                 recorder=recorder,
             )
             if len(jobs) > 1 and self.policy.max_workers > 1:
@@ -534,7 +620,6 @@ class Executor:
                 fetch_span.incr("concurrent_batches")
 
             for (step, wrapper), reply in zip(jobs, replies):
-                stats.record_reply(reply)
                 if not reply.ok:
                     self._degrade_or_raise(reply, stats)
                     if step is plan.anchor:
@@ -827,13 +912,13 @@ class Executor:
         )
         key_field = wrapper.source_field(key_local)
         if id(driver_step) in self._degraded_steps:
-            reply = self.fetcher.fetch(
+            reply = self._sched_fetch(
                 wrapper,
                 self._fetch_request(tuple(plan.anchor.pushed),
                                     purpose="anchor"),
+                stats,
                 recorder=recorder,
             )
-            stats.record_reply(reply)
             if not reply.ok:
                 self._degrade_or_raise(reply, stats)
                 return RecordBatch.empty() if self.columnar else []
@@ -873,16 +958,16 @@ class Executor:
         if not ordered_ids:
             batches = []
         elif self.batch_fetch and wrapper.supports(via_label, "in"):
-            reply = self.fetcher.fetch(
+            reply = self._sched_fetch(
                 wrapper,
                 self._fetch_request(
                     tuple(plan.anchor.pushed)
                     + ((via_label, "in", tuple(ordered_ids)),),
                     purpose="anchor-semijoin",
                 ),
+                stats,
                 recorder=recorder,
             )
-            stats.record_reply(reply)
             if reply.ok:
                 stats.batched_fetches += 1
                 batches.append(reply.records)
@@ -891,16 +976,16 @@ class Executor:
                 anchor_failed = True
         else:
             for link_id in ordered_ids:
-                reply = self.fetcher.fetch(
+                reply = self._sched_fetch(
                     wrapper,
                     self._fetch_request(
                         tuple(plan.anchor.pushed)
                         + ((via_label, "=", link_id),),
                         purpose="anchor-per-id",
                     ),
+                    stats,
                     recorder=recorder,
                 )
-                stats.record_reply(reply)
                 if not reply.ok:
                     self._degrade_or_raise(reply, stats)
                     anchor_failed = True
@@ -1514,19 +1599,19 @@ class Executor:
             indexes[step.source_name] = cached["index"]
         if not pending:
             return indexes
-        replies = self.fetcher.fetch_all(
-            (
+        replies = self._sched_fetch_all(
+            [
                 (wrapper, request)
                 for _step, wrapper, _cached, _missing, _key, request, _b,
                 _artifact_key in pending
-            ),
+            ],
+            stats,
             recorder=recorder,
         )
         if len(pending) > 1 and self.policy.max_workers > 1:
             stats.concurrent_batches += 1
         for (step, wrapper, cached, missing, key_field, _request,
              batched, artifact_key), reply in zip(pending, replies):
-            stats.record_reply(reply)
             if not reply.ok:
                 # Enrichment detail is decoration, not correctness: a
                 # degraded source leaves its link children id-only.

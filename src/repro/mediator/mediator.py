@@ -81,6 +81,15 @@ class Mediator:
         self._gml_cache = None
         return correspondence_set
 
+    def register_replicas(self, wrappers):
+        """Plug N interchangeable wrappers of one source in as a
+        :class:`~repro.mediator.replicas.ReplicaSet` — one registry
+        entry whose fetches fail over between the replicas before the
+        federation policy ever sees a failure."""
+        from repro.mediator.replicas import ReplicaSet
+
+        return self.register_wrapper(ReplicaSet(wrappers))
+
     def unregister_source(self, source_name):
         """Remove a source from the federation."""
         if source_name not in self._wrappers:
@@ -281,5 +290,11 @@ class Mediator:
 
     def explain(self, query):
         """The full plan story as human-readable text: logical tree,
-        per-rule fired/skipped report, execution steps, stage DAG."""
-        return self.plan(query).describe()
+        per-rule fired/skipped report, execution steps, stage DAG,
+        and where each stage's fetch lands on the (shard, replica)
+        grid."""
+        from repro.mediator.scheduler import StageScheduler
+
+        plan = self.plan(query)
+        placement = StageScheduler().describe_grid(plan, self._wrappers)
+        return plan.describe() + "\n\n" + placement

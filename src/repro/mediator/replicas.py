@@ -1,0 +1,132 @@
+"""Replica sets: N wrappers of one source behind one registration.
+
+Federated biomedical engines route sub-queries across redundant
+endpoints so one dead node never costs the whole source.  A
+:class:`ReplicaSet` brings that to the wrapper registry: it *is* a
+wrapper (same duck-typed surface — ``name``, ``version``, ``fetch``,
+``supports``, schema export, ontology navigation all delegate), but
+``fetch`` rotates over its replicas, failing over to a sibling
+*before* the :class:`~repro.mediator.fetch.FederationPolicy` ever
+sees a failure — degradation is the last resort, after every replica
+of the source refused.
+
+Placement: the preferred replica of a shard-pinned request is
+``shard_index % replica_count``, so the stage scheduler's fan-out
+spreads a shard grid deterministically across the replicas; whole
+fetches start at the primary.  Every replica serves the same logical
+extent (typically its own :class:`~repro.sources.shard.ShardedSource`
+facade over one consistent base store), so which replica answers never
+changes the answer — the failover suite and the shard equivalence
+property pin that down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.util.locks import new_lock
+
+
+class ReplicaSet:
+    """N interchangeable wrappers of one source, with failover.
+
+    Counters are lock-protected: the federated fetcher calls
+    :meth:`fetch` from several pool threads at once.
+    """
+
+    def __init__(self, replicas: Iterable[Any]) -> None:
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a ReplicaSet needs at least one replica")
+        names = {replica.name for replica in replicas}
+        if len(names) != 1:
+            raise ValueError(
+                f"replicas must serve one source, got {sorted(names)}"
+            )
+        self._replicas = replicas
+        self._mutex = new_lock("ReplicaSet._mutex")
+        self._failovers = 0
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        replicas = self.__dict__.get("_replicas")
+        if not replicas:
+            raise AttributeError(name)
+        return getattr(replicas[0], name)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def primary(self) -> Any:
+        return self._replicas[0]
+
+    @property
+    def replicas(self) -> Tuple[Any, ...]:
+        return tuple(self._replicas)
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def name(self) -> str:
+        name: str = self._replicas[0].name
+        return name
+
+    @property
+    def version(self) -> int:
+        version: int = self._replicas[0].version
+        return version
+
+    @property
+    def source(self) -> Any:
+        return self._replicas[0].source
+
+    @property
+    def shard_count(self) -> int:
+        count: int = getattr(self._replicas[0], "shard_count", 1)
+        return count
+
+    def trace_attributes(self) -> Any:
+        attributes = {}
+        inner = getattr(self._replicas[0], "trace_attributes", None)
+        if inner is not None:
+            attributes.update(inner())
+        attributes["replicas"] = len(self._replicas)
+        return attributes
+
+    # -- placement + failover -------------------------------------------------
+
+    def preferred_replica(self, request: Any) -> int:
+        """The replica a request is placed on first: shard-pinned
+        requests spread round-robin over the grid, whole fetches start
+        at the primary."""
+        shard = getattr(request, "shard", None)
+        start = shard[0] if shard is not None else 0
+        return start % len(self._replicas)
+
+    def fetch(self, request: Any) -> Any:
+        """Fetch from the preferred replica, failing over through the
+        siblings; raises only after *every* replica failed (which is
+        when the federation policy's retry/degrade semantics take
+        over — a dead replica alone never degrades the source)."""
+        start = self.preferred_replica(request)
+        count = len(self._replicas)
+        last_error: BaseException = IndexError("no replicas")
+        for offset in range(count):
+            replica = self._replicas[(start + offset) % count]
+            try:
+                return replica.fetch(request)
+            except Exception as exc:
+                last_error = exc
+                if offset + 1 < count:
+                    with self._mutex:
+                        self._failovers += 1
+        raise last_error
+
+    def failover_count(self) -> int:
+        """Cumulative fetches this set handed to a sibling after the
+        placed replica failed."""
+        with self._mutex:
+            return self._failovers

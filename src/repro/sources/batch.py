@@ -153,6 +153,53 @@ class RecordBatch:
         )
 
     @classmethod
+    def concat(cls, batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """One batch holding every row of ``batches``, in order.
+
+        The field order is the union of the inputs' fields in
+        first-seen order across the batches — for batches built over
+        contiguous slices of one extent (the sharded fetch path) that
+        reproduces the unsharded extent's field order exactly.  When
+        every input still holds non-projecting adopted records, the
+        result adopts the concatenated record lists without copying
+        (the zero-copy shard merge); otherwise columns are gathered
+        presence-aware.
+        """
+        batches = [batch for batch in batches if batch is not None]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        ordered: Dict[str, None] = {}
+        for batch in batches:
+            for field in batch._fields:
+                ordered[field] = None
+        fields = tuple(ordered)
+        rows = sum(batch._rows for batch in batches)
+        if all(
+            batch._records is not None and not batch._project
+            for batch in batches
+        ):
+            records: List[Record] = []
+            for batch in batches:
+                records.extend(batch._records or ())
+            # Non-projecting inputs cover their records, so the field
+            # union covers the concatenation too.
+            return cls(fields, {}, {}, rows, records=records)
+        columns: Dict[str, List[Any]] = {}
+        present: Dict[str, List[bool]] = {}
+        for field in fields:
+            values: List[Any] = []
+            mask: List[bool] = []
+            for batch in batches:
+                pair = batch.column_pair(field)
+                values.extend(pair[0])
+                mask.extend(pair[1])
+            columns[field] = values
+            present[field] = mask
+        return cls(fields, columns, present, rows)
+
+    @classmethod
     def from_columns(
         cls,
         fields: Sequence[str],

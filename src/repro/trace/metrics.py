@@ -161,6 +161,16 @@ METRICS.register(
     description="artifact bytes moved (read on hits + written on "
                 "stores)",
 )
+METRICS.register(
+    "shard_fans", stage="execute",
+    description="logical fetches the stage scheduler fanned out "
+                "across a shard grid",
+)
+METRICS.register(
+    "replica_failovers", stage="execute",
+    description="fetches a replica set answered from a sibling after "
+                "the placed replica failed",
+)
 
 
 def counter_totals(root: Any) -> Dict[str, int]:

@@ -191,9 +191,43 @@ class Wrapper(abc.ABC):
                 "FetchRequest (raw condition sequences are no longer "
                 "accepted)"
             )
+        shard = getattr(request, "shard", None)
+        if shard is not None:
+            return self._fetch_shard(
+                shard, conditions, getattr(request, "columnar", False)
+            )
         if getattr(request, "columnar", False):
             return self._fetch_native_batch(conditions)
         return self._fetch_native(conditions)
+
+    @property
+    def shard_count(self):
+        """The source's partition-grid width (1 when unsharded) — what
+        the stage scheduler reads to plan fan-out."""
+        return getattr(self.source, "shard_count", 1)
+
+    def _fetch_shard(self, shard, conditions, columnar):
+        """One partition's slice of a shard-pinned request.
+
+        A sharded source answers from the pinned partition; an
+        unsharded source placed on a grid anyway serves its whole
+        extent from shard 0 and empties for the rest, so shard-order
+        concatenation still reproduces the unsharded answer exactly.
+        """
+        translated = self.translate_conditions(conditions)
+        source = self.source
+        if (
+            getattr(source, "shard_count", 1) > 1
+            and hasattr(source, "shard_query")
+        ):
+            if columnar and _batch_capable(source):
+                return source.shard_query_batch(shard[0], translated)
+            return source.shard_query(shard[0], translated)
+        if shard[0] != 0:
+            return RecordBatch.empty() if columnar else []
+        if columnar:
+            return self._fetch_native_batch(conditions)
+        return source.native_query(translated)
 
     def _fetch_native(self, conditions):
         """The pushdown fetch behind :meth:`fetch` (no shim, no

@@ -46,6 +46,7 @@ class TestGlobalRegistry:
         "conflicts", "repaired", "index_hits", "scan_fetches",
         "indexes_rebuilt", "indexes_adopted",
         "batch_rows", "artifact_hits", "artifact_misses", "artifact_bytes",
+        "shard_fans", "replica_failovers",
     }
 
     def test_registry_covers_every_execution_counter(self):

@@ -1,0 +1,175 @@
+"""The shard scheduler's trace contract, pinned.
+
+Every traced execution carries a ``schedule:place`` span describing
+the (shard, replica) grid; sharded fetches open ``fetch:shard`` spans
+whose attributes identify the partition, the grid width and the
+placed replica; and the ``shard_fans`` / ``replica_failovers``
+counters attached to the execute span reconcile with both
+:func:`counter_totals` over the trace and the flat execution report.
+"""
+
+import pytest
+
+from repro.core.annoda import Annoda, AnnodaConfig
+from repro.mediator import (
+    FederationPolicy,
+    FlakyWrapper,
+    GlobalQuery,
+    LinkConstraint,
+    Mediator,
+)
+from repro.sources import AnnotationCorpus, CorpusParameters
+from repro.sources.corpus import CorpusParameters as Parameters
+from repro.sources.shard import ShardedSource
+from repro.trace import TraceRecorder, counter_totals
+from repro.wrappers import GoWrapper, LocusLinkWrapper, OmimWrapper
+
+QUERY = GlobalQuery(
+    anchor_source="LocusLink",
+    links=(
+        LinkConstraint("GO", "include", via="AnnotationID"),
+        LinkConstraint("OMIM", "exclude", via="DiseaseID"),
+    ),
+)
+
+
+def traced(shards=1, replicas=1):
+    annoda = Annoda.with_default_sources(
+        seed=11,
+        parameters=Parameters(loci=60, go_terms=40, omim_entries=20),
+        config=AnnodaConfig(shards=shards, replicas=replicas),
+    )
+    result = annoda.ask(QUERY, recorder=TraceRecorder())
+    return result
+
+
+class TestSchedulePlaceSpan:
+    def test_always_present_with_pinned_shape(self):
+        result = traced()
+        place = result.trace.find("schedule:place")
+        assert place is not None
+        assert place.attributes["stages"] == 3
+        assert place.attributes["grid"] == [
+            "anchor@LocusLink: 1 shard(s) x 1 replica(s)",
+            "link@GO: 1 shard(s) x 1 replica(s)",
+            "link@OMIM: 1 shard(s) x 1 replica(s)",
+        ]
+        assert place.counters == {}
+
+    def test_grid_reflects_the_configured_shape(self):
+        result = traced(shards=4, replicas=2)
+        place = result.trace.find("schedule:place")
+        assert place.attributes["grid"] == [
+            "anchor@LocusLink: 4 shard(s) x 2 replica(s)",
+            "link@GO: 4 shard(s) x 2 replica(s)",
+            "link@OMIM: 4 shard(s) x 2 replica(s)",
+        ]
+
+    def test_placement_matches_explain(self):
+        annoda = Annoda.with_default_sources(
+            seed=11,
+            parameters=Parameters(loci=60, go_terms=40, omim_entries=20),
+            config=AnnodaConfig(shards=4),
+        )
+        result = annoda.ask(QUERY, recorder=TraceRecorder())
+        place = result.trace.find("schedule:place")
+        explained = annoda.explain(QUERY)
+        for line in place.attributes["grid"]:
+            assert line in explained
+
+
+class TestFetchShardSpans:
+    def test_shard_pinned_fetches_carry_grid_attributes(self):
+        result = traced(shards=4, replicas=2)
+        shard_spans = [
+            span
+            for span in result.trace.walk()
+            if span.name == "fetch:shard"
+        ]
+        assert shard_spans, "sharded run opened no fetch:shard span"
+        by_source = {}
+        for span in shard_spans:
+            assert span.attributes["shard_count"] == 4
+            assert 0 <= span.attributes["shard"] < 4
+            # Placement is deterministic: shard index modulo replicas.
+            assert span.attributes["replica"] == (
+                span.attributes["shard"] % 2
+            )
+            assert "source" in span.attributes
+            by_source.setdefault(
+                span.attributes["source"], set()
+            ).add(span.attributes["shard"])
+        # At least one source fanned over its whole grid.
+        assert any(
+            shards == {0, 1, 2, 3} for shards in by_source.values()
+        )
+
+    def test_unsharded_runs_open_no_shard_spans(self):
+        result = traced()
+        assert all(
+            span.name != "fetch:shard" for span in result.trace.walk()
+        )
+
+
+class TestCounterReconciliation:
+    def test_shard_fans_reconcile_through_counter_totals(self):
+        result = traced(shards=4)
+        totals = counter_totals(result.trace)
+        assert result.stats.shard_fans > 0
+        assert totals["shard_fans"] == result.stats.shard_fans
+        assert totals.get("replica_failovers", 0) == 0
+        assert result.stats.replica_failovers == 0
+
+    def test_unsharded_runs_attach_no_grid_counters(self):
+        result = traced()
+        totals = counter_totals(result.trace)
+        assert "shard_fans" not in totals
+        assert "replica_failovers" not in totals
+
+    def test_replica_failovers_reconcile_after_failover(self):
+        corpus = AnnotationCorpus.generate(
+            seed=11,
+            parameters=CorpusParameters(
+                loci=60, go_terms=40, omim_entries=20
+            ),
+        )
+        mediator = Mediator(federation=FederationPolicy())
+        mediator.register_wrapper(LocusLinkWrapper(corpus.locuslink))
+        mediator.register_replicas(
+            [
+                FlakyWrapper(
+                    GoWrapper(ShardedSource(corpus.go, 2)),
+                    blackout=True,
+                ),
+                GoWrapper(ShardedSource(corpus.go, 2)),
+            ]
+        )
+        mediator.register_wrapper(OmimWrapper(corpus.omim))
+        recorder = TraceRecorder()
+        # A conditioned GO link: the fetch actually runs (an
+        # unconditioned include is pruned and would never fail over).
+        from repro.mediator.decompose import Condition
+
+        conditioned = GlobalQuery(
+            anchor_source="LocusLink",
+            links=(
+                LinkConstraint(
+                    "GO",
+                    "include",
+                    via="AnnotationID",
+                    conditions=(
+                        Condition("Aspect", "=", "molecular_function"),
+                    ),
+                ),
+            ),
+        )
+        result = mediator.query(
+            conditioned, enrich_links=False, recorder=recorder
+        )
+        totals = counter_totals(result.trace)
+        assert result.stats.replica_failovers > 0
+        assert (
+            totals["replica_failovers"] == result.stats.replica_failovers
+        )
+        assert totals["shard_fans"] == result.stats.shard_fans
+        assert result.report.ok
